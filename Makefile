@@ -1,0 +1,38 @@
+# ALOHA-DB development targets.
+
+GO ?= go
+
+.PHONY: all build test race bench figures figures-full examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Quick regeneration of every figure of the paper's evaluation.
+figures:
+	$(GO) run ./cmd/aloha-bench -figure all
+
+# Paper-scale parameters (slow).
+figures-full:
+	$(GO) run ./cmd/aloha-bench -figure all -full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/timetravel
+	$(GO) run ./examples/reservations
+	$(GO) run ./examples/tpcc -duration 500ms -items 1000
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,205 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// proactive value pushing, install batching, processor pool sizing, and
+// asynchronous vs read-triggered functor computation.
+package alohadb_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+)
+
+// xferRegistry builds the conditional-transfer handlers used by the push
+// ablation (a functor on B that reads A, cross-partition).
+func xferRegistry() *functor.Registry {
+	r := functor.NewRegistry()
+	r.MustRegister("abl-out", func(ctx *functor.Context) (*functor.Resolution, error) {
+		bal := int64(0)
+		if rd := ctx.Reads[ctx.Key]; rd.Found {
+			bal, _ = kv.DecodeInt64(rd.Value)
+		}
+		return functor.ValueResolution(kv.EncodeInt64(bal - 1)), nil
+	})
+	r.MustRegister("abl-in", func(ctx *functor.Context) (*functor.Resolution, error) {
+		src := kv.Key(ctx.Arg)
+		if rd := ctx.Reads[src]; !rd.Found {
+			return functor.AbortResolution("source missing"), nil
+		}
+		bal := int64(0)
+		if rd := ctx.Reads[ctx.Key]; rd.Found {
+			bal, _ = kv.DecodeInt64(rd.Value)
+		}
+		return functor.ValueResolution(kv.EncodeInt64(bal + 1)), nil
+	})
+	return r
+}
+
+func newAblationCluster(b *testing.B, workers int, latency time.Duration) *core.Cluster {
+	b.Helper()
+	cfg := core.ClusterConfig{
+		Servers:       2,
+		EpochDuration: 4 * time.Millisecond,
+		Registry:      xferRegistry(),
+		Workers:       workers,
+		Partitioner: func(k kv.Key, n int) int {
+			if len(k) > 0 && k[0] == 'a' {
+				return 0
+			}
+			return 1 % n
+		},
+	}
+	if latency > 0 {
+		cfg.Network = transport.NewMemNetwork(transport.WithLatency(latency, latency/4))
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Load([]kv.Pair{
+		{Key: "a:src", Value: kv.EncodeInt64(1 << 40)},
+		{Key: "b:dst", Value: kv.EncodeInt64(0)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAblationPush compares cross-partition transfers with and
+// without the recipient-set push optimization (§IV-B) under a simulated
+// 100 µs network. With pushing, B's functor finds A's value in its push
+// cache; without, it issues a remote read.
+func BenchmarkAblationPush(b *testing.B) {
+	run := func(b *testing.B, push bool) {
+		c := newAblationCluster(b, 4, 100*time.Microsecond)
+		defer c.Close()
+		ctx := context.Background()
+		var outOpts []functor.UserOption
+		if push {
+			outOpts = append(outOpts, functor.WithRecipients("b:dst"))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			txn := core.Txn{Writes: []core.Write{
+				{Key: "a:src", Functor: functor.User("abl-out", nil, nil, outOpts...)},
+				{Key: "b:dst", Functor: functor.User("abl-in", []byte("a:src"), []kv.Key{"a:src"})},
+			}}
+			if _, err := c.Server(0).Submit(ctx, txn); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitProcessed(b, c)
+		b.StopTimer()
+		if push && c.Stats().PushesSent == 0 {
+			b.Fatal("push ablation arm sent no pushes")
+		}
+	}
+	b.Run("with-push", func(b *testing.B) { run(b, true) })
+	b.Run("without-push", func(b *testing.B) { run(b, false) })
+}
+
+// waitProcessed blocks until every installed functor has been computed
+// (the last epoch's work only reaches the processors after its commit, so
+// a bare queue drain is not a sufficient barrier).
+func waitProcessed(b *testing.B, c *core.Cluster) {
+	b.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.FunctorsComputed >= s.FunctorsInstalled {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("functors never finished: %d/%d", s.FunctorsComputed, s.FunctorsInstalled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkAblationBatchSize measures the install-batching convention
+// (§V-A2): transactions per install RPC.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run("batch-"+itoa(batch), func(b *testing.B) {
+			c := newAblationCluster(b, 2, 0)
+			defer c.Close()
+			ctx := context.Background()
+			txns := make([]core.Txn, batch)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				for i := range txns {
+					txns[i] = core.Txn{Writes: []core.Write{
+						{Key: "a:src", Functor: functor.Add(1)},
+					}}
+				}
+				if _, _, err := c.Server(0).SubmitBatch(ctx, txns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.DrainProcessors()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkAblationWorkers sizes the processor pool under a simulated
+// network, where workers overlap the round trips of independent keys.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			c := newAblationCluster(b, workers, 100*time.Microsecond)
+			defer c.Close()
+			ctx := context.Background()
+			const spread = 16 // independent keys to exercise parallelism
+			b.ResetTimer()
+			for i := 0; i < b.N; i += spread {
+				txns := make([]core.Txn, spread)
+				for j := range txns {
+					txns[j] = core.Txn{Writes: []core.Write{
+						{Key: kv.Key("b:k" + itoa(j)), Functor: functor.User("abl-in", []byte("a:src"), []kv.Key{"a:src"})},
+					}}
+				}
+				if _, _, err := c.Server(0).SubmitBatch(ctx, txns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.DrainProcessors()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkAblationOnDemand compares asynchronous processing against the
+// pure read-triggered computation path (Algorithm 1's Get): async
+// processors amortize computation off the read path.
+func BenchmarkAblationOnDemand(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		c := newAblationCluster(b, workers, 0)
+		defer c.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 8; j++ {
+				if _, err := c.Server(0).Submit(ctx, core.Txn{Writes: []core.Write{
+					{Key: "a:src", Functor: functor.Add(1)},
+				}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The read pays for any computation the processors have not
+			// done (none in the on-demand arm).
+			if _, _, err := c.Server(0).Get(ctx, "a:src"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("async-processors", func(b *testing.B) { run(b, 2) })
+	b.Run("on-demand-only", func(b *testing.B) { run(b, -1) })
+}

@@ -1,0 +1,262 @@
+// Package alohadb is a Go implementation of ALOHA-DB, the scalable
+// distributed transaction processing system of "Scalable Transaction
+// Processing Using Functors" (Fan & Golab, ICDCS 2018). It provides
+// serializable distributed read-write transactions using functor-enabled
+// epoch-based concurrency control: transactions install functors — lazy
+// placeholders for values — in write epochs without any locking, and the
+// functors are computed asynchronously (or on demand at read time) against
+// historical versions only. Transactions never abort due to read-write or
+// write-write conflicts; they abort only on logic errors or constraint
+// violations.
+//
+// The package is a facade over the engine in internal/core. Open an
+// embedded cluster, submit transactions built from functors, and read at
+// serializable snapshots:
+//
+//	db, err := alohadb.Open(alohadb.Config{Servers: 4})
+//	...
+//	h, err := db.Submit(ctx, alohadb.Txn{Writes: []alohadb.Write{
+//	    {Key: "balance:alice", Functor: alohadb.Sub(100)},
+//	    {Key: "balance:bob", Functor: alohadb.Add(100)},
+//	}})
+package alohadb
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// Core type aliases, re-exported so users never import internal packages.
+type (
+	// Key identifies an item in the hash-partitioned table.
+	Key = kv.Key
+	// Value is an opaque byte payload.
+	Value = kv.Value
+	// Pair couples a key with a value for bulk loading.
+	Pair = kv.Pair
+	// Timestamp is a transaction version number; it orders all
+	// transactions and doubles as a snapshot identifier.
+	Timestamp = tstamp.Timestamp
+	// Txn is a transaction: a write set of key-functor pairs plus
+	// optional phase-1 existence requirements.
+	Txn = core.Txn
+	// Write is one key-functor pair.
+	Write = core.Write
+	// TxnHandle tracks a submitted transaction through the two
+	// acknowledgment options (installed / fully computed).
+	TxnHandle = core.TxnHandle
+	// TxnResult is the phase-1 outcome of a transaction.
+	TxnResult = core.TxnResult
+	// Functor is a placeholder for the value of a key, computed at most
+	// once from historical versions.
+	Functor = functor.Functor
+	// Resolution is a functor's final state.
+	Resolution = functor.Resolution
+	// HandlerContext carries a functor computation's inputs.
+	HandlerContext = functor.Context
+	// Handler computes a user-defined functor. Handlers must be pure
+	// functions of their context.
+	Handler = functor.Handler
+	// Read is one read-set entry handed to a handler.
+	Read = functor.Read
+	// Stats aggregates engine counters.
+	Stats = core.Stats
+	// Partitioner overrides key placement.
+	Partitioner = core.Partitioner
+)
+
+// Functor constructors, re-exported.
+var (
+	// PutValue writes a literal value (f-type VALUE).
+	PutValue = functor.Value
+	// Delete writes a tombstone (f-type DELETED).
+	Delete = functor.Deleted
+	// Add increments the key's numeric value (f-type ADD).
+	Add = functor.Add
+	// Sub decrements the key's numeric value (f-type SUBTR).
+	Sub = functor.Sub
+	// Max raises the key's numeric value to at least the argument.
+	Max = functor.Max
+	// Min lowers the key's numeric value to at most the argument.
+	Min = functor.Min
+	// User invokes a handler registered via Config.Handlers.
+	User = functor.User
+	// WithRecipients sets a functor's proactive-push recipient set.
+	WithRecipients = functor.WithRecipients
+	// WithDependentKeys declares a determinate functor's dependent keys.
+	WithDependentKeys = functor.WithDependentKeys
+)
+
+// Resolution constructors for handlers.
+var (
+	// ResolveValue commits a concrete value.
+	ResolveValue = functor.ValueResolution
+	// ResolveAbort aborts the transaction (logic error).
+	ResolveAbort = functor.AbortResolution
+	// ResolveDelete commits a tombstone.
+	ResolveDelete = functor.DeleteResolution
+)
+
+// EncodeInt64 and DecodeInt64 expose the numeric value encoding used by
+// the arithmetic f-types.
+var (
+	EncodeInt64 = kv.EncodeInt64
+	DecodeInt64 = kv.DecodeInt64
+)
+
+// Config configures an embedded ALOHA-DB cluster.
+type Config struct {
+	// Servers is the number of combined FE/BE nodes. Required.
+	Servers int
+	// EpochDuration is the unified epoch length (default 25 ms).
+	EpochDuration time.Duration
+	// ManualEpochs disables the epoch timer; drive epochs with
+	// DB.AdvanceEpoch (deterministic tests and examples).
+	ManualEpochs bool
+	// Handlers registers user-defined functor handlers by name.
+	Handlers map[string]Handler
+	// Partitioner overrides key placement (default: hash).
+	Partitioner Partitioner
+	// DependencyRule declares schema-level key dependencies for dependent
+	// transactions (paper §IV-E).
+	DependencyRule func(k Key) (Key, bool)
+	// Preload streams initial data, loaded at epoch 0 before serving.
+	Preload func(emit func(Pair) error) error
+	// Workers is the per-server functor processor pool size (default 2).
+	Workers int
+}
+
+// DB is an embedded ALOHA-DB cluster.
+type DB struct {
+	cluster *core.Cluster
+	next    atomic.Uint64 // round-robin front-end selection
+}
+
+// Open builds, loads, and starts a cluster.
+func Open(cfg Config) (*DB, error) {
+	reg := functor.NewRegistry()
+	if err := reg.Register(_occHandlerName, occHandler); err != nil {
+		return nil, err
+	}
+	for name, h := range cfg.Handlers {
+		if err := reg.Register(name, h); err != nil {
+			return nil, fmt.Errorf("alohadb: %w", err)
+		}
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Servers:        cfg.Servers,
+		EpochDuration:  cfg.EpochDuration,
+		ManualEpochs:   cfg.ManualEpochs,
+		Partitioner:    cfg.Partitioner,
+		Registry:       reg,
+		Workers:        cfg.Workers,
+		DependencyRule: cfg.DependencyRule,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Preload != nil {
+		err := cfg.Preload(func(p Pair) error {
+			return cluster.Load([]Pair{p})
+		})
+		if err != nil {
+			cluster.Close()
+			return nil, fmt.Errorf("alohadb: preload: %w", err)
+		}
+	}
+	if err := cluster.Start(); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &DB{cluster: cluster}, nil
+}
+
+// Close shuts the cluster down.
+func (db *DB) Close() error { return db.cluster.Close() }
+
+// fe picks a front-end round-robin; any server can coordinate any
+// transaction.
+func (db *DB) fe() *core.Server {
+	n := db.next.Add(1)
+	return db.cluster.Server(int(n) % db.cluster.NumServers())
+}
+
+// Submit runs one transaction's write-only phase and returns its handle.
+// The handle's Installed result is the first acknowledgment option
+// (phase 1 complete); Await is the second (functors fully computed).
+func (db *DB) Submit(ctx context.Context, txn Txn) (*TxnHandle, error) {
+	return db.fe().Submit(ctx, txn)
+}
+
+// SubmitBatch runs many transactions with one install round per involved
+// partition.
+func (db *DB) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*TxnHandle, error) {
+	return db.fe().SubmitBatch(ctx, txns)
+}
+
+// Get performs a latest-version serializable read: it is assigned a
+// timestamp in the current epoch and served when that epoch commits
+// (unified epochs, paper §III-B).
+func (db *DB) Get(ctx context.Context, key Key) (Value, bool, error) {
+	return db.fe().Get(ctx, key)
+}
+
+// GetCommitted reads the latest already-committed version without waiting
+// for the current epoch (bounded staleness of at most one epoch).
+func (db *DB) GetCommitted(ctx context.Context, key Key) (Value, bool, error) {
+	return db.fe().GetCommitted(ctx, key)
+}
+
+// GetAt reads the key at an explicit snapshot (historical / time-travel
+// read). Historical snapshots are served immediately at any time.
+func (db *DB) GetAt(ctx context.Context, key Key, snapshot Timestamp) (Value, bool, error) {
+	return db.fe().GetAt(ctx, key, snapshot)
+}
+
+// Snapshot returns a fresh snapshot timestamp in the current epoch. Reads
+// with GetAt at this snapshot form a serializable read-only transaction.
+func (db *DB) Snapshot() (Timestamp, error) { return db.fe().Snapshot() }
+
+// ReadMany reads several keys at one consistent snapshot.
+func (db *DB) ReadMany(ctx context.Context, keys []Key) (map[Key]Value, Timestamp, error) {
+	return db.fe().ReadMany(ctx, keys)
+}
+
+// ScanPrefix reads every key with the given prefix at one consistent
+// snapshot across all partitions — a serializable analytic read-only
+// transaction that needs no prior knowledge of the key set.
+func (db *DB) ScanPrefix(ctx context.Context, prefix Key, snapshot Timestamp) (map[Key]Value, error) {
+	return db.fe().ScanPrefix(ctx, prefix, snapshot)
+}
+
+// SetRetention bounds the version history to the given number of epochs;
+// older final versions are garbage-collected at epoch boundaries (the
+// newest version below the horizon always survives). Zero keeps all
+// history.
+func (db *DB) SetRetention(epochs Epoch) { db.cluster.SetRetention(epochs) }
+
+// Epoch aliases the epoch number type.
+type Epoch = tstamp.Epoch
+
+// AdvanceEpoch performs one manual epoch switch (ManualEpochs mode).
+func (db *DB) AdvanceEpoch() error {
+	_, err := db.cluster.AdvanceEpoch()
+	return err
+}
+
+// Stats aggregates all servers' counters.
+func (db *DB) Stats() Stats { return db.cluster.Stats() }
+
+// NumServers returns the cluster size.
+func (db *DB) NumServers() int { return db.cluster.NumServers() }
+
+// Cluster exposes the underlying engine for advanced integrations
+// (benchmark harnesses, durability wiring).
+func (db *DB) Cluster() *core.Cluster { return db.cluster }

@@ -1,0 +1,390 @@
+package alohadb
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTestDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Servers == 0 {
+		cfg.Servers = 2
+	}
+	cfg.ManualEpochs = true
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func advance(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenPreloadAndRead(t *testing.T) {
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "greeting", Value: Value("hello")})
+		},
+	})
+	v, found, err := db.GetCommitted(context.Background(), "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || string(v) != "hello" {
+		t.Errorf("GetCommitted = %q found=%v", v, found)
+	}
+}
+
+func TestSubmitAndAwait(t *testing.T) {
+	db := openTestDB(t, Config{})
+	ctx := context.Background()
+	h, err := db.Submit(ctx, Txn{Writes: []Write{
+		{Key: "counter", Functor: Add(5)},
+		{Key: "flag", Functor: PutValue(Value("on"))},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	committed, reason, err := h.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatalf("aborted: %s", reason)
+	}
+	v, found, err := db.GetCommitted(ctx, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeInt64(v); !found || n != 5 {
+		t.Errorf("counter = %d found=%v", n, found)
+	}
+}
+
+func TestCustomHandler(t *testing.T) {
+	db := openTestDB(t, Config{
+		Handlers: map[string]Handler{
+			"double": func(ctx *HandlerContext) (*Resolution, error) {
+				n := int64(0)
+				if r := ctx.Reads[ctx.Key]; r.Found {
+					n, _ = DecodeInt64(r.Value)
+				}
+				return ResolveValue(EncodeInt64(n * 2)), nil
+			},
+		},
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "x", Value: EncodeInt64(21)})
+		},
+	})
+	ctx := context.Background()
+	if _, err := db.Submit(ctx, Txn{Writes: []Write{
+		{Key: "x", Functor: User("double", nil, nil)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	v, _, err := db.GetCommitted(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeInt64(v); n != 42 {
+		t.Errorf("x = %d, want 42", n)
+	}
+}
+
+func TestDuplicateHandlerRejected(t *testing.T) {
+	_, err := Open(Config{
+		Servers:      1,
+		ManualEpochs: true,
+		Handlers: map[string]Handler{
+			_occHandlerName: func(*HandlerContext) (*Resolution, error) { return nil, nil },
+		},
+	})
+	if err == nil {
+		t.Fatal("registering over the built-in OCC handler should fail")
+	}
+}
+
+func TestTimeTravel(t *testing.T) {
+	db := openTestDB(t, Config{})
+	ctx := context.Background()
+	var snaps []Timestamp
+	for i := int64(1); i <= 3; i++ {
+		h, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "v", Functor: PutValue(EncodeInt64(i * 100))}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, h.Version())
+		advance(t, db)
+	}
+	for i, snap := range snaps {
+		v, found, err := db.GetAt(ctx, "v", snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := DecodeInt64(v); !found || n != int64(i+1)*100 {
+			t.Errorf("GetAt(%v) = %d found=%v, want %d", snap, n, found, (i+1)*100)
+		}
+	}
+}
+
+func TestDeleteAndMinMax(t *testing.T) {
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "n", Value: EncodeInt64(50)})
+		},
+	})
+	ctx := context.Background()
+	mustSubmit := func(w ...Write) {
+		t.Helper()
+		if _, err := db.Submit(ctx, Txn{Writes: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each operation in its own epoch: submissions via different
+	// front-ends within one epoch are ordered by their decentralized
+	// timestamps, not submission order.
+	mustSubmit(Write{Key: "n", Functor: Max(80)})
+	advance(t, db)
+	mustSubmit(Write{Key: "n", Functor: Min(60)})
+	advance(t, db)
+	v, _, err := db.GetCommitted(ctx, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeInt64(v); n != 60 {
+		t.Errorf("n = %d, want 60", n)
+	}
+	mustSubmit(Write{Key: "n", Functor: Delete()})
+	advance(t, db)
+	if _, found, err := db.GetCommitted(ctx, "n"); err != nil || found {
+		t.Errorf("deleted key found=%v err=%v", found, err)
+	}
+}
+
+func TestOCCCommitAndConflict(t *testing.T) {
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			if err := emit(Pair{Key: "doc", Value: Value("v1")}); err != nil {
+				return err
+			}
+			return emit(Pair{Key: "meta", Value: Value("m1")})
+		},
+	})
+	ctx := context.Background()
+
+	// Optimistic update without interference: read snapshot, write.
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.Submit(ctx, Txn{Writes: []Write{
+		{Key: "doc", Functor: OCCWrite(Value("v2"), snap, []Key{"meta"})},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	if committed, reason, err := h.Await(ctx); err != nil || !committed {
+		t.Fatalf("clean OCC write: committed=%v reason=%q err=%v", committed, reason, err)
+	}
+
+	// Conflicting update: another transaction touches a read-set key after
+	// the snapshot, so validation must abort. The epoch advance puts the
+	// conflicting write strictly above the snapshot timestamp (in a real
+	// client flow the snapshot's reads complete before writing, so writes
+	// always land in a later epoch than the snapshot).
+	snap2, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	if _, err := db.Submit(ctx, Txn{Writes: []Write{
+		{Key: "meta", Functor: PutValue(Value("m2"))},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// A further epoch boundary serializes the OCC writer strictly after
+	// the conflicting write, making the validation failure deterministic.
+	advance(t, db)
+	h2, err := db.Submit(ctx, Txn{Writes: []Write{
+		{Key: "doc", Functor: OCCWrite(Value("v3"), snap2, []Key{"meta"})},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	committed, reason, err := h2.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("conflicting OCC write committed")
+	}
+	if !strings.Contains(reason, "occ conflict") {
+		t.Errorf("abort reason = %q", reason)
+	}
+	// The losing write is invisible; v2 survives.
+	v, _, err := db.GetCommitted(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v2" {
+		t.Errorf("doc = %q, want v2", v)
+	}
+}
+
+func TestOCCSelfConflict(t *testing.T) {
+	// Two OCC writers to the same key from the same snapshot: the one
+	// ordered second must abort on the write-write conflict via the
+	// implicit self-read validation.
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "k", Value: Value("base")})
+		},
+	})
+	ctx := context.Background()
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both writers install in an epoch strictly after the snapshot's, as
+	// in the real client flow (read at the snapshot, then write).
+	advance(t, db)
+	h1, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "k", Functor: OCCWrite(Value("first"), snap, nil)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "k", Functor: OCCWrite(Value("second"), snap, nil)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	c1, _, err := h1.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := h2.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialization order between two front-ends is decided by the
+	// decentralized timestamps, not submission order: exactly one writer
+	// wins, the other aborts on the write-write conflict, and the visible
+	// value is the winner's.
+	if c1 == c2 {
+		t.Fatalf("exactly one OCC writer must commit; got c1=%v c2=%v", c1, c2)
+	}
+	want := "first"
+	if c2 {
+		want = "second"
+	}
+	v, _, err := db.GetCommitted(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != want {
+		t.Errorf("k = %q, want %q", v, want)
+	}
+}
+
+func TestOCCDelete(t *testing.T) {
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "gone", Value: Value("x")})
+		},
+	})
+	ctx := context.Background()
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "gone", Functor: OCCDelete(snap, nil)}}}); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	if _, found, err := db.GetCommitted(ctx, "gone"); err != nil || found {
+		t.Errorf("found=%v err=%v, want deleted", found, err)
+	}
+}
+
+func TestTimerDrivenDB(t *testing.T) {
+	db, err := Open(Config{Servers: 2, EpochDuration: 4 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	h, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "t", Functor: Add(1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed, reason, err := h.Await(ctx); err != nil || !committed {
+		t.Fatalf("committed=%v reason=%q err=%v", committed, reason, err)
+	}
+	v, found, err := db.Get(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeInt64(v); !found || n != 1 {
+		t.Errorf("t = %d found=%v", n, found)
+	}
+	if db.Stats().TxnsCommitted == 0 {
+		t.Error("stats not recorded")
+	}
+	if db.NumServers() != 2 {
+		t.Errorf("NumServers = %d", db.NumServers())
+	}
+}
+
+func TestReadManyFacade(t *testing.T) {
+	db := openTestDB(t, Config{
+		Preload: func(emit func(Pair) error) error {
+			for _, p := range []Pair{
+				{Key: "a", Value: EncodeInt64(1)},
+				{Key: "b", Value: EncodeInt64(2)},
+			} {
+				if err := emit(p); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	done := make(chan struct{})
+	var got map[Key]Value
+	go func() {
+		defer close(done)
+		m, _, err := db.ReadMany(context.Background(), []Key{"a", "b"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = m
+	}()
+	// ReadMany waits for its snapshot's epoch to commit; keep advancing
+	// until it finishes (the goroutine may draw its snapshot in any epoch).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-done:
+			if len(got) != 2 {
+				t.Fatalf("ReadMany returned %d keys", len(got))
+			}
+			return
+		case <-deadline:
+			t.Fatal("ReadMany never completed")
+		case <-time.After(time.Millisecond):
+			advance(t, db)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package alohadb
+
+import (
+	"context"
+	"fmt"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+)
+
+// TxnBuilder assembles a transaction from functors while automating the
+// paper's manual transformation conventions (§IV-B/§IV-C):
+//
+//   - recipient sets are derived automatically: if one functor of the
+//     transaction reads a key another functor writes, the written key's
+//     functor gets the reader's key in its recipient set, enabling the
+//     proactive push optimization without hand-maintenance;
+//   - condition keys (inputs to an abort decision) are added to every
+//     user functor's read set, enforcing §IV-C's rule that all functors
+//     of a transaction must reach the same commit/abort decision;
+//   - duplicate writes to one key are rejected (one functor per key per
+//     transaction).
+//
+// The paper calls automating the transaction-to-functor transformation
+// future work; TxnBuilder is the mechanical part of that automation.
+type TxnBuilder struct {
+	writes     []Write
+	requires   []Key
+	conditions []Key
+	err        error
+}
+
+// NewTxn starts a transaction builder.
+func NewTxn() *TxnBuilder { return &TxnBuilder{} }
+
+// Write adds one key-functor pair. The functor may be any constructor
+// (PutValue, Add, User, ...).
+func (b *TxnBuilder) Write(k Key, fn *Functor) *TxnBuilder {
+	if b.err != nil {
+		return b
+	}
+	if fn == nil {
+		b.err = fmt.Errorf("alohadb: nil functor for %q", k)
+		return b
+	}
+	for _, w := range b.writes {
+		if w.Key == k {
+			b.err = fmt.Errorf("alohadb: duplicate write to %q", k)
+			return b
+		}
+	}
+	b.writes = append(b.writes, Write{Key: k, Functor: fn})
+	return b
+}
+
+// Require adds phase-1 existence requirements: if any key is absent on its
+// partition, the transaction aborts during install with a second round.
+func (b *TxnBuilder) Require(keys ...Key) *TxnBuilder {
+	b.requires = append(b.requires, keys...)
+	return b
+}
+
+// Condition declares keys whose values influence the transaction's
+// commit/abort decision; they are added to every user functor's read set
+// so all functors agree (§IV-C).
+func (b *TxnBuilder) Condition(keys ...Key) *TxnBuilder {
+	b.conditions = append(b.conditions, keys...)
+	return b
+}
+
+// Build finalizes the transaction: condition keys are folded into every
+// user functor's read set and recipient sets are derived from the
+// intra-transaction read/write structure. The input functors are not
+// mutated; rewritten copies are used where needed.
+func (b *TxnBuilder) Build() (Txn, error) {
+	if b.err != nil {
+		return Txn{}, b.err
+	}
+	if len(b.writes) == 0 {
+		return Txn{}, fmt.Errorf("alohadb: empty transaction")
+	}
+	writes := make([]Write, len(b.writes))
+	copy(writes, b.writes)
+
+	// Fold condition keys into user functors' read sets.
+	if len(b.conditions) > 0 {
+		for i, w := range writes {
+			if w.Functor.Type != functor.TypeUser {
+				continue
+			}
+			rs := w.Functor.ReadSet
+			var missing []Key
+			for _, ck := range b.conditions {
+				found := ck == w.Key // implicit self-read covers the own key
+				for _, rk := range rs {
+					if rk == ck {
+						found = true
+						break
+					}
+				}
+				if !found {
+					missing = append(missing, ck)
+				}
+			}
+			if len(missing) > 0 {
+				cp := *w.Functor
+				cp.ReadSet = append(append([]Key{}, rs...), missing...)
+				writes[i].Functor = &cp
+			}
+		}
+	}
+
+	// Derive recipient sets: the functor writing key K proactively pushes
+	// to every other functor of this transaction whose read set names K.
+	written := make(map[Key]int, len(writes))
+	for i, w := range writes {
+		written[w.Key] = i
+	}
+	recipients := make(map[int][]Key)
+	for _, w := range writes {
+		for _, rk := range w.Functor.ReadSet {
+			src, ok := written[rk]
+			if !ok || writes[src].Key == w.Key {
+				continue
+			}
+			recipients[src] = append(recipients[src], w.Key)
+		}
+	}
+	for i, keys := range recipients {
+		w := writes[i]
+		if len(w.Functor.Recipients) > 0 {
+			continue // hand-specified wins
+		}
+		cp := *w.Functor
+		cp.Recipients = dedupKeys(keys)
+		writes[i].Functor = &cp
+	}
+	return core.Txn{Writes: writes, Requires: b.requires}, nil
+}
+
+// Submit builds and submits in one step.
+func (b *TxnBuilder) Submit(db *DB, ctx context.Context) (*TxnHandle, error) {
+	txn, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return db.Submit(ctx, txn)
+}
+
+func dedupKeys(keys []Key) []Key {
+	seen := make(map[Key]bool, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

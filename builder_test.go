@@ -1,0 +1,198 @@
+package alohadb
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"alohadb/internal/functor"
+)
+
+func TestBuilderAutoRecipients(t *testing.T) {
+	txn, err := NewTxn().
+		Write("src", User("debit", EncodeInt64(10), nil)).
+		Write("dst", User("credit", EncodeInt64(10), []Key{"src"})).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcFn *Functor
+	for _, w := range txn.Writes {
+		if w.Key == "src" {
+			srcFn = w.Functor
+		}
+	}
+	if srcFn == nil {
+		t.Fatal("src write missing")
+	}
+	if !reflect.DeepEqual(srcFn.Recipients, []Key{"dst"}) {
+		t.Errorf("src recipients = %v, want [dst]", srcFn.Recipients)
+	}
+}
+
+func TestBuilderRecipientsHandSpecifiedWins(t *testing.T) {
+	txn, err := NewTxn().
+		Write("src", User("debit", nil, nil, WithRecipients("elsewhere"))).
+		Write("dst", User("credit", nil, []Key{"src"})).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := txn.Writes[0].Functor.Recipients; !reflect.DeepEqual(got, []Key{"elsewhere"}) {
+		t.Errorf("recipients = %v, want hand-specified to win", got)
+	}
+}
+
+func TestBuilderConditionKeysFoldedIn(t *testing.T) {
+	txn, err := NewTxn().
+		Write("a", User("h1", nil, nil)).
+		Write("b", User("h2", nil, []Key{"x"})).
+		Write("c", Add(1)). // arithmetic: untouched
+		Condition("a", "x", "y").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[Key]*Functor{}
+	for _, w := range txn.Writes {
+		byKey[w.Key] = w.Functor
+	}
+	// "a" reads x and y (a itself is its implicit self-read).
+	if got := byKey["a"].ReadSet; !reflect.DeepEqual(got, []Key{"x", "y"}) {
+		t.Errorf("a readset = %v, want [x y]", got)
+	}
+	// "b" keeps x (already present), gains a and y.
+	if got := byKey["b"].ReadSet; !reflect.DeepEqual(got, []Key{"x", "a", "y"}) {
+		t.Errorf("b readset = %v, want [x a y]", got)
+	}
+	if byKey["c"].Type != functor.TypeAdd || byKey["c"].ReadSet != nil {
+		t.Errorf("arithmetic functor was rewritten: %+v", byKey["c"])
+	}
+}
+
+func TestBuilderInputFunctorsNotMutated(t *testing.T) {
+	original := User("h", nil, []Key{"x"})
+	_, err := NewTxn().
+		Write("a", original).
+		Write("x", PutValue(Value("v"))).
+		Condition("cond").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(original.ReadSet) != 1 || original.Recipients != nil {
+		t.Errorf("builder mutated the caller's functor: %+v", original)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewTxn().Build(); err == nil {
+		t.Error("empty transaction should fail")
+	}
+	if _, err := NewTxn().Write("k", nil).Build(); err == nil {
+		t.Error("nil functor should fail")
+	}
+	if _, err := NewTxn().Write("k", Add(1)).Write("k", Add(2)).Build(); err == nil {
+		t.Error("duplicate write should fail")
+	}
+	// The error is sticky across chained calls.
+	if _, err := NewTxn().Write("k", nil).Write("j", Add(1)).Build(); err == nil {
+		t.Error("error should be sticky")
+	}
+}
+
+// TestBuilderEndToEnd uses Condition to make two functors agree on an
+// abort decision that only one of them naturally reads.
+func TestBuilderEndToEnd(t *testing.T) {
+	db := openTestDB(t, Config{
+		Handlers: map[string]Handler{
+			// gate commits its argument only if the gate key is non-zero.
+			"gate": func(ctx *HandlerContext) (*Resolution, error) {
+				g := ctx.Reads["gate"]
+				if !g.Found {
+					return ResolveAbort("gate closed"), nil
+				}
+				if n, _ := DecodeInt64(g.Value); n == 0 {
+					return ResolveAbort("gate closed"), nil
+				}
+				return ResolveValue(ctx.Arg), nil
+			},
+		},
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "gate", Value: EncodeInt64(0)})
+		},
+	})
+	ctx := context.Background()
+	txn, err := NewTxn().
+		Write("out1", User("gate", Value("v1"), nil)).
+		Write("out2", User("gate", Value("v2"), nil)).
+		Condition("gate").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.Submit(ctx, txn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	committed, reason, err := h.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed || !strings.Contains(reason, "gate closed") {
+		t.Fatalf("committed=%v reason=%q, want gate-closed abort", committed, reason)
+	}
+	for _, k := range []Key{"out1", "out2"} {
+		if _, found, _ := db.GetCommitted(ctx, k); found {
+			t.Errorf("%s visible despite abort", k)
+		}
+	}
+
+	// Open the gate; the same transaction shape commits both writes.
+	if _, err := db.Submit(ctx, Txn{Writes: []Write{{Key: "gate", Functor: PutValue(EncodeInt64(1))}}}); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	txn2, err := NewTxn().
+		Write("out1", User("gate", Value("v1"), nil)).
+		Write("out2", User("gate", Value("v2"), nil)).
+		Condition("gate").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := db.Submit(ctx, txn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	if committed, reason, err := h2.Await(ctx); err != nil || !committed {
+		t.Fatalf("committed=%v reason=%q err=%v", committed, reason, err)
+	}
+	v, found, err := db.GetCommitted(ctx, "out2")
+	if err != nil || !found || string(v) != "v2" {
+		t.Errorf("out2 = %q found=%v err=%v", v, found, err)
+	}
+}
+
+func TestBuilderSubmitHelper(t *testing.T) {
+	db := openTestDB(t, Config{})
+	ctx := context.Background()
+	h, err := NewTxn().Write("k", Add(7)).Submit(db, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, db)
+	if committed, _, err := h.Await(ctx); err != nil || !committed {
+		t.Fatalf("committed=%v err=%v", committed, err)
+	}
+	v, _, err := db.GetCommitted(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeInt64(v); n != 7 {
+		t.Errorf("k = %d, want 7", n)
+	}
+}

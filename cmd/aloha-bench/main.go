@@ -1,0 +1,97 @@
+// Command aloha-bench regenerates the paper's evaluation figures
+// (Figures 6-11, §V) on the embedded simulated cluster, printing one row
+// per parameter point.
+//
+// Usage:
+//
+//	aloha-bench -figure 9                 # quick sweep of Figure 9
+//	aloha-bench -figure 6 -full           # paper-scale parameters
+//	aloha-bench -figure all -servers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alohadb/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, or all")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow); default is the quick sweep")
+		servers  = flag.Int("servers", 0, "cluster size override")
+		duration = flag.Duration("duration", 0, "measurement window override per point")
+		items    = flag.Int("items", 0, "TPC-C item table size override")
+		csvPath  = flag.String("csv", "", "also write machine-readable results to this CSV file (figures 6-9, 11)")
+	)
+	flag.Parse()
+
+	opts := harness.Options{
+		Quick:    !*full,
+		Servers:  *servers,
+		Duration: *duration,
+		Items:    *items,
+		Out:      os.Stdout,
+	}
+
+	var collected []harness.Result
+	collect := func(rows []harness.Result, err error) error {
+		collected = append(collected, rows...)
+		return err
+	}
+	type fig struct {
+		name string
+		run  func(harness.Options) error
+	}
+	figs := map[string]func(harness.Options) error{
+		"6":  func(o harness.Options) error { return collect(harness.Figure6(o)) },
+		"7":  func(o harness.Options) error { return collect(harness.Figure7(o)) },
+		"8":  func(o harness.Options) error { return collect(harness.Figure8(o)) },
+		"9":  func(o harness.Options) error { return collect(harness.Figure9(o)) },
+		"10": func(o harness.Options) error { _, err := harness.Figure10(o); return err },
+		"11": func(o harness.Options) error { return collect(harness.Figure11(o)) },
+	}
+
+	var order []fig
+	if *figure == "all" {
+		for _, n := range []string{"6", "7", "8", "9", "10", "11"} {
+			order = append(order, fig{name: n, run: figs[n]})
+		}
+	} else {
+		f, ok := figs[*figure]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want 6..11 or all)", *figure)
+		}
+		order = append(order, fig{name: *figure, run: f})
+	}
+
+	for _, f := range order {
+		start := time.Now()
+		if err := f.run(opts); err != nil {
+			return fmt.Errorf("figure %s: %w", f.name, err)
+		}
+		fmt.Printf("# figure %s done in %s\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if *csvPath != "" && len(collected) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteCSV(f, collected); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Printf("# wrote %d rows to %s\n", len(collected), *csvPath)
+	}
+	return nil
+}

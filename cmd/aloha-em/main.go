@@ -1,0 +1,71 @@
+// Command aloha-em runs the epoch manager for a multi-process ALOHA-DB
+// cluster: it grants and revokes epoch authorizations at every server over
+// the TCP transport (paper §III-A). See cmd/aloha-server for the full
+// deployment example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/epoch"
+	"alohadb/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		peers    = flag.String("peers", "", "comma-separated server addresses, index-ordered")
+		emAddr   = flag.String("em", "", "this epoch manager's address")
+		duration = flag.Duration("epoch", epoch.DefaultDuration, "unified epoch duration")
+		timeout  = flag.Duration("switch-timeout", time.Second, "straggler escape timeout per epoch switch")
+	)
+	flag.Parse()
+	if *peers == "" || *emAddr == "" {
+		return fmt.Errorf("missing -peers or -em")
+	}
+	list := strings.Split(*peers, ",")
+	book := make(map[transport.NodeID]string, len(list)+1)
+	serverIDs := make([]transport.NodeID, len(list))
+	for i, addr := range list {
+		book[transport.NodeID(i)] = strings.TrimSpace(addr)
+		serverIDs[i] = transport.NodeID(i)
+	}
+	emID := transport.NodeID(len(list))
+	book[emID] = strings.TrimSpace(*emAddr)
+
+	core.RegisterMessages()
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	em, err := core.NewEMNode(net, emID, serverIDs, epoch.Config{
+		Duration:      *duration,
+		SwitchTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer em.Close()
+	if err := em.Manager.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("aloha-em driving %d servers with %s epochs\n", len(list), *duration)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

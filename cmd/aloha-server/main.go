@@ -1,0 +1,107 @@
+// Command aloha-server runs one ALOHA-DB node (combined front-end and
+// back-end) in a multi-process TCP deployment. Start every server plus one
+// aloha-em epoch manager, all sharing the same -peers list.
+//
+// Example three-node cluster on one machine:
+//
+//	aloha-server -id 0 -peers localhost:7000,localhost:7001,localhost:7002 -em localhost:7100 &
+//	aloha-server -id 1 -peers localhost:7000,localhost:7001,localhost:7002 -em localhost:7100 &
+//	aloha-server -id 2 -peers localhost:7000,localhost:7001,localhost:7002 -em localhost:7100 &
+//	aloha-em -peers localhost:7000,localhost:7001,localhost:7002 -em localhost:7100
+//
+// Clients connect through aloha-client using the same -peers list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/transport"
+	"alohadb/internal/wal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", 0, "this server's index in the peer list")
+		peers   = flag.String("peers", "", "comma-separated server addresses, index-ordered")
+		emAddr  = flag.String("em", "", "epoch manager address")
+		workers = flag.Int("workers", 0, "functor processor pool size (0 = default)")
+		walPath = flag.String("wal", "", "write-ahead log path (empty disables durability)")
+	)
+	flag.Parse()
+
+	addrs, emID, err := buildAddressBook(*peers, *emAddr)
+	if err != nil {
+		return err
+	}
+	_ = emID
+	if *id < 0 || *id >= emID {
+		return fmt.Errorf("aloha-server: -id %d out of range for %d peers", *id, emID)
+	}
+
+	core.RegisterMessages()
+	net := transport.NewTCPNetwork(addrs)
+	defer net.Close()
+
+	cfg := core.ServerConfig{
+		ID:         *id,
+		NumServers: emID,
+		Registry:   functor.NewRegistry(),
+		Workers:    *workers,
+	}
+	if *walPath != "" {
+		log, err := wal.Open(*walPath)
+		if err != nil {
+			return err
+		}
+		defer log.Close()
+		cfg.Durability = log
+	}
+	srv, err := core.NewServer(cfg, net)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("aloha-server %d listening on %s (epoch manager at %s)\n",
+		*id, addrs[transport.NodeID(*id)], *emAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// buildAddressBook lays out node IDs: servers 0..n-1, the epoch manager at
+// n, clients above.
+func buildAddressBook(peers, em string) (map[transport.NodeID]string, int, error) {
+	if peers == "" {
+		return nil, 0, fmt.Errorf("missing -peers")
+	}
+	list := strings.Split(peers, ",")
+	book := make(map[transport.NodeID]string, len(list)+1)
+	for i, addr := range list {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, 0, fmt.Errorf("empty address at index %d", i)
+		}
+		book[transport.NodeID(i)] = addr
+	}
+	if em != "" {
+		book[transport.NodeID(len(list))] = strings.TrimSpace(em)
+	}
+	return book, len(list), nil
+}

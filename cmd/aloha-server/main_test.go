@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"alohadb/internal/transport"
+)
+
+func TestBuildAddressBook(t *testing.T) {
+	book, n, err := buildAddressBook("a:1, b:2 ,c:3", "em:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	want := map[transport.NodeID]string{0: "a:1", 1: "b:2", 2: "c:3", 3: "em:9"}
+	for id, addr := range want {
+		if book[id] != addr {
+			t.Errorf("book[%d] = %q, want %q", id, book[id], addr)
+		}
+	}
+}
+
+func TestBuildAddressBookNoEM(t *testing.T) {
+	book, n, err := buildAddressBook("a:1,b:2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(book) != 2 {
+		t.Errorf("n=%d len=%d", n, len(book))
+	}
+}
+
+func TestBuildAddressBookErrors(t *testing.T) {
+	if _, _, err := buildAddressBook("", "em:9"); err == nil {
+		t.Error("empty peers should fail")
+	}
+	if _, _, err := buildAddressBook("a:1,,c:3", ""); err == nil {
+		t.Error("empty address should fail")
+	}
+}

@@ -1,0 +1,146 @@
+// Reservations demonstrates the optimistic approach to dependent
+// transactions (paper §IV-E): a seat-booking workload where each booking
+// must read the seat map before deciding which seat to write — the read
+// set determines the write set, so the plain one-shot model does not fit.
+// Bookings read a snapshot, pick a seat, and install OCC functors that
+// validate (Hyder-style, but in parallel per key) during functor
+// computing; losers abort and retry against a fresh snapshot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"alohadb"
+)
+
+const seats = 8
+
+func seatKey(i int) alohadb.Key { return alohadb.Key(fmt.Sprintf("seat:%d", i)) }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db, err := alohadb.Open(alohadb.Config{
+		Servers:       2,
+		EpochDuration: 4 * time.Millisecond,
+		Preload: func(emit func(alohadb.Pair) error) error {
+			for i := 0; i < seats; i++ {
+				if err := emit(alohadb.Pair{Key: seatKey(i), Value: alohadb.Value("free")}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	// book reads the seat map at a snapshot, picks the first free seat,
+	// and writes its name with OCC validation against that seat key. If a
+	// rival booked the same seat first (its write serialized earlier), the
+	// functor computation aborts and the booking retries.
+	book := func(who string) (int, int, error) {
+		for attempt := 1; ; attempt++ {
+			snap, err := db.Snapshot()
+			if err != nil {
+				return 0, 0, err
+			}
+			// Reads at the snapshot: wait for its epoch, then scan.
+			seatsNow, err := db.ScanPrefix(ctx, "seat:", snap)
+			if err != nil {
+				return 0, 0, err
+			}
+			chosen := -1
+			for i := 0; i < seats; i++ {
+				if string(seatsNow[seatKey(i)]) == "free" {
+					chosen = i
+					break
+				}
+			}
+			if chosen < 0 {
+				return -1, attempt, nil // sold out
+			}
+			h, err := db.Submit(ctx, alohadb.Txn{Writes: []alohadb.Write{
+				{Key: seatKey(chosen), Functor: alohadb.OCCWrite(alohadb.Value(who), snap, nil)},
+			}})
+			if err != nil {
+				return 0, 0, err
+			}
+			committed, _, err := h.Await(ctx)
+			if err != nil {
+				return 0, 0, err
+			}
+			if committed {
+				return chosen, attempt, nil
+			}
+			// Validation failed: somebody else took the seat. Retry.
+		}
+	}
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	results := make(map[string]string)
+	for i := 0; i < 10; i++ {
+		who := fmt.Sprintf("guest-%02d", i)
+		wg.Add(1)
+		go func(who string) {
+			defer wg.Done()
+			seat, attempts, err := book(who)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				results[who] = "error: " + err.Error()
+				return
+			}
+			if seat < 0 {
+				results[who] = fmt.Sprintf("sold out (after %d attempts)", attempts)
+				return
+			}
+			results[who] = fmt.Sprintf("seat %d (attempt %d)", seat, attempts)
+		}(who)
+	}
+	wg.Wait()
+
+	for i := 0; i < 10; i++ {
+		who := fmt.Sprintf("guest-%02d", i)
+		fmt.Printf("%s -> %s\n", who, results[who])
+	}
+
+	// Verify: every seat has exactly one owner.
+	snap, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	final, err := db.ScanPrefix(ctx, "seat:", snap)
+	if err != nil {
+		return err
+	}
+	owners := make(map[string]bool)
+	taken := 0
+	for i := 0; i < seats; i++ {
+		v := string(final[seatKey(i)])
+		if v == "free" {
+			continue
+		}
+		taken++
+		if owners[v] {
+			return fmt.Errorf("DOUBLE BOOKING: %s holds two seats", v)
+		}
+		owners[v] = true
+	}
+	fmt.Printf("%d/%d seats taken, no double bookings\n", taken, seats)
+	return nil
+}

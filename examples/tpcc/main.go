@@ -1,0 +1,107 @@
+// TPC-C runs a short burst of NewOrder and Payment transactions through
+// both engines — ALOHA-DB's functor-enabled ECC and the Calvin baseline —
+// on the same data and partitioning, then prints throughput and the
+// latency breakdown (a miniature of the paper's §V-B evaluation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"alohadb/internal/calvin"
+	"alohadb/internal/core"
+	"alohadb/internal/harness"
+	"alohadb/internal/workload/tpcc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		servers  = flag.Int("servers", 4, "cluster size")
+		perHost  = flag.Int("warehouses", 1, "warehouses per host (contention knob)")
+		items    = flag.Int("items", 5000, "item table size")
+		duration = flag.Duration("duration", time.Second, "measurement window")
+		clients  = flag.Int("clients", 16, "closed-loop clients")
+		scaled   = flag.Bool("scaled", false, "use scaled TPC-C (partition by item/district)")
+	)
+	flag.Parse()
+
+	cfg := tpcc.Config{
+		Servers:              *servers,
+		Scaled:               *scaled,
+		WarehousesPerServer:  *perHost,
+		DistrictsPerServer:   *perHost,
+		Items:                *items,
+		CustomersPerDistrict: 100,
+		AbortRate:            0.01,
+	}
+
+	fmt.Printf("TPC-C: %d servers, %d warehouses/districts per host, %d items, scaled=%v\n",
+		*servers, *perHost, *items, *scaled)
+
+	// ALOHA-DB.
+	aloha, err := harness.NewAlohaTPCC(cfg, 0, 0)
+	if err != nil {
+		return err
+	}
+	ares, err := harness.RunAloha(harness.AlohaRun{
+		Cluster: aloha,
+		NewTxn: func(cli int) func() core.Txn {
+			g, gerr := tpcc.NewGenerator(cfg, cli%cfg.Servers, int64(cli)+1)
+			if gerr != nil {
+				panic(gerr)
+			}
+			return func() core.Txn { return tpcc.AlohaNewOrder(cfg, g.NextNewOrder()) }
+		},
+		Clients:       *clients,
+		BatchSize:     4,
+		Duration:      *duration,
+		SampleLatency: true,
+	})
+	stats := aloha.Stats()
+	aloha.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\n", ares)
+	fmt.Printf("  aborts (1%% invalid items): %d; remote reads: %d; pushes: %d\n",
+		ares.Aborts, stats.RemoteReads, stats.PushesSent)
+
+	// Calvin baseline (it cannot abort, so its stream has no invalid
+	// items, matching the paper's setup).
+	cal, err := harness.NewCalvinTPCC(cfg, 0, 0)
+	if err != nil {
+		return err
+	}
+	calvinCfg := cfg
+	calvinCfg.AbortRate = 0
+	cres, err := harness.RunCalvin(harness.CalvinRun{
+		Cluster: cal,
+		NewTxn: func(cli int) func() calvin.Txn {
+			g, gerr := tpcc.NewGenerator(calvinCfg, cli%cfg.Servers, int64(cli)+1)
+			if gerr != nil {
+				panic(gerr)
+			}
+			return func() calvin.Txn { return tpcc.CalvinNewOrder(cfg, g.NextNewOrder()) }
+		},
+		Clients:   *clients,
+		BatchSize: 4,
+		Duration:  *duration,
+	})
+	cal.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", cres)
+	if cres.Throughput > 0 {
+		fmt.Printf("\nALOHA-DB / Calvin throughput ratio: %.1fx\n", ares.Throughput/cres.Throughput)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module alohadb
+
+go 1.23

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// handleMessage dispatches every inbound message to the back-end.
+func (s *Server) handleMessage(from transport.NodeID, msg any) (any, error) {
+	switch m := msg.(type) {
+	case MsgInstall:
+		return s.handleInstall(m), nil
+	case MsgAbort:
+		s.handleAbort(m)
+		return nil, nil
+	case MsgRead:
+		return s.handleRead(m)
+	case MsgPush:
+		s.pushValue(m.Version, m.Key, readFromPush(m))
+		return nil, nil
+	case MsgEnsure:
+		return s.handleEnsure(m)
+	case MsgEnsureUpTo:
+		if err := s.computeKeyUpTo(m.Key, m.Version); err != nil {
+			return nil, err
+		}
+		return MsgEnsureUpToResp{}, nil
+	case MsgApplyDeferred:
+		s.handleApplyDeferred(m)
+		return nil, nil
+	case MsgWaitComputed:
+		return s.handleWaitComputed(m)
+	case MsgScan:
+		return s.handleScan(m)
+	case MsgClientSubmit:
+		return s.handleClientSubmit(m)
+	case MsgClientGet:
+		return s.handleClientGet(m)
+	case MsgGrant:
+		s.Grant(m.E)
+		return nil, nil
+	case MsgRevoke:
+		s.Revoke(m.E, func() {
+			_ = s.conn.Send(from, MsgRevokeAck{E: m.E})
+		})
+		return nil, nil
+	case MsgCommitted:
+		s.Committed(m.E)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: server %d: unexpected message %T", s.id, msg)
+	}
+}
+
+func readFromPush(m MsgPush) funcRead {
+	return funcRead{Value: m.Value, Found: m.Found, Version: m.ValueVersion}
+}
+
+// handleInstall is the back-end side of the write-only phase: it checks
+// phase-1 constraints, inserts every key-functor pair as an in-epoch
+// version, and buffers functor metadata until the epoch commits.
+func (s *Server) handleInstall(m MsgInstall) MsgInstallResp {
+	resp := MsgInstallResp{Results: make([]InstallResult, len(m.Txns))}
+	var items []workItem
+	now := time.Now()
+	for i, txn := range m.Txns {
+		if reason := s.checkRequires(txn.Requires); reason != "" {
+			resp.Results[i] = InstallResult{Err: reason}
+			continue
+		}
+		failed := false
+		for _, w := range txn.Writes {
+			rec, err := s.store.Put(w.Key, txn.Version, w.Functor)
+			if err == mvstore.ErrVersionExists {
+				// Retransmitted install: idempotent.
+				continue
+			}
+			if s.durability != nil {
+				if err := s.durability.LogInstall(txn.Version, w.Key, w.Functor); err != nil {
+					resp.Results[i] = InstallResult{Err: "durability: " + err.Error()}
+					failed = true
+					break
+				}
+			}
+			s.stats.functorsInstalled.Add(1)
+			items = append(items, workItem{key: w.Key, version: txn.Version, rec: rec, installed: now})
+		}
+		if failed {
+			continue
+		}
+		resp.Results[i] = InstallResult{OK: true}
+	}
+	if len(items) > 0 {
+		s.bufferWork(items)
+	}
+	return resp
+}
+
+// checkRequires verifies the phase-1 existence constraints. The referenced
+// keys live in tables loaded at epoch 0 (e.g. the TPC-C item table), so a
+// plain latest-version probe suffices.
+func (s *Server) checkRequires(keys []kv.Key) string {
+	for _, k := range keys {
+		if _, ok := s.store.Latest(k, tstamp.Max); !ok {
+			return fmt.Sprintf("required key %q not found", k)
+		}
+	}
+	return ""
+}
+
+// bufferWork stashes functor metadata under its epoch until Committed.
+// A batch may straddle an epoch switch (straggler mode draws from the next
+// epoch), so items are grouped per epoch; work for an already-committed
+// epoch goes straight to the processor.
+func (s *Server) bufferWork(items []workItem) {
+	var direct []workItem
+	s.pendingMu.Lock()
+	for _, it := range items {
+		e := it.version.Epoch()
+		if tstamp.End(e) <= s.visibleBound() {
+			direct = append(direct, it)
+			continue
+		}
+		s.pending[e] = append(s.pending[e], it)
+	}
+	s.pendingMu.Unlock()
+	if len(direct) > 0 {
+		now := time.Now()
+		for i := range direct {
+			// Late arrival for an already-committed epoch: seal
+			// immediately so the record is readable.
+			s.store.Seal(direct[i].key, tstamp.End(direct[i].version.Epoch()))
+			direct[i].ready = now
+		}
+		s.proc.enqueue(direct)
+	}
+}
+
+// handleAbort is the coordinator's second round: every version the failed
+// transaction installed on this partition becomes ABORTED. This happens
+// strictly before the epoch commits (the coordinator holds its in-flight
+// slot until the round completes), so no reader or processor can have
+// resolved the records yet.
+func (s *Server) handleAbort(m MsgAbort) {
+	for _, k := range m.Keys {
+		if rec, ok := s.store.At(k, m.Version); ok {
+			rec.Resolve(_abortResolutionPeer)
+		}
+	}
+	if s.durability != nil {
+		_ = s.durability.LogAbort(m.Version, m.Keys)
+	}
+}
+
+// handleRead serves a remote Get at the requested snapshot (Algorithm 1's
+// Get; computes functors on demand).
+func (s *Server) handleRead(m MsgRead) (MsgReadResp, error) {
+	s.stats.readsServed.Add(1)
+	r, err := s.localRead(m.Key, m.Version)
+	if err != nil {
+		return MsgReadResp{}, err
+	}
+	return MsgReadResp{Value: r.Value, Found: r.Found, Version: r.Version}, nil
+}
+
+// handleEnsure computes the determinate functor at (Key, Version) and
+// returns its resolution so the caller can resolve dependent-key markers.
+func (s *Server) handleEnsure(m MsgEnsure) (MsgEnsureResp, error) {
+	rec, ok := s.store.At(m.Key, m.Version)
+	if !ok {
+		return MsgEnsureResp{}, fmt.Errorf("core: server %d: determinate functor %q@%v not found", s.id, m.Key, m.Version)
+	}
+	res, err := s.resolveRecord(m.Key, rec)
+	if err != nil {
+		return MsgEnsureResp{}, err
+	}
+	return MsgEnsureResp{Resolution: res}, nil
+}
+
+// handleApplyDeferred applies deferred writes from a determinate functor.
+// Statically-declared dependent keys carry markers installed in the
+// write-only phase; dynamically-named dependent keys (unknown at install,
+// e.g. rows keyed by a freshly allocated id) get their records created
+// here. Resolution is a CAS and record creation is idempotent, so
+// duplicate deliveries and races with on-demand marker resolution are
+// harmless.
+func (s *Server) handleApplyDeferred(m MsgApplyDeferred) {
+	for _, w := range m.Writes {
+		rec, ok := s.store.At(w.Key, m.Version)
+		if !ok {
+			fn := functor.Value(w.Value)
+			if w.Delete {
+				fn = functor.Deleted()
+			}
+			var err error
+			rec, err = s.store.Put(w.Key, m.Version, fn)
+			if err != nil && err != mvstore.ErrVersionExists {
+				continue
+			}
+			// Deferred writes happen after their epoch committed; seal the
+			// fresh record so readers (guarded by the dependency rule) see
+			// it immediately.
+			s.store.Seal(w.Key, m.Version+1)
+			s.stats.functorsInstalled.Add(1)
+		}
+		rec.Resolve(deferredResolution(w))
+	}
+	for _, k := range m.Dissolve {
+		if rec, ok := s.store.At(k, m.Version); ok {
+			if m.Aborted {
+				rec.Resolve(_abortResolutionDeferred)
+			} else {
+				rec.Resolve(_skipResolutionShared)
+			}
+		}
+	}
+	s.notifyComputed()
+}
+
+// handleClientSubmit coordinates a remote client's transaction.
+func (s *Server) handleClientSubmit(m MsgClientSubmit) (MsgClientSubmitResp, error) {
+	h, err := s.Submit(s.baseCtx(), Txn{Writes: m.Writes, Requires: m.Requires})
+	if err != nil {
+		return MsgClientSubmitResp{}, err
+	}
+	resp := MsgClientSubmitResp{Version: h.Version()}
+	if aborted, reason := h.Installed(); aborted {
+		resp.Aborted = true
+		resp.Reason = reason
+		return resp, nil
+	}
+	if m.WaitComputed {
+		committed, reason, err := h.Await(s.baseCtx())
+		if err != nil {
+			return MsgClientSubmitResp{}, err
+		}
+		resp.Aborted = !committed
+		resp.Reason = reason
+	}
+	return resp, nil
+}
+
+// handleClientGet serves a remote client's serializable read.
+func (s *Server) handleClientGet(m MsgClientGet) (MsgClientGetResp, error) {
+	var (
+		v     kv.Value
+		found bool
+		err   error
+	)
+	if m.Snapshot != tstamp.Zero {
+		v, found, err = s.GetAt(s.baseCtx(), m.Key, m.Snapshot)
+	} else {
+		v, found, err = s.Get(s.baseCtx(), m.Key)
+	}
+	if err != nil {
+		return MsgClientGetResp{}, err
+	}
+	return MsgClientGetResp{Value: v, Found: found}, nil
+}
+
+// handleWaitComputed blocks until the record reaches a final state. Used by
+// clients choosing the "acknowledge after functor computing" option.
+func (s *Server) handleWaitComputed(m MsgWaitComputed) (MsgWaitComputedResp, error) {
+	rec, ok := s.store.At(m.Key, m.Version)
+	if !ok {
+		return MsgWaitComputedResp{}, fmt.Errorf("core: server %d: record %q@%v not found", s.id, m.Key, m.Version)
+	}
+	res, err := s.waitRecordFinal(s.baseCtx(), rec)
+	if err != nil {
+		return MsgWaitComputedResp{}, err
+	}
+	return MsgWaitComputedResp{Kind: res.Kind, Reason: res.Reason}, nil
+}

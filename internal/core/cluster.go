@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"alohadb/internal/epoch"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// ClusterConfig configures an embedded ALOHA-DB cluster: N combined FE/BE
+// servers plus an epoch manager, wired over an in-memory (default) or
+// caller-supplied network.
+type ClusterConfig struct {
+	// Servers is the number of FE/BE nodes. Required.
+	Servers int
+	// EpochDuration is the unified epoch length (default 25 ms, §V-A2).
+	EpochDuration time.Duration
+	// ManualEpochs disables the timer: epochs advance only via
+	// AdvanceEpoch. Deterministic tests use this.
+	ManualEpochs bool
+	// Partitioner places keys (default: hash).
+	Partitioner Partitioner
+	// Registry holds user-defined functor handlers, shared by all servers.
+	Registry *functor.Registry
+	// Workers is the per-server processor pool size (default 2).
+	Workers int
+	// Network overrides the transport (default: in-memory, zero latency).
+	Network transport.Network
+	// NetLatency/NetJitter configure the default in-memory network's
+	// simulated one-way delay. Ignored when Network is set.
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	// DurabilityFactory, when set, builds the durability hook for each
+	// server (write-ahead log, replication shipper, or both).
+	DurabilityFactory func(serverID int) (DurabilityHook, error)
+	// Stores, when set, seeds each server with a pre-populated store
+	// (crash recovery or replica promotion). Length must equal Servers.
+	Stores []*mvstore.Store
+	// StartEpoch is the first served epoch (default 1). Recovery restarts
+	// at the epoch after the last durably committed one.
+	StartEpoch tstamp.Epoch
+	// DependencyRule declares schema-level key dependencies (§IV-E); see
+	// ServerConfig.DependencyRule.
+	DependencyRule func(k kv.Key) (kv.Key, bool)
+}
+
+// Cluster is an embedded multi-server ALOHA-DB instance. It is the unit the
+// examples, tests, and benchmarks run against; the TCP deployment assembles
+// the same pieces across processes (see cmd/aloha-server).
+type Cluster struct {
+	cfg     ClusterConfig
+	net     transport.Network
+	ownNet  bool
+	servers []*Server
+	em      *epoch.Manager
+	started bool
+	loadSeq []uint32
+}
+
+// NewCluster builds the cluster but does not start epochs; call Load for
+// initial data, then Start.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one server")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = functor.NewRegistry()
+	}
+	c := &Cluster{cfg: cfg, loadSeq: make([]uint32, cfg.Servers)}
+	if cfg.Network != nil {
+		c.net = cfg.Network
+	} else {
+		c.net = transport.NewMemNetwork(transport.WithLatency(cfg.NetLatency, cfg.NetJitter))
+		c.ownNet = true
+	}
+	if cfg.Stores != nil && len(cfg.Stores) != cfg.Servers {
+		return nil, fmt.Errorf("core: %d seeded stores for %d servers", len(cfg.Stores), cfg.Servers)
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		var hook DurabilityHook
+		if cfg.DurabilityFactory != nil {
+			var err error
+			hook, err = cfg.DurabilityFactory(i)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("core: durability for server %d: %w", i, err)
+			}
+		}
+		srv, err := NewServer(ServerConfig{
+			ID:             i,
+			NumServers:     cfg.Servers,
+			Partitioner:    cfg.Partitioner,
+			Registry:       cfg.Registry,
+			Workers:        cfg.Workers,
+			Durability:     hook,
+			DependencyRule: cfg.DependencyRule,
+		}, c.net)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if cfg.Stores != nil {
+			srv.store = cfg.Stores[i]
+		}
+		c.servers = append(c.servers, srv)
+	}
+	c.em = epoch.New(epoch.Config{Duration: cfg.EpochDuration, StartEpoch: cfg.StartEpoch})
+	for _, srv := range c.servers {
+		if err := c.em.Register(srv); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Load bulk-inserts initial data as epoch-0 VALUE functors, before Start.
+// Epoch 0 commits when the cluster starts, making the data visible to every
+// epoch-1 transaction.
+func (c *Cluster) Load(pairs []kv.Pair) error {
+	if c.started {
+		return fmt.Errorf("core: Load after Start")
+	}
+	for _, p := range pairs {
+		if err := c.loadOne(p.Key, functor.Value(p.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFunctor bulk-inserts one arbitrary functor at epoch 0 (tests use this
+// to pre-seed non-VALUE states).
+func (c *Cluster) LoadFunctor(k kv.Key, fn *functor.Functor) error {
+	if c.started {
+		return fmt.Errorf("core: Load after Start")
+	}
+	return c.loadOne(k, fn)
+}
+
+func (c *Cluster) loadOne(k kv.Key, fn *functor.Functor) error {
+	owner := c.servers[0].owner(k)
+	srv := c.servers[owner]
+	c.loadSeq[owner]++
+	ts := tstamp.Make(0, c.loadSeq[owner], uint16(owner))
+	rec, err := srv.store.Put(k, ts, fn)
+	if err != nil {
+		return fmt.Errorf("core: load %q: %w", k, err)
+	}
+	if srv.durability != nil {
+		if err := srv.durability.LogInstall(ts, k, fn); err != nil {
+			return fmt.Errorf("core: load %q: %w", k, err)
+		}
+	}
+	if res, ok := FinalLoadResolution(fn); ok {
+		rec.Resolve(res)
+		srv.store.AdvanceWatermark(k, ts)
+	}
+	// Bulk loads seal immediately: epoch 0 commits at Start, and load
+	// order is ascending per key, so each seal is a sorted append.
+	srv.store.Seal(k, tstamp.End(0))
+	return nil
+}
+
+// FinalLoadResolution resolves final f-types eagerly during bulk load
+// (loads cannot be aborted by a second round, so eager resolution is safe
+// and spares the first epoch a burst of on-demand computes).
+func FinalLoadResolution(fn *functor.Functor) (*functor.Resolution, bool) {
+	switch fn.Type {
+	case functor.TypeValue:
+		return functor.ValueResolution(fn.Arg), true
+	case functor.TypeDeleted:
+		return functor.DeleteResolution(), true
+	default:
+		return nil, false
+	}
+}
+
+// Start commits epoch 0 and begins serving: with ManualEpochs the caller
+// drives AdvanceEpoch; otherwise a timer advances epochs every
+// EpochDuration.
+func (c *Cluster) Start() error {
+	if c.started {
+		return fmt.Errorf("core: cluster already started")
+	}
+	c.started = true
+	if c.cfg.ManualEpochs {
+		return c.em.Start()
+	}
+	return c.em.Run()
+}
+
+// AdvanceEpoch performs one manual epoch switch.
+func (c *Cluster) AdvanceEpoch() (tstamp.Epoch, error) { return c.em.Advance() }
+
+// CurrentEpoch returns the granted epoch.
+func (c *Cluster) CurrentEpoch() tstamp.Epoch { return c.em.Current() }
+
+// EpochManager exposes the manager for harness instrumentation.
+func (c *Cluster) EpochManager() *epoch.Manager { return c.em }
+
+// Server returns node i, which acts as a front-end for clients.
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// NumServers returns the cluster size.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// Stats aggregates all servers' counters.
+func (c *Cluster) Stats() Stats {
+	var total Stats
+	for _, srv := range c.servers {
+		total.Add(srv.Stats())
+	}
+	return total
+}
+
+// DrainProcessors blocks until every server's processor queue is empty.
+// Tests and benchmarks use it to establish "all functors computed"
+// barriers.
+func (c *Cluster) DrainProcessors() {
+	for _, srv := range c.servers {
+		srv.proc.drainWait()
+	}
+}
+
+// Close stops epochs, servers, and (if owned) the network.
+func (c *Cluster) Close() error {
+	if c.em != nil {
+		c.em.Stop()
+	}
+	var firstErr error
+	for _, srv := range c.servers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.ownNet && c.net != nil {
+		if err := c.net.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- remote epoch manager ---------------------------------------------------
+
+// RemoteParticipant relays the epoch protocol to a server over the
+// transport; the EM process registers one per server (TCP deployment).
+type RemoteParticipant struct {
+	conn transport.Conn
+	node transport.NodeID
+	acks *ackTable
+}
+
+var _ epoch.Participant = (*RemoteParticipant)(nil)
+
+// Grant implements epoch.Participant.
+func (p *RemoteParticipant) Grant(e tstamp.Epoch) {
+	_ = p.conn.Send(p.node, MsgGrant{E: e})
+}
+
+// Revoke implements epoch.Participant.
+func (p *RemoteParticipant) Revoke(e tstamp.Epoch, ack func()) {
+	p.acks.put(e, p.node, ack)
+	_ = p.conn.Send(p.node, MsgRevoke{E: e})
+}
+
+// Committed implements epoch.Participant.
+func (p *RemoteParticipant) Committed(e tstamp.Epoch) {
+	_ = p.conn.Send(p.node, MsgCommitted{E: e})
+}
+
+type ackKey struct {
+	e    tstamp.Epoch
+	node transport.NodeID
+}
+
+type ackTable struct {
+	mu   chan struct{} // 1-slot semaphore; avoids importing sync here
+	acks map[ackKey]func()
+}
+
+func newAckTable() *ackTable {
+	t := &ackTable{mu: make(chan struct{}, 1), acks: make(map[ackKey]func())}
+	return t
+}
+
+func (t *ackTable) put(e tstamp.Epoch, node transport.NodeID, ack func()) {
+	t.mu <- struct{}{}
+	t.acks[ackKey{e: e, node: node}] = ack
+	<-t.mu
+}
+
+func (t *ackTable) take(e tstamp.Epoch, node transport.NodeID) func() {
+	t.mu <- struct{}{}
+	ack := t.acks[ackKey{e: e, node: node}]
+	delete(t.acks, ackKey{e: e, node: node})
+	<-t.mu
+	return ack
+}
+
+// EMNode hosts the epoch manager on its own transport node, driving remote
+// servers through the message protocol. Used by cmd/aloha-em.
+type EMNode struct {
+	Manager *epoch.Manager
+	conn    transport.Conn
+	acks    *ackTable
+}
+
+// NewEMNode attaches the epoch manager to the network at nodeID and
+// registers a remote participant for every server node listed.
+func NewEMNode(net transport.Network, nodeID transport.NodeID, servers []transport.NodeID, cfg epoch.Config) (*EMNode, error) {
+	n := &EMNode{Manager: epoch.New(cfg), acks: newAckTable()}
+	conn, err := net.Node(nodeID, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.conn = conn
+	for _, sid := range servers {
+		p := &RemoteParticipant{conn: conn, node: sid, acks: n.acks}
+		if err := n.Manager.Register(p); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *EMNode) handle(from transport.NodeID, msg any) (any, error) {
+	ack, ok := msg.(MsgRevokeAck)
+	if !ok {
+		return nil, fmt.Errorf("core: epoch manager: unexpected message %T", msg)
+	}
+	if fn := n.acks.take(ack.E, from); fn != nil {
+		fn()
+	}
+	return nil, nil
+}
+
+// Close detaches the EM node.
+func (n *EMNode) Close() error {
+	n.Manager.Stop()
+	return n.conn.Close()
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// funcRead aliases functor.Read locally for brevity.
+type funcRead = functor.Read
+
+// Shared immutable resolutions, allocated once.
+var (
+	_abortResolutionPeer     = functor.AbortResolution("aborted: peer partition failed phase 1")
+	_abortResolutionDeferred = functor.AbortResolution("aborted: determinate functor aborted")
+	_skipResolutionShared    = functor.SkipResolution()
+)
+
+// getLocal is Algorithm 1's Get for keys owned by this partition: return
+// the value of the latest version of k not exceeding v, computing functors
+// on demand, skipping aborted versions, and treating tombstones as absent.
+func (s *Server) getLocal(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+	rec, ok := s.store.Latest(k, v)
+	for ok {
+		res := rec.Resolution()
+		if res == nil {
+			var err error
+			res, err = s.resolveRecord(k, rec)
+			if err != nil {
+				return funcRead{}, err
+			}
+		}
+		switch res.Kind {
+		case functor.Resolved:
+			return funcRead{Value: res.Value, Found: true, Version: rec.Version}, nil
+		case functor.ResolvedDeleted:
+			return funcRead{}, nil // ⊥: deleted key
+		default:
+			// ABORTED or SKIPPED: fall through to the next lower version
+			// (Algorithm 1, lines 22-23).
+			rec, ok = s.store.Latest(k, rec.Version.Prev())
+		}
+	}
+	return funcRead{}, nil
+}
+
+// read returns the value of k at snapshot v, routing to the owning
+// partition (local call or remote MsgRead).
+func (s *Server) read(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+	if owner := s.owner(k); owner != s.id {
+		s.stats.remoteReads.Add(1)
+		resp, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgRead{Key: k, Version: v})
+		if err != nil {
+			return funcRead{}, fmt.Errorf("core: remote read %q@%v: %w", k, v, err)
+		}
+		r, ok := resp.(MsgReadResp)
+		if !ok {
+			return funcRead{}, fmt.Errorf("core: remote read %q: unexpected response %T", k, resp)
+		}
+		return funcRead{Value: r.Value, Found: r.Found, Version: r.Version}, nil
+	}
+	return s.localRead(k, v)
+}
+
+// localRead is the entry point for reads of locally-owned keys: it
+// enforces the schema-level key-dependency rule (§IV-E) before running
+// Algorithm 1's Get. Reads issued from inside functor computations also
+// pass through here, so deferred writes are always settled before a
+// dependent key's value is observed.
+func (s *Server) localRead(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+	if s.depRule != nil {
+		if det, ok := s.depRule(k); ok {
+			if err := s.ensureUpTo(det, v); err != nil {
+				return funcRead{}, err
+			}
+		}
+	}
+	return s.getLocal(k, v)
+}
+
+// ensureUpTo forces every functor of k at or below v to its final state —
+// including synchronous distribution of deferred writes — and advances k's
+// value watermark to v, locally or via MsgEnsureUpTo.
+func (s *Server) ensureUpTo(k kv.Key, v tstamp.Timestamp) error {
+	if owner := s.owner(k); owner != s.id {
+		if _, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgEnsureUpTo{Key: k, Version: v}); err != nil {
+			return fmt.Errorf("core: ensure %q up to %v: %w", k, v, err)
+		}
+		return nil
+	}
+	return s.computeKeyUpTo(k, v)
+}
+
+// computeKeyUpTo resolves every record of k at or below v in ascending
+// order and raises the value watermark to v (Algorithm 1's Compute).
+func (s *Server) computeKeyUpTo(k kv.Key, v tstamp.Timestamp) error {
+	if s.store.Watermark(k) >= v {
+		return nil
+	}
+	for _, rec := range s.store.Between(k, tstamp.Zero, v) {
+		if rec.Final() {
+			continue
+		}
+		if err := s.computeOne(k, rec); err != nil {
+			return err
+		}
+	}
+	s.store.AdvanceWatermark(k, v)
+	return nil
+}
+
+// resolveRecord drives rec to its final state, first resolving every
+// unresolved lower version of the same key iteratively (self-key dependency
+// chains can be as long as an epoch's writes to a hot key, so recursion is
+// not an option). Cross-key dependencies recurse through getLocal/read,
+// bounded by the workload's dependency depth; version numbers strictly
+// decrease across such hops, so the recursion terminates.
+func (s *Server) resolveRecord(k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
+	view := s.store.View(k)
+	// Locate rec in the snapshot.
+	i := sort.Search(len(view), func(i int) bool { return view[i].Version >= rec.Version })
+	if i == len(view) || view[i] != rec {
+		// The snapshot raced with an insert of a lower version; rec must
+		// still be present in a fresh view because records are never
+		// removed while unresolved.
+		view = s.store.View(k)
+		i = sort.Search(len(view), func(i int) bool { return view[i].Version >= rec.Version })
+		if i == len(view) || view[i] != rec {
+			return nil, fmt.Errorf("core: record %q@%v vanished", k, rec.Version)
+		}
+	}
+	// Walk down to the nearest resolved record, then compute forward.
+	j := i - 1
+	for j >= 0 && !view[j].Final() {
+		j--
+	}
+	for idx := j + 1; idx <= i; idx++ {
+		if view[idx].Final() {
+			continue
+		}
+		if err := s.computeOne(k, view[idx]); err != nil {
+			return nil, err
+		}
+	}
+	res := rec.Resolution()
+	if res == nil {
+		return nil, fmt.Errorf("core: record %q@%v unresolved after compute", k, rec.Version)
+	}
+	return res, nil
+}
+
+// computeOne computes exactly one functor, assuming every lower version of
+// its key is already final (the paper's Func procedure, Algorithm 1 lines
+// 10-15). Concurrent invocations are safe: the resolution CAS ensures the
+// functor is computed at most once and identical inputs yield identical
+// results.
+func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
+	fn := rec.Functor
+	var computeStart time.Time
+	if !fn.Type.Final() {
+		computeStart = time.Now()
+	}
+	var res *functor.Resolution
+	switch {
+	case fn.Type.Final():
+		res, _ = mvstore.FinalResolution(fn)
+
+	case fn.Type.Arithmetic():
+		prev, err := s.getLocal(k, rec.Version.Prev())
+		if err != nil {
+			return err
+		}
+		res, err = functor.EvalArithmetic(fn.Type, fn.Arg, prev)
+		if err != nil {
+			// A malformed argument is a logic error: the transaction
+			// aborts, which ECC permits (unlike deterministic systems).
+			res = functor.AbortResolution(err.Error())
+		}
+
+	case fn.Type == functor.TypeDepMarker:
+		det := fn.DeterminateKey()
+		detRes, err := s.ensureComputed(det, rec.Version)
+		if err != nil {
+			return err
+		}
+		res = markerResolution(detRes, k)
+
+	case fn.Type == functor.TypeUser:
+		var err error
+		res, err = s.computeUser(k, rec)
+		if err != nil {
+			return err
+		}
+
+	default:
+		res = functor.AbortResolution(fmt.Sprintf("unknown f-type %d", fn.Type))
+	}
+	rec.Resolve(res)
+	s.stats.functorsComputed.Add(1)
+	if !computeStart.IsZero() {
+		// Figure-10 "processing" stage: the Func procedure's run time,
+		// including its historical reads (leaf computations only; nested
+		// chain resolution is accounted to its own records).
+		s.stats.recordCompute(time.Since(computeStart))
+	}
+	// Distribute deferred writes for determinate functors, synchronously:
+	// the caller may advance this key's watermark next, which per §IV-E
+	// promises readers of the dependent keys that all deferred writes have
+	// been applied. The resolution actually installed may differ from res
+	// if a concurrent computation won the CAS; use the installed one so
+	// all partitions agree.
+	installed := rec.Resolution()
+	if len(fn.DependentKeys) > 0 || len(installed.DependentWrites) > 0 {
+		s.distributeDeferred(fn, rec.Version, installed)
+	}
+	s.notifyComputed()
+	return nil
+}
+
+// computeUser gathers the read set and invokes the user handler.
+func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
+	fn := rec.Functor
+	handler, ok := s.registry.Lookup(fn.Handler)
+	if !ok {
+		return functor.AbortResolution(fmt.Sprintf("unknown handler %q", fn.Handler)), nil
+	}
+	reads := make(map[kv.Key]funcRead, len(fn.ReadSet)+1)
+	// Implicit self-read: the functor's own key at the previous version is
+	// always available to the handler (paper §IV-B: "the read set of some
+	// functors comprises only the key to which the functor was written, in
+	// which case the read set is omitted").
+	self, err := s.getLocal(k, rec.Version.Prev())
+	if err != nil {
+		return nil, err
+	}
+	reads[k] = self
+	// Resolve pushed and local keys inline; remote keys fetch in parallel
+	// so a functor's computation costs one network round trip regardless
+	// of read-set size (critical under scaled TPC-C, where a NewOrder's
+	// item reads span many partitions, §V-B3).
+	var remote []kv.Key
+	for _, rk := range fn.ReadSet {
+		if rk == k {
+			continue
+		}
+		// Proactively pushed values avoid the remote read (§IV-B).
+		if pushed, hit := s.takePushed(rec.Version, rk); hit {
+			s.stats.pushHits.Add(1)
+			reads[rk] = pushed
+			continue
+		}
+		if s.owner(rk) == s.id {
+			r, err := s.localRead(rk, rec.Version.Prev())
+			if err != nil {
+				return nil, err
+			}
+			reads[rk] = r
+			continue
+		}
+		remote = append(remote, rk)
+	}
+	switch len(remote) {
+	case 0:
+	case 1:
+		r, err := s.read(remote[0], rec.Version.Prev())
+		if err != nil {
+			return nil, err
+		}
+		reads[remote[0]] = r
+	default:
+		type fetched struct {
+			key kv.Key
+			r   funcRead
+			err error
+		}
+		results := make(chan fetched, len(remote))
+		for _, rk := range remote {
+			go func(rk kv.Key) {
+				r, err := s.read(rk, rec.Version.Prev())
+				results <- fetched{key: rk, r: r, err: err}
+			}(rk)
+		}
+		for range remote {
+			f := <-results
+			if f.err != nil {
+				err = f.err
+				continue
+			}
+			reads[f.key] = f.r
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := handler(&functor.Context{
+		Key:     k,
+		Version: rec.Version,
+		Arg:     fn.Arg,
+		Reads:   reads,
+	})
+	if err != nil {
+		res = functor.AbortResolution(err.Error())
+	} else if res == nil {
+		res = functor.AbortResolution(fmt.Sprintf("handler %q returned no resolution", fn.Handler))
+	}
+	return res, nil
+}
+
+// ensureComputed forces the functor at (k, version) — a determinate key —
+// to its final state and returns its resolution, locally or via MsgEnsure.
+func (s *Server) ensureComputed(k kv.Key, version tstamp.Timestamp) (*functor.Resolution, error) {
+	if owner := s.owner(k); owner != s.id {
+		resp, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgEnsure{Key: k, Version: version})
+		if err != nil {
+			return nil, fmt.Errorf("core: ensure %q@%v: %w", k, version, err)
+		}
+		r, ok := resp.(MsgEnsureResp)
+		if !ok {
+			return nil, fmt.Errorf("core: ensure %q: unexpected response %T", k, resp)
+		}
+		return r.Resolution, nil
+	}
+	rec, ok := s.store.At(k, version)
+	if !ok {
+		return nil, fmt.Errorf("core: determinate functor %q@%v not found", k, version)
+	}
+	return s.resolveRecord(k, rec)
+}
+
+// markerResolution derives a dependent-key marker's resolution from its
+// determinate functor's resolution: the deferred write's value if present,
+// ABORTED if the transaction aborted, SKIPPED otherwise.
+func markerResolution(det *functor.Resolution, marker kv.Key) *functor.Resolution {
+	if det.Kind == functor.ResolvedAborted {
+		return _abortResolutionDeferred
+	}
+	for _, w := range det.DependentWrites {
+		if w.Key == marker {
+			return deferredResolution(w)
+		}
+	}
+	return _skipResolutionShared
+}
+
+// deferredResolution converts one deferred write into a resolution.
+func deferredResolution(w functor.DependentWrite) *functor.Resolution {
+	if w.Delete {
+		return functor.DeleteResolution()
+	}
+	return functor.ValueResolution(w.Value)
+}
+
+// distributeDeferred pushes a computed determinate functor's deferred
+// writes (and marker dissolutions) to the partitions owning its dependent
+// keys. Two flavours coexist (§IV-E): statically declared dependent keys
+// (markers were installed in the write-only phase and must be resolved or
+// dissolved) and dynamically named dependent keys (e.g. TPC-C order rows
+// keyed by the freshly allocated order id; their records are created on
+// application and guarded by the schema-level DependencyRule).
+//
+// Distribution is synchronous: the determinate key's watermark only
+// advances after this returns, which is exactly the promise the
+// DependencyRule relies on. All applications are idempotent CAS installs.
+func (s *Server) distributeDeferred(fn *functor.Functor, version tstamp.Timestamp, res *functor.Resolution) {
+	byOwner := make(map[int]*MsgApplyDeferred)
+	msgFor := func(owner int) *MsgApplyDeferred {
+		m := byOwner[owner]
+		if m == nil {
+			m = &MsgApplyDeferred{Version: version, Aborted: res.Kind == functor.ResolvedAborted}
+			byOwner[owner] = m
+		}
+		return m
+	}
+	written := make(map[kv.Key]bool, len(res.DependentWrites))
+	if res.Kind != functor.ResolvedAborted {
+		for _, w := range res.DependentWrites {
+			written[w.Key] = true
+			msgFor(s.owner(w.Key)).Writes = append(msgFor(s.owner(w.Key)).Writes, w)
+		}
+	}
+	for _, dk := range fn.DependentKeys {
+		if written[dk] {
+			continue
+		}
+		m := msgFor(s.owner(dk))
+		m.Dissolve = append(m.Dissolve, dk)
+	}
+	for owner, m := range byOwner {
+		if owner == s.id {
+			s.handleApplyDeferred(*m)
+			continue
+		}
+		if _, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), *m); err != nil {
+			// The partition is unreachable (shutdown or crash). Readers of
+			// statically-declared markers still resolve on demand via
+			// MsgEnsure; dynamically-named rows are re-created when the
+			// dependency rule re-forces this computation after recovery.
+			continue
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+)
+
+func TestServerConfigValidation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	tests := []struct {
+		name    string
+		cfg     ServerConfig
+		wantErr string
+	}{
+		{name: "zero servers", cfg: ServerConfig{ID: 0, NumServers: 0}, wantErr: "NumServers"},
+		{name: "negative id", cfg: ServerConfig{ID: -1, NumServers: 2}, wantErr: "out of range"},
+		{name: "id too large", cfg: ServerConfig{ID: 2, NumServers: 2}, wantErr: "out of range"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewServer(tt.cfg, net)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+	// A duplicate node ID is rejected by the transport.
+	if _, err := NewServer(ServerConfig{ID: 0, NumServers: 2}, net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(ServerConfig{ID: 0, NumServers: 2}, net); err == nil {
+		t.Error("duplicate attach should fail")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Servers: 0}); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := NewCluster(ClusterConfig{
+		Servers: 2,
+		Stores:  []*mvstore.Store{mvstore.New()}, // wrong length
+	}); err == nil {
+		t.Error("mismatched seeded stores should fail")
+	}
+	c, err := NewCluster(ClusterConfig{Servers: 1, ManualEpochs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Error("double Start should fail")
+	}
+	if err := c.Load(nil); err == nil {
+		t.Error("Load after Start should fail")
+	}
+	if err := c.LoadFunctor("k", nil); err == nil {
+		t.Error("LoadFunctor after Start should fail")
+	}
+}
+
+func TestWorkersConfigSemantics(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	// Default: 0 -> 2 workers; negative -> none.
+	s0, err := NewServer(ServerConfig{ID: 0, NumServers: 3, Workers: 0}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	if got := len(s0.proc.shards); got != 2 {
+		t.Errorf("default workers = %d, want 2", got)
+	}
+	s1, err := NewServer(ServerConfig{ID: 1, NumServers: 3, Workers: -1}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if got := len(s1.proc.shards); got != 0 {
+		t.Errorf("negative workers = %d shards, want 0", got)
+	}
+	s2, err := NewServer(ServerConfig{ID: 2, NumServers: 3, Workers: 7}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.proc.shards); got != 7 {
+		t.Errorf("workers = %d, want 7", got)
+	}
+}
+
+func TestStatsStringer(t *testing.T) {
+	s := Stats{TxnsCommitted: 5, FunctorsInstalled: 10, FunctorsComputed: 9}
+	out := s.String()
+	for _, want := range []string{"txns=5", "functors=9/10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// Txn is one client transaction expressed, as in the paper's model (§IV-A),
+// as a write set of key-functor pairs (the read sets live inside the
+// functors) plus optional phase-1 existence requirements.
+type Txn struct {
+	// Writes are the key-functor pairs of the write-only phase.
+	Writes []Write
+	// Requires lists keys that must exist for the install to succeed;
+	// each is checked on the partition owning it.
+	Requires []kv.Key
+}
+
+// TxnResult reports the outcome of a transaction's write-only phase.
+type TxnResult struct {
+	// Version is the transaction's timestamp (zero if no timestamp was
+	// assigned).
+	Version tstamp.Timestamp
+	// Aborted is set when phase 1 failed and the second round rolled the
+	// transaction back.
+	Aborted bool
+	// Reason explains an abort.
+	Reason string
+}
+
+// Submit runs one read-write transaction's write-only phase: assign a
+// timestamp in the current epoch, install every functor on its partition,
+// and on any phase-1 failure run the second round that aborts the
+// transaction everywhere (paper §IV-A, §V-A2). The returned handle lets the
+// caller choose between the two acknowledgment options: installed (phase 1
+// complete) or fully computed.
+func (s *Server) Submit(ctx context.Context, txn Txn) (*TxnHandle, error) {
+	results, handles, err := s.SubmitBatch(ctx, []Txn{txn})
+	if err != nil {
+		return nil, err
+	}
+	_ = results
+	return handles[0], nil
+}
+
+// SubmitBatch runs many transactions' write-only phases with one install
+// message per involved partition, the batching convention the paper uses
+// for its apples-to-apples RPC comparison with Calvin.
+func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*TxnHandle, error) {
+	if len(txns) == 0 {
+		return nil, nil, nil
+	}
+	start := time.Now()
+	_, done, err := s.beginTxn()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+
+	results := make([]TxnResult, len(txns))
+	handles := make([]*TxnHandle, len(txns))
+
+	// Assign timestamps and fan writes out by partition.
+	type slice struct {
+		txnIdx int
+		inst   InstallTxn
+	}
+	perOwner := make(map[int][]slice)
+	versions := make([]tstamp.Timestamp, len(txns))
+	for i := range txns {
+		ts, err := s.gen.Next()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: assign timestamp: %w", err)
+		}
+		versions[i] = ts
+		results[i].Version = ts
+		withMarkers := expandDependentMarkers(txns[i].Writes)
+		// Group this transaction's writes by owner. Transactions touch a
+		// handful of partitions, so a linear scan over a small slice beats
+		// a map allocation per transaction.
+		type ownerSlice struct {
+			owner int
+			inst  InstallTxn
+		}
+		var owners []ownerSlice
+		sliceFor := func(o int) *InstallTxn {
+			for j := range owners {
+				if owners[j].owner == o {
+					return &owners[j].inst
+				}
+			}
+			owners = append(owners, ownerSlice{owner: o, inst: InstallTxn{Version: ts}})
+			return &owners[len(owners)-1].inst
+		}
+		for _, w := range withMarkers {
+			it := sliceFor(s.owner(w.Key))
+			it.Writes = append(it.Writes, w)
+		}
+		for _, rk := range txns[i].Requires {
+			it := sliceFor(s.owner(rk))
+			it.Requires = append(it.Requires, rk)
+		}
+		for _, os := range owners {
+			perOwner[os.owner] = append(perOwner[os.owner], slice{txnIdx: i, inst: os.inst})
+		}
+		handles[i] = &TxnHandle{s: s, version: ts, writes: withMarkers}
+	}
+
+	// One install call per partition, in parallel.
+	type ownerOutcome struct {
+		owner   int
+		slices  []slice
+		resp    MsgInstallResp
+		callErr error
+	}
+	outcomes := make([]ownerOutcome, 0, len(perOwner))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for owner, slices := range perOwner {
+		wg.Add(1)
+		go func(owner int, slices []slice) {
+			defer wg.Done()
+			msg := MsgInstall{Txns: make([]InstallTxn, len(slices))}
+			for i, sl := range slices {
+				msg.Txns[i] = sl.inst
+			}
+			var resp MsgInstallResp
+			var callErr error
+			if owner == s.id {
+				resp = s.handleInstall(msg)
+			} else {
+				raw, err := s.conn.Call(ctx, transport.NodeID(owner), msg)
+				if err != nil {
+					callErr = err
+				} else if r, ok := raw.(MsgInstallResp); ok {
+					resp = r
+				} else {
+					callErr = fmt.Errorf("core: install: unexpected response %T", raw)
+				}
+			}
+			mu.Lock()
+			outcomes = append(outcomes, ownerOutcome{owner: owner, slices: slices, resp: resp, callErr: callErr})
+			mu.Unlock()
+		}(owner, slices)
+	}
+	wg.Wait()
+
+	// Determine per-transaction outcomes and which partitions succeeded.
+	succeededOwners := make([]map[int][]kv.Key, len(txns)) // txn -> owner -> installed keys
+	for i := range succeededOwners {
+		succeededOwners[i] = make(map[int][]kv.Key)
+	}
+	for _, oc := range outcomes {
+		for j, sl := range oc.slices {
+			i := sl.txnIdx
+			switch {
+			case oc.callErr != nil:
+				results[i].Aborted = true
+				results[i].Reason = oc.callErr.Error()
+			case j < len(oc.resp.Results) && !oc.resp.Results[j].OK:
+				results[i].Aborted = true
+				results[i].Reason = oc.resp.Results[j].Err
+			default:
+				keys := make([]kv.Key, len(sl.inst.Writes))
+				for wi, w := range sl.inst.Writes {
+					keys[wi] = w.Key
+				}
+				succeededOwners[i][oc.owner] = keys
+			}
+		}
+	}
+
+	// Second round: abort failed transactions on the partitions that
+	// installed them.
+	for i := range txns {
+		if !results[i].Aborted {
+			s.stats.txnsCommitted.Add(1)
+			continue
+		}
+		s.stats.txnsAborted.Add(1)
+		handles[i].abortedInstall = true
+		handles[i].reason = results[i].Reason
+		for owner, keys := range succeededOwners[i] {
+			abort := MsgAbort{Version: versions[i], Keys: keys}
+			if owner == s.id {
+				s.handleAbort(abort)
+				continue
+			}
+			// Synchronous: the in-flight slot must outlive the rollback so
+			// the epoch cannot commit with the transaction half-installed.
+			if _, err := s.conn.Call(ctx, transport.NodeID(owner), abort); err != nil {
+				// The partition is unreachable; crash-recovery replays the
+				// abort from the coordinator's log (see internal/wal).
+				continue
+			}
+		}
+	}
+	s.stats.recordInstall(time.Since(start))
+	return results, handles, nil
+}
+
+// expandDependentMarkers adds a DEP-MARKER write for every dependent key
+// named by a determinate functor that is not already in the write set
+// (paper §IV-E: dependent keys store no concrete functor in the write-only
+// phase; the marker realizes the "watermark of the determinate key" rule as
+// an explicit placeholder).
+func expandDependentMarkers(writes []Write) []Write {
+	var markers []Write
+	for _, w := range writes {
+		for _, dk := range w.Functor.DependentKeys {
+			exists := false
+			for _, w2 := range writes {
+				if w2.Key == dk {
+					exists = true
+					break
+				}
+			}
+			for _, m := range markers {
+				if m.Key == dk {
+					exists = true
+					break
+				}
+			}
+			if !exists {
+				markers = append(markers, Write{Key: dk, Functor: functor.DepMarker(w.Key)})
+			}
+		}
+	}
+	if len(markers) == 0 {
+		return writes
+	}
+	out := make([]Write, 0, len(writes)+len(markers))
+	out = append(out, writes...)
+	return append(out, markers...)
+}
+
+// TxnHandle tracks one submitted transaction across the acknowledgment
+// options of §IV-A.
+type TxnHandle struct {
+	s              *Server
+	version        tstamp.Timestamp
+	writes         []Write
+	abortedInstall bool
+	reason         string
+}
+
+// Version returns the transaction's timestamp.
+func (h *TxnHandle) Version() tstamp.Timestamp { return h.version }
+
+// Installed reports the write-only phase outcome (acknowledgment option 1).
+func (h *TxnHandle) Installed() (aborted bool, reason string) {
+	return h.abortedInstall, h.reason
+}
+
+// Await blocks until the transaction's functors are fully computed and
+// returns the commit/abort decision (acknowledgment option 2). Any functor
+// of the transaction reflects the decision (§IV-A), so waiting on the first
+// written key suffices.
+func (h *TxnHandle) Await(ctx context.Context) (committed bool, reason string, err error) {
+	if h.abortedInstall {
+		return false, h.reason, nil
+	}
+	if len(h.writes) == 0 {
+		return true, "", nil
+	}
+	if err := h.s.waitVisible(ctx, h.version); err != nil {
+		return false, "", err
+	}
+	k := h.writes[0].Key
+	wait := MsgWaitComputed{Key: k, Version: h.version}
+	var resp MsgWaitComputedResp
+	if owner := h.s.owner(k); owner == h.s.id {
+		resp, err = h.s.handleWaitComputed(wait)
+	} else {
+		var raw any
+		raw, err = h.s.conn.Call(ctx, transport.NodeID(owner), wait)
+		if err == nil {
+			var ok bool
+			if resp, ok = raw.(MsgWaitComputedResp); !ok {
+				err = fmt.Errorf("core: await: unexpected response %T", raw)
+			}
+		}
+	}
+	if err != nil {
+		return false, "", err
+	}
+	switch resp.Kind {
+	case functor.ResolvedAborted:
+		return false, resp.Reason, nil
+	default:
+		return true, "", nil
+	}
+}
+
+// Get performs a latest-version read-only transaction under unified epochs
+// (§III-B): it draws a timestamp in the current write epoch, waits for that
+// epoch to commit, then reads the historical version at the timestamp.
+func (s *Server) Get(ctx context.Context, key kv.Key) (kv.Value, bool, error) {
+	ts, err := s.gen.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.getAtSnapshot(ctx, key, ts)
+}
+
+// GetAt reads key at an explicit snapshot. Snapshots in uncommitted epochs
+// wait for visibility; historical snapshots are served immediately.
+func (s *Server) GetAt(ctx context.Context, key kv.Key, snapshot tstamp.Timestamp) (kv.Value, bool, error) {
+	return s.getAtSnapshot(ctx, key, snapshot)
+}
+
+// GetCommitted reads the latest already-committed version of key without
+// waiting for the current epoch, trading the freshness of Get for immediate
+// service (snapshot = end of the last committed epoch).
+func (s *Server) GetCommitted(ctx context.Context, key kv.Key) (kv.Value, bool, error) {
+	bound := s.visibleBound()
+	if bound == tstamp.Zero {
+		return nil, false, fmt.Errorf("core: cluster not started")
+	}
+	return s.getAtSnapshot(ctx, key, bound.Prev())
+}
+
+// Snapshot returns a timestamp in the current epoch, usable with GetAt to
+// assemble multi-key serializable read-only transactions.
+func (s *Server) Snapshot() (tstamp.Timestamp, error) { return s.gen.Next() }
+
+// ReadMany reads several keys at one snapshot, forming a serializable
+// read-only transaction.
+func (s *Server) ReadMany(ctx context.Context, keys []kv.Key) (map[kv.Key]kv.Value, tstamp.Timestamp, error) {
+	ts, err := s.gen.Next()
+	if err != nil {
+		return nil, tstamp.Zero, err
+	}
+	out := make(map[kv.Key]kv.Value, len(keys))
+	for _, k := range keys {
+		v, found, err := s.getAtSnapshot(ctx, k, ts)
+		if err != nil {
+			return nil, tstamp.Zero, err
+		}
+		if found {
+			out[k] = v
+		}
+	}
+	return out, ts, nil
+}
+
+func (s *Server) getAtSnapshot(ctx context.Context, key kv.Key, ts tstamp.Timestamp) (kv.Value, bool, error) {
+	if err := s.waitVisible(ctx, ts); err != nil {
+		return nil, false, err
+	}
+	var r funcRead
+	var err error
+	if owner := s.owner(key); owner == s.id {
+		r, err = s.localRead(key, ts)
+	} else {
+		var raw any
+		raw, err = s.conn.Call(ctx, transport.NodeID(owner), MsgRead{Key: key, Version: ts})
+		if err == nil {
+			if resp, ok := raw.(MsgReadResp); ok {
+				r = funcRead{Value: resp.Value, Found: resp.Found}
+			} else {
+				err = fmt.Errorf("core: read: unexpected response %T", raw)
+			}
+		}
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Value, r.Found, nil
+}

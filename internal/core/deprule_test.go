@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+)
+
+// TestDynamicDependentKeys exercises the TPC-C order-id pattern: a
+// determinate functor on a sequence key allocates an id during computation
+// and writes rows whose names embed the id (unknown at install time). A
+// schema-level dependency rule forces the sequence key's watermark forward
+// before any order row is read, so readers always observe the deferred
+// writes (§IV-E).
+func TestDynamicDependentKeys(t *testing.T) {
+	reg := functor.NewRegistry()
+	reg.MustRegister("alloc-order", func(ctx *functor.Context) (*functor.Resolution, error) {
+		id := int64(0)
+		if r := ctx.Reads[ctx.Key]; r.Found {
+			id, _ = kv.DecodeInt64(r.Value)
+		}
+		id++
+		return &functor.Resolution{
+			Kind:  functor.Resolved,
+			Value: kv.EncodeInt64(id),
+			DependentWrites: []functor.DependentWrite{
+				{Key: kv.Key(fmt.Sprintf("order:%d", id)), Value: ctx.Arg},
+			},
+		}, nil
+	})
+	c, err := NewCluster(ClusterConfig{
+		Servers:      2,
+		ManualEpochs: true,
+		Registry:     reg,
+		Workers:      -1, // no async processing: the rule alone must settle writes
+		Partitioner: func(k kv.Key, n int) int {
+			// Sequence key on 0, order rows on 1: the deferred write
+			// crosses partitions.
+			if strings.HasPrefix(string(k), "order:") {
+				return 1
+			}
+			return 0
+		},
+		DependencyRule: func(k kv.Key) (kv.Key, bool) {
+			if strings.HasPrefix(string(k), "order:") {
+				return "seq", true
+			}
+			return "", false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		payload := []byte(fmt.Sprintf("payload-%d", i))
+		if _, err := c.Server(0).Submit(ctx, Txn{Writes: []Write{
+			{Key: "seq", Functor: functor.User("alloc-order", payload, nil)},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdvance(t, c)
+	// Reading an order row (never directly installed!) must trigger the
+	// rule, compute the sequence functors, apply the deferred writes, and
+	// return the payload — even without asynchronous processors.
+	for i := 1; i <= 3; i++ {
+		key := kv.Key(fmt.Sprintf("order:%d", i))
+		v, found, err := c.Server(1).GetCommitted(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("payload-%d", i)
+		if !found || string(v) != want {
+			t.Errorf("%s = %q found=%v, want %q", key, v, found, want)
+		}
+	}
+	if n, ok := readInt(t, c, 0, "seq"); !ok || n != 3 {
+		t.Errorf("seq = %d ok=%v, want 3", n, ok)
+	}
+	// A row that was never allocated reads as absent, after the rule has
+	// settled the sequence key (no false positives).
+	if _, found, err := c.Server(0).GetCommitted(ctx, "order:99"); err != nil || found {
+		t.Errorf("order:99 found=%v err=%v, want absent", found, err)
+	}
+}
+
+// TestDependencyRuleWithAbortedAllocator: an aborted determinate functor
+// must not leave phantom dependent rows, and the id must be reused by the
+// next allocation (the paper's "ALOHA-DB must assign the order id
+// dynamically" behaviour, §V-A2).
+func TestDependencyRuleWithAbortedAllocator(t *testing.T) {
+	reg := functor.NewRegistry()
+	reg.MustRegister("alloc-order", func(ctx *functor.Context) (*functor.Resolution, error) {
+		id := int64(0)
+		if r := ctx.Reads[ctx.Key]; r.Found {
+			id, _ = kv.DecodeInt64(r.Value)
+		}
+		id++
+		return &functor.Resolution{
+			Kind:  functor.Resolved,
+			Value: kv.EncodeInt64(id),
+			DependentWrites: []functor.DependentWrite{
+				{Key: kv.Key(fmt.Sprintf("order:%d", id)), Value: ctx.Arg},
+			},
+		}, nil
+	})
+	c, err := NewCluster(ClusterConfig{
+		Servers:      1,
+		ManualEpochs: true,
+		Registry:     reg,
+		Workers:      -1,
+		DependencyRule: func(k kv.Key) (kv.Key, bool) {
+			if strings.HasPrefix(string(k), "order:") {
+				return "seq", true
+			}
+			return "", false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load([]kv.Pair{{Key: "item", Value: kv.Value("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// First allocation aborts in phase 1 (missing required item).
+	h, err := c.Server(0).Submit(ctx, Txn{
+		Writes:   []Write{{Key: "seq", Functor: functor.User("alloc-order", []byte("phantom"), nil)}},
+		Requires: []kv.Key{"missing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted, _ := h.Installed(); !aborted {
+		t.Fatal("expected phase-1 abort")
+	}
+	// Second allocation succeeds.
+	if _, err := c.Server(0).Submit(ctx, Txn{
+		Writes:   []Write{{Key: "seq", Functor: functor.User("alloc-order", []byte("real"), nil)}},
+		Requires: []kv.Key{"item"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdvance(t, c)
+	// The aborted allocation's version is skipped: id 1 goes to the real
+	// transaction and its payload is "real", not "phantom".
+	v, found, err := c.Server(0).GetCommitted(ctx, "order:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || string(v) != "real" {
+		t.Errorf("order:1 = %q found=%v, want real", v, found)
+	}
+	if n, ok := readInt(t, c, 0, "seq"); !ok || n != 1 {
+		t.Errorf("seq = %d ok=%v, want 1", n, ok)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// TestStragglerModeSubmissions verifies §III-C explicitly: transactions
+// submitted after an epoch's revocation (while no authorization is held)
+// draw timestamps from the next epoch and commit with it.
+func TestStragglerModeSubmissions(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := c.Server(0)
+	ctx := context.Background()
+
+	// Simulate the revocation window: the EM revoked epoch 1 but has not
+	// granted epoch 2 yet.
+	acked := make(chan struct{})
+	srv.Revoke(1, func() { close(acked) })
+	<-acked
+
+	// A submission in the window must succeed without authorization,
+	// stamped into epoch 2.
+	h := mustSubmit(t, c, 0, Txn{Writes: []Write{
+		{Key: "straggler", Functor: functor.Value(kv.Value("no-auth"))},
+	}})
+	if got := h.Version().Epoch(); got != 2 {
+		t.Fatalf("straggler txn epoch = %d, want 2", got)
+	}
+	// Let the epoch manager finish switching to 2 and then past it, so the
+	// straggler's epoch commits.
+	mustAdvance(t, c) // commit 1, grant 2
+	mustAdvance(t, c) // commit 2 (the straggler's epoch), grant 3
+	v, found, err := srv.GetCommitted(ctx, "straggler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || string(v) != "no-auth" {
+		t.Errorf("straggler read = %q found=%v", v, found)
+	}
+}
+
+// TestAbortChainFallthrough: a reader must skip arbitrarily long runs of
+// aborted versions (Algorithm 1 lines 22-23 applied repeatedly).
+func TestAbortChainFallthrough(t *testing.T) {
+	c := newTestCluster(t, 1, 0)
+	if err := c.Load([]kv.Pair{{Key: "k", Value: kv.Value("base")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Five consecutive failed transactions (phase-1 aborts).
+	for i := 0; i < 5; i++ {
+		h := mustSubmit(t, c, 0, Txn{
+			Writes:   []Write{{Key: "k", Functor: functor.Value(kv.Value("poison"))}},
+			Requires: []kv.Key{"missing"},
+		})
+		if aborted, _ := h.Installed(); !aborted {
+			t.Fatal("expected abort")
+		}
+	}
+	mustAdvance(t, c)
+	v, found, err := c.Server(0).GetCommitted(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || string(v) != "base" {
+		t.Errorf("read through abort chain = %q found=%v, want base", v, found)
+	}
+}
+
+// TestConditionalAbortAgreement: every functor of a compute-phase-aborted
+// transaction resolves ABORTED (§IV-C: the decision keys are in every
+// functor's read set, so all functors agree).
+func TestConditionalAbortAgreement(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	if err := c.Load([]kv.Pair{
+		{Key: "src", Value: kv.EncodeInt64(10)},
+		{Key: "dst", Value: kv.EncodeInt64(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := mustSubmit(t, c, 0, Txn{Writes: []Write{
+		{Key: "src", Functor: functor.User("xfer-out", kv.EncodeInt64(100), nil)},
+		{Key: "dst", Functor: functor.User("xfer-in", xferInArg("src", 100), []kv.Key{"src"})},
+	}})
+	mustAdvance(t, c)
+	if committed, _, err := h.Await(context.Background()); err != nil || committed {
+		t.Fatalf("committed=%v err=%v, want abort", committed, err)
+	}
+	c.DrainProcessors()
+	for _, key := range []kv.Key{"src", "dst"} {
+		owner := c.Server(0).owner(key)
+		rec, ok := c.Server(owner).Store().At(key, h.Version())
+		if !ok {
+			t.Fatalf("%s record missing", key)
+		}
+		res := rec.Resolution()
+		if res == nil || res.Kind != functor.ResolvedAborted {
+			t.Errorf("%s resolution = %v, want ABORTED (functors must agree)", key, res)
+		}
+	}
+}
+
+// TestPushCacheEviction: stale pushed values are dropped two epochs later.
+func TestPushCacheEviction(t *testing.T) {
+	c := newTestCluster(t, 1, 0)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := c.Server(0)
+	ts1 := tstamp.Make(1, 1, 0)
+	srv.pushValue(ts1, "k", funcRead{Found: true, Value: kv.Value("v")})
+	if _, ok := srv.takePushed(ts1, "k"); !ok {
+		t.Fatal("pushed value missing")
+	}
+	srv.pushValue(ts1, "k2", funcRead{Found: true})
+	mustAdvance(t, c) // commit epoch 1 -> granted 2
+	mustAdvance(t, c) // commit epoch 2 -> granted 3
+	mustAdvance(t, c) // commit epoch 3: evicts versions below epoch 2
+	if _, ok := srv.takePushed(ts1, "k2"); ok {
+		t.Error("stale pushed value survived eviction")
+	}
+}
+
+// TestCompactionPreservesReads: compaction below the watermark keeps the
+// latest value readable while dropping history.
+func TestCompactionPreservesReads(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	if err := c.Load([]kv.Pair{{Key: "k", Value: kv.EncodeInt64(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var last *TxnHandle
+	for i := 0; i < 10; i++ {
+		last = mustSubmit(t, c, 0, Txn{Writes: []Write{{Key: "k", Functor: functor.Add(1)}}})
+	}
+	mustAdvance(t, c)
+	if _, _, err := last.Await(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.DrainProcessors()
+	store := c.Server(0).Store()
+	before := len(store.View("k"))
+	removed := store.Compact(last.Version())
+	if removed == 0 {
+		t.Errorf("compaction removed nothing (chain length %d)", before)
+	}
+	if n, ok := readInt(t, c, 0, "k"); !ok || n != 10 {
+		t.Errorf("k after compaction = %d ok=%v, want 10", n, ok)
+	}
+}
+
+// TestConcurrentFETimestampsUnique: concurrent submissions through every
+// front-end produce globally unique versions.
+func TestConcurrentFETimestampsUnique(t *testing.T) {
+	c := newTestCluster(t, 4, 2)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var (
+		mu       sync.Mutex
+		versions = make(map[tstamp.Timestamp]bool)
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h, err := c.Server(w%4).Submit(ctx, Txn{Writes: []Write{
+					{Key: kv.Key(fmt.Sprintf("k%d", i%7)), Functor: functor.Add(1)},
+				}})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				if versions[h.Version()] {
+					t.Errorf("duplicate version %v", h.Version())
+				}
+				versions[h.Version()] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(versions) != 400 {
+		t.Errorf("unique versions = %d, want 400", len(versions))
+	}
+}
+
+// TestSubmitBeforeStart fails cleanly.
+func TestSubmitBeforeStart(t *testing.T) {
+	c := newTestCluster(t, 1, 0)
+	_, err := c.Server(0).Submit(context.Background(), Txn{Writes: []Write{
+		{Key: "k", Functor: functor.Value(nil)},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "not started") {
+		t.Errorf("err = %v, want not-started", err)
+	}
+	if _, _, err := c.Server(0).GetCommitted(context.Background(), "k"); err == nil {
+		t.Error("GetCommitted before start should fail")
+	}
+}
+
+// TestRecipientPushHit: with asynchronous processing enabled, the
+// recipient-set push populates the peer's cache and its functor consumes
+// the pushed value instead of issuing a remote read.
+func TestRecipientPushHit(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Servers:      2,
+		ManualEpochs: true,
+		Registry:     testRegistry(t),
+		Workers:      1,
+		Partitioner: func(k kv.Key, n int) int {
+			if k == "A" {
+				return 0
+			}
+			return 1
+		},
+		// Delay makes the push measurably useful and gives the processor
+		// a stable ordering: A's partition computes and pushes, then B's
+		// partition computes with the pushed value.
+		NetLatency: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load([]kv.Pair{
+		{Key: "A", Value: kv.EncodeInt64(1000)},
+		{Key: "B", Value: kv.EncodeInt64(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var handles []*TxnHandle
+	for i := 0; i < 8; i++ {
+		h := mustSubmit(t, c, 0, Txn{Writes: []Write{
+			{Key: "A", Functor: functor.User("xfer-out", kv.EncodeInt64(10), nil,
+				functor.WithRecipients("B"))},
+			{Key: "B", Functor: functor.User("xfer-in", xferInArg("A", 10), []kv.Key{"A"})},
+		}})
+		handles = append(handles, h)
+	}
+	mustAdvance(t, c)
+	for _, h := range handles {
+		if committed, reason, err := h.Await(ctx); err != nil || !committed {
+			t.Fatalf("committed=%v reason=%q err=%v", committed, reason, err)
+		}
+	}
+	stats := c.Stats()
+	if stats.PushesSent == 0 {
+		t.Error("no pushes were sent")
+	}
+	if n, ok := readInt(t, c, 0, "A"); !ok || n != 920 {
+		t.Errorf("A = %d, want 920", n)
+	}
+	if n, ok := readInt(t, c, 1, "B"); !ok || n != 80 {
+		t.Errorf("B = %d, want 80", n)
+	}
+}
+
+// TestManyEpochsStability: hundreds of manual epoch switches with sparse
+// traffic keep state consistent and goroutine-stable.
+func TestManyEpochsStability(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	if err := c.Load([]kv.Pair{{Key: "ctr", Value: kv.EncodeInt64(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if i%10 == 0 {
+			mustSubmit(t, c, i%2, Txn{Writes: []Write{{Key: "ctr", Functor: functor.Add(1)}}})
+		}
+		mustAdvance(t, c)
+	}
+	if n, ok := readInt(t, c, 0, "ctr"); !ok || n != 30 {
+		t.Errorf("ctr = %d ok=%v, want 30", n, ok)
+	}
+	if got := c.CurrentEpoch(); got != 301 {
+		t.Errorf("epoch = %d, want 301", got)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+)
+
+// TestCloseReleasesGoroutines guards the goroutine-lifetime discipline:
+// after a cluster serves traffic and closes, the goroutine count returns
+// to (near) its pre-cluster baseline.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c, err := NewCluster(ClusterConfig{
+		Servers:       3,
+		EpochDuration: 3 * time.Millisecond,
+		Workers:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var last *TxnHandle
+	for i := 0; i < 50; i++ {
+		h, err := c.Server(i%3).Submit(ctx, Txn{Writes: []Write{
+			{Key: kv.Key(string(rune('a' + i%5))), Functor: functor.Add(1)},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = h
+	}
+	if _, _, err := last.Await(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One-way sends and revoke-ack goroutines drain asynchronously; allow
+	// them a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,215 @@
+// Package core implements the ALOHA-DB transaction processing engine: the
+// combined front-end/back-end server (paper §III), the functor computing
+// layer (paper §IV, Algorithm 1), and the cluster assembly that wires
+// servers to the epoch manager over a transport.
+package core
+
+import (
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// Write is one key-functor pair of a transaction's write set.
+type Write struct {
+	Key     kv.Key
+	Functor *functor.Functor
+}
+
+// MsgInstall carries the write-only phase of one or more transactions to a
+// single partition. Front-ends batch many transactions per message, the
+// paper's convention for an apples-to-apples RPC comparison with Calvin.
+type MsgInstall struct {
+	Txns []InstallTxn
+}
+
+// InstallTxn is the slice of one transaction destined for one partition.
+type InstallTxn struct {
+	// Version is the transaction timestamp; every functor of the
+	// transaction shares it.
+	Version tstamp.Timestamp
+	// Writes are the key-functor pairs stored on this partition.
+	Writes []Write
+	// Requires lists keys that must exist on this partition for the
+	// install to succeed (phase-1 constraint check; e.g. TPC-C NewOrder
+	// referencing an unknown item aborts here and triggers the
+	// coordinator's second round).
+	Requires []kv.Key
+}
+
+// InstallResult reports one transaction's install outcome on one partition.
+type InstallResult struct {
+	OK  bool
+	Err string
+}
+
+// MsgInstallResp answers MsgInstall, aligned index-wise with Txns.
+type MsgInstallResp struct {
+	Results []InstallResult
+}
+
+// MsgAbort is the coordinator's second round: mark the listed keys'
+// versions ABORTED on this partition because another partition failed the
+// transaction's phase-1 check.
+type MsgAbort struct {
+	Version tstamp.Timestamp
+	Keys    []kv.Key
+}
+
+// MsgRead asks the key's owner for the latest value at or below Version
+// (Algorithm 1's Get; computes functors on demand).
+type MsgRead struct {
+	Key     kv.Key
+	Version tstamp.Timestamp
+}
+
+// MsgReadResp answers MsgRead.
+type MsgReadResp struct {
+	Value kv.Value
+	Found bool
+	// Version is the version of the record that produced Value; optimistic
+	// validation compares it against the transaction's snapshot.
+	Version tstamp.Timestamp
+}
+
+// MsgPush proactively delivers the latest value of Key strictly below
+// Version to a partition whose functor(s) of the same transaction read
+// Key (paper §IV-B recipient sets).
+type MsgPush struct {
+	Version tstamp.Timestamp
+	Key     kv.Key
+	Value   kv.Value
+	Found   bool
+	// ValueVersion is the version of the record that produced Value, so
+	// consumers (e.g. optimistic validation) see the same metadata a
+	// direct read would return.
+	ValueVersion tstamp.Timestamp
+}
+
+// MsgEnsure asks the determinate key's owner to compute its functor at
+// Version and return the resolution, so the caller can resolve a
+// dependent-key marker (paper §IV-E).
+type MsgEnsure struct {
+	Key     kv.Key
+	Version tstamp.Timestamp
+}
+
+// MsgEnsureResp carries the determinate functor's resolution.
+type MsgEnsureResp struct {
+	Resolution *functor.Resolution
+}
+
+// MsgEnsureUpTo asks the key's owner to compute every functor of Key at or
+// below Version — including synchronously distributing any deferred writes
+// — and advance the key's value watermark to Version before answering.
+// This realizes §IV-E's rule that a dependent key may be read at ts only
+// once the determinate key's watermark is at least ts.
+type MsgEnsureUpTo struct {
+	Key     kv.Key
+	Version tstamp.Timestamp
+}
+
+// MsgEnsureUpToResp acknowledges MsgEnsureUpTo.
+type MsgEnsureUpToResp struct{}
+
+// MsgApplyDeferred delivers deferred writes (or the lack thereof) from a
+// computed determinate functor to the partitions owning its dependent keys.
+type MsgApplyDeferred struct {
+	Version tstamp.Timestamp
+	// Writes are concrete deferred writes for keys on the destination.
+	Writes []functor.DependentWrite
+	// Dissolve lists dependent keys on the destination that the
+	// determinate functor did NOT write (or that belong to an aborted
+	// transaction); their markers resolve to SKIPPED/ABORTED.
+	Dissolve []kv.Key
+	// Aborted is set when the whole transaction aborted.
+	Aborted bool
+}
+
+// MsgWaitComputed blocks until the record (Key, Version) reaches its final
+// state, returning that state. Used by clients that request the
+// "functor computing phase complete" acknowledgment option (§IV-A) and by
+// the latency harness.
+type MsgWaitComputed struct {
+	Key     kv.Key
+	Version tstamp.Timestamp
+}
+
+// MsgWaitComputedResp reports the record's final resolution kind.
+type MsgWaitComputedResp struct {
+	Kind   functor.ResolutionKind
+	Reason string
+}
+
+// MsgScan asks one partition for all of its keys matching Prefix at the
+// given snapshot (analytic read-only transactions, §IV-A).
+type MsgScan struct {
+	Prefix   kv.Key
+	Snapshot tstamp.Timestamp
+}
+
+// MsgScanResp carries one partition's slice of a scan.
+type MsgScanResp struct {
+	Pairs []kv.Pair
+}
+
+// Client protocol messages, used by remote clients (cmd/aloha-client)
+// talking to a server over the TCP transport. Embedded users call the Go
+// API directly.
+type (
+	// MsgClientSubmit submits one transaction; the server coordinates it.
+	MsgClientSubmit struct {
+		Writes   []Write
+		Requires []kv.Key
+		// WaitComputed selects acknowledgment option 2 (§IV-A): respond
+		// only after the functors are fully computed.
+		WaitComputed bool
+	}
+	// MsgClientSubmitResp reports the outcome.
+	MsgClientSubmitResp struct {
+		Version tstamp.Timestamp
+		Aborted bool
+		Reason  string
+	}
+	// MsgClientGet reads the latest version of a key (serializable).
+	MsgClientGet struct {
+		Key kv.Key
+		// Snapshot, when non-zero, reads at that historical snapshot.
+		Snapshot tstamp.Timestamp
+	}
+	// MsgClientGetResp carries the read result.
+	MsgClientGetResp struct {
+		Value kv.Value
+		Found bool
+	}
+)
+
+// Epoch protocol messages, used when the epoch manager runs remotely.
+type (
+	// MsgGrant authorizes epoch E.
+	MsgGrant struct{ E tstamp.Epoch }
+	// MsgRevoke withdraws epoch E's authorization; the server answers
+	// with MsgRevokeAck once in-flight transactions drain.
+	MsgRevoke struct{ E tstamp.Epoch }
+	// MsgRevokeAck acknowledges MsgRevoke.
+	MsgRevokeAck struct{ E tstamp.Epoch }
+	// MsgCommitted announces epoch E fully committed.
+	MsgCommitted struct{ E tstamp.Epoch }
+)
+
+// RegisterMessages registers every core message type with the transport's
+// gob codec. Call once at startup when using the TCP transport.
+func RegisterMessages() {
+	for _, m := range []any{
+		MsgInstall{}, MsgInstallResp{}, MsgAbort{},
+		MsgRead{}, MsgReadResp{}, MsgPush{},
+		MsgEnsure{}, MsgEnsureResp{}, MsgEnsureUpTo{}, MsgEnsureUpToResp{},
+		MsgApplyDeferred{}, MsgWaitComputed{}, MsgWaitComputedResp{},
+		MsgScan{}, MsgScanResp{},
+		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},
+		MsgGrant{}, MsgRevoke{}, MsgRevokeAck{}, MsgCommitted{},
+	} {
+		transport.RegisterType(m)
+	}
+}

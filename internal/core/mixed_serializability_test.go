@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// TestMixedSerializability extends the append-only equivalence check with
+// the full operation mix — arithmetic, overwrites, deletes, and
+// conditional debits that abort on insufficient funds — and verifies the
+// engine's final state equals a sequential replay in timestamp order,
+// including which transactions aborted.
+func TestMixedSerializability(t *testing.T) {
+	const (
+		servers = 3
+		keys    = 6
+		writers = 6
+		perW    = 60
+	)
+	reg := functor.NewRegistry()
+	// cdebit subtracts the argument if the balance covers it, else aborts.
+	reg.MustRegister("cdebit", func(ctx *functor.Context) (*functor.Resolution, error) {
+		amt, _ := kv.DecodeInt64(ctx.Arg)
+		r := ctx.Reads[ctx.Key]
+		if !r.Found {
+			return functor.AbortResolution("no account"), nil
+		}
+		bal, _ := kv.DecodeInt64(r.Value)
+		if bal < amt {
+			return functor.AbortResolution("insufficient"), nil
+		}
+		return functor.ValueResolution(kv.EncodeInt64(bal - amt)), nil
+	})
+	c, err := NewCluster(ClusterConfig{
+		Servers:       servers,
+		EpochDuration: 3 * time.Millisecond,
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	type opKind uint8
+	const (
+		opAdd opKind = iota
+		opSet
+		opDel
+		opDebit
+		opAddPair // two-key arithmetic transaction
+	)
+	type op struct {
+		version tstamp.Timestamp
+		kind    opKind
+		key     kv.Key
+		key2    kv.Key
+		arg     int64
+	}
+	allKeys := make([]kv.Key, keys)
+	for i := range allKeys {
+		allKeys[i] = kv.Key(fmt.Sprintf("m%d", i))
+	}
+
+	var (
+		mu  sync.Mutex
+		ops []op
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < perW; i++ {
+				o := op{
+					kind: opKind(rng.Intn(5)),
+					key:  allKeys[rng.Intn(keys)],
+					arg:  int64(rng.Intn(40)),
+				}
+				var txn Txn
+				switch o.kind {
+				case opAdd:
+					txn = Txn{Writes: []Write{{Key: o.key, Functor: functor.Add(o.arg)}}}
+				case opSet:
+					txn = Txn{Writes: []Write{{Key: o.key, Functor: functor.Value(kv.EncodeInt64(o.arg))}}}
+				case opDel:
+					txn = Txn{Writes: []Write{{Key: o.key, Functor: functor.Deleted()}}}
+				case opDebit:
+					txn = Txn{Writes: []Write{{Key: o.key, Functor: functor.User("cdebit", kv.EncodeInt64(o.arg), nil)}}}
+				case opAddPair:
+					o.key2 = allKeys[(int(o.arg)+1+rng.Intn(keys-1))%keys]
+					if o.key2 == o.key {
+						o.key2 = allKeys[(rng.Intn(keys-1)+1+indexOf(allKeys, o.key))%keys]
+					}
+					txn = Txn{Writes: []Write{
+						{Key: o.key, Functor: functor.Add(o.arg)},
+						{Key: o.key2, Functor: functor.Add(o.arg)},
+					}}
+				}
+				h, err := c.Server(rng.Intn(servers)).Submit(ctx, txn)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				o.version = h.Version()
+				mu.Lock()
+				ops = append(ops, o)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Wait for the last epochs to commit and all functors to compute.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.FunctorsComputed >= s.FunctorsInstalled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("functors never settled: %d/%d", s.FunctorsComputed, s.FunctorsInstalled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Sequential replay in timestamp order.
+	type state struct {
+		val    int64
+		exists bool
+	}
+	model := make(map[kv.Key]state)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].version < ops[j].version })
+	for _, o := range ops {
+		switch o.kind {
+		case opAdd:
+			st := model[o.key]
+			model[o.key] = state{val: st.val + o.arg, exists: true}
+		case opSet:
+			model[o.key] = state{val: o.arg, exists: true}
+		case opDel:
+			model[o.key] = state{}
+		case opDebit:
+			st := model[o.key]
+			if st.exists && st.val >= o.arg {
+				model[o.key] = state{val: st.val - o.arg, exists: true}
+			}
+			// else: aborted, no effect
+		case opAddPair:
+			st := model[o.key]
+			model[o.key] = state{val: st.val + o.arg, exists: true}
+			st2 := model[o.key2]
+			model[o.key2] = state{val: st2.val + o.arg, exists: true}
+		}
+	}
+
+	for _, k := range allKeys {
+		v, found, err := c.Server(0).Get(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model[k]
+		if found != want.exists {
+			t.Errorf("%s: found=%v, model exists=%v", k, found, want.exists)
+			continue
+		}
+		if !found {
+			continue
+		}
+		got, _ := kv.DecodeInt64(v)
+		if got != want.val {
+			t.Errorf("%s: engine=%d model=%d", k, got, want.val)
+		}
+	}
+}
+
+func indexOf(keys []kv.Key, k kv.Key) int {
+	for i, kk := range keys {
+		if kk == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestDeleteArithmeticInterleaving pins the missing-key semantics of
+// arithmetic functors across deletions: ADD after DELETE restarts from
+// zero, exactly like the reference model above assumes.
+func TestDeleteArithmeticInterleaving(t *testing.T) {
+	c := newTestCluster(t, 1, 0)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		fn   *functor.Functor
+		want int64
+		gone bool
+	}{
+		{fn: functor.Add(5), want: 5},
+		{fn: functor.Deleted(), gone: true},
+		{fn: functor.Add(3), want: 3},
+		{fn: functor.Sub(10), want: -7},
+		{fn: functor.Value(kv.EncodeInt64(100)), want: 100},
+		{fn: functor.Deleted(), gone: true},
+		{fn: functor.Max(9), want: 9},
+	}
+	for i, st := range steps {
+		mustSubmit(t, c, 0, Txn{Writes: []Write{{Key: "k", Functor: st.fn}}})
+		mustAdvance(t, c)
+		n, ok := readInt(t, c, 0, "k")
+		if st.gone {
+			if ok {
+				t.Errorf("step %d: key exists after delete", i)
+			}
+			continue
+		}
+		if !ok || n != st.want {
+			t.Errorf("step %d: k = %d ok=%v, want %d", i, n, ok, st.want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// workItem is the metadata of one installed functor awaiting asynchronous
+// processing (paper §IV-D: "their meta-data (key and version), which were
+// buffered in the previous epoch, are pushed to a queue for the processor
+// to consume").
+type workItem struct {
+	key     kv.Key
+	version tstamp.Timestamp
+	rec     *mvstore.Record
+	// installed is when the functor was installed in the BE; ready is when
+	// its epoch committed and it entered the queue. The Figure-10 "waiting
+	// for processing" stage spans installed → dequeue.
+	installed time.Time
+	ready     time.Time
+}
+
+// processor is the back-end's thread-pool functor computing engine
+// (paper §IV-C/D). Work is sharded across workers by key: one key's
+// functors always compute on one worker (in ascending version order, the
+// paper's per-key sequential access, §V-B2), while distinct keys compute
+// in parallel — key-level concurrency control in its scheduling form. A
+// worker drains its queue in batches to amortize synchronization.
+type processor struct {
+	s       *Server
+	shards  []*procShard
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+type procShard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []workItem
+	active bool
+}
+
+func newProcessor(s *Server, workers int) *processor {
+	p := &processor{s: s}
+	for i := 0; i < workers; i++ {
+		sh := &procShard{}
+		sh.cond = sync.NewCond(&sh.mu)
+		p.shards = append(p.shards, sh)
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(p.shards[i])
+	}
+	return p
+}
+
+// enqueue routes functor metadata to the owning worker by key hash.
+func (p *processor) enqueue(items []workItem) {
+	if len(items) == 0 || len(p.shards) == 0 {
+		return
+	}
+	if len(p.shards) == 1 {
+		sh := p.shards[0]
+		sh.mu.Lock()
+		sh.queue = append(sh.queue, items...)
+		sh.mu.Unlock()
+		sh.cond.Signal()
+		return
+	}
+	touched := make(map[*procShard]bool, len(p.shards))
+	for _, it := range items {
+		sh := p.shards[kv.Hash(it.key)%uint64(len(p.shards))]
+		sh.mu.Lock()
+		sh.queue = append(sh.queue, it)
+		sh.mu.Unlock()
+		touched[sh] = true
+	}
+	for sh := range touched {
+		sh.cond.Signal()
+	}
+}
+
+// drainWait blocks until every shard's queue is empty and idle; used by
+// tests and by the saturation-mode benchmark barrier.
+func (p *processor) drainWait() {
+	for {
+		empty := true
+		for _, sh := range p.shards {
+			sh.mu.Lock()
+			if len(sh.queue) > 0 || sh.active {
+				empty = false
+			}
+			sh.mu.Unlock()
+			if !empty {
+				break
+			}
+		}
+		if empty {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (p *processor) stop() {
+	p.stopped.Store(true)
+	for _, sh := range p.shards {
+		// Hold the shard lock while broadcasting so a worker between its
+		// stop-check and Wait cannot miss the wakeup.
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+const _workerBatch = 64
+
+func (p *processor) worker(sh *procShard) {
+	defer p.wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && !p.stopped.Load() {
+			sh.cond.Wait()
+		}
+		if p.stopped.Load() {
+			sh.mu.Unlock()
+			return
+		}
+		n := len(sh.queue)
+		if n > _workerBatch {
+			n = _workerBatch
+		}
+		items := sh.queue[:n]
+		sh.queue = sh.queue[n:]
+		sh.active = true
+		sh.mu.Unlock()
+
+		for _, item := range items {
+			p.process(item)
+		}
+
+		sh.mu.Lock()
+		sh.active = false
+		sh.mu.Unlock()
+	}
+}
+
+// process handles one queued functor: record queueing delay, proactively
+// push values to recipient partitions, compute every pending functor of the
+// key up to the queued version, and advance the value watermark.
+func (p *processor) process(item workItem) {
+	s := p.s
+	s.stats.recordWait(time.Since(item.installed))
+
+	fn := item.rec.Functor
+	if len(fn.Recipients) > 0 {
+		p.pushToRecipients(item, fn)
+	}
+	// Dependent-key markers are resolved by their determinate functor's
+	// computation (directly when local, via MsgApplyDeferred when remote).
+	// Processing them here would issue a redundant synchronous MsgEnsure,
+	// so the processor skips markers that are not yet resolved; the
+	// watermark advances when the determinate side applies the write or
+	// when a read forces it.
+	if fn.Type == functor.TypeDepMarker && !item.rec.Final() {
+		return
+	}
+	// Fast path: an earlier chain walk (hot key) already settled this
+	// record and the watermark.
+	if item.rec.Final() && s.store.Watermark(item.key) >= item.version {
+		return
+	}
+	if _, err := s.resolveRecord(item.key, item.rec); err != nil {
+		// A failed remote read (e.g. during shutdown) leaves the functor
+		// for on-demand computation at read time.
+		return
+	}
+	s.store.AdvanceWatermark(item.key, item.version)
+}
+
+// pushToRecipients sends the latest value of the functor's key strictly
+// below its version to each recipient's partition (paper §IV-B). Purely an
+// optimization: compute falls back to remote reads when a push is missing.
+func (p *processor) pushToRecipients(item workItem, fn *functor.Functor) {
+	s := p.s
+	prev, err := s.getLocal(item.key, item.version.Prev())
+	if err != nil {
+		return
+	}
+	sent := make(map[int]bool, len(fn.Recipients))
+	for _, rk := range fn.Recipients {
+		owner := s.owner(rk)
+		if owner == s.id || sent[owner] {
+			continue
+		}
+		sent[owner] = true
+		s.stats.pushesSent.Add(1)
+		_ = s.conn.Send(transport.NodeID(owner), MsgPush{
+			Version:      item.version,
+			Key:          item.key,
+			Value:        prev.Value,
+			Found:        prev.Found,
+			ValueVersion: prev.Version,
+		})
+	}
+}

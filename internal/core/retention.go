@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// This file adds two operational features on top of the paper's design:
+// version retention (garbage collection of old final versions, which any
+// production multi-version store needs) and snapshot prefix scans (the
+// paper motivates historical read-only transactions for analytics, §IV-A;
+// scans let them enumerate keys without knowing them ahead of time).
+
+// SetRetention configures how many epochs of history every server keeps;
+// each epoch commit then compacts versions older than the horizon. Zero
+// (the default) keeps everything.
+//
+// Compaction never touches the newest final version below the horizon, so
+// reads at any snapshot within the retained window — and the latest state
+// as of any older snapshot — stay servable; truly historical reads below
+// the horizon observe the collapsed value, the same contract as
+// checkpoint recovery.
+func (c *Cluster) SetRetention(epochs tstamp.Epoch) {
+	for _, srv := range c.servers {
+		srv.retention.Store(uint32(epochs))
+	}
+}
+
+// maybeCompact runs on every epoch commit and compacts the store when a
+// retention horizon is configured.
+func (s *Server) maybeCompact(committed tstamp.Epoch) {
+	retention := tstamp.Epoch(s.retention.Load())
+	if retention == 0 || committed <= retention {
+		return
+	}
+	horizon := tstamp.Start(committed - retention)
+	removed := s.store.Compact(horizon)
+	if removed > 0 {
+		s.stats.versionsCompacted.Add(uint64(removed))
+	}
+}
+
+// VisibleBound returns the exclusive upper bound of committed, readable
+// versions (the end of the last committed epoch).
+func (s *Server) VisibleBound() tstamp.Timestamp { return s.visibleBound() }
+
+// SettleUpTo forces every functor at or below bound on this partition to
+// its final state (checkpointing requires a fully settled prefix).
+func (s *Server) SettleUpTo(bound tstamp.Timestamp) error {
+	var err error
+	s.store.RangeKeys(func(k kv.Key) bool {
+		if e := s.computeKeyUpTo(k, bound); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// ScanPrefix reads every key with the given prefix at one consistent
+// snapshot, assembling a serializable read-only analytic transaction
+// across all partitions. The snapshot may be historical (served
+// immediately) or in the current epoch (waits for its commit).
+//
+// Scans enumerate keys that have at least one installed record. Rows
+// created dynamically by determinate functors (deferred writes to keys
+// named during computation, §IV-E) become enumerable once the determinate
+// functor computes — which the asynchronous processors do shortly after
+// each epoch commits; a caller needing a hard guarantee settles the
+// determinate keys first (SettleUpTo) or reads them through the
+// dependency rule.
+func (s *Server) ScanPrefix(ctx context.Context, prefix kv.Key, snapshot tstamp.Timestamp) (map[kv.Key]kv.Value, error) {
+	if err := s.waitVisible(ctx, snapshot); err != nil {
+		return nil, err
+	}
+	out := make(map[kv.Key]kv.Value)
+	for owner := 0; owner < s.n; owner++ {
+		var resp MsgScanResp
+		if owner == s.id {
+			var err error
+			resp, err = s.handleScan(MsgScan{Prefix: prefix, Snapshot: snapshot})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			raw, err := s.conn.Call(ctx, transport.NodeID(owner), MsgScan{Prefix: prefix, Snapshot: snapshot})
+			if err != nil {
+				return nil, fmt.Errorf("core: scan partition %d: %w", owner, err)
+			}
+			var ok bool
+			if resp, ok = raw.(MsgScanResp); !ok {
+				return nil, fmt.Errorf("core: scan: unexpected response %T", raw)
+			}
+		}
+		for _, p := range resp.Pairs {
+			out[p.Key] = p.Value
+		}
+	}
+	return out, nil
+}
+
+// handleScan serves one partition's slice of a prefix scan.
+func (s *Server) handleScan(m MsgScan) (MsgScanResp, error) {
+	var (
+		resp    MsgScanResp
+		scanErr error
+	)
+	// Range over keys; read each at the snapshot through the full
+	// Algorithm-1 path (computes functors on demand, honors dependency
+	// rules, skips aborted versions).
+	s.store.RangeKeys(func(k kv.Key) bool {
+		if len(k) < len(m.Prefix) || k[:len(m.Prefix)] != m.Prefix {
+			return true
+		}
+		r, err := s.localRead(k, m.Snapshot)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if r.Found {
+			resp.Pairs = append(resp.Pairs, kv.Pair{Key: k, Value: r.Value})
+		}
+		return true
+	})
+	if scanErr != nil {
+		return MsgScanResp{}, scanErr
+	}
+	return resp, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+)
+
+func TestRetentionCompactsOldVersions(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	c.SetRetention(2)
+	if err := c.Load([]kv.Pair{{Key: "k", Value: kv.EncodeInt64(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One increment per epoch over many epochs.
+	for i := 0; i < 20; i++ {
+		h := mustSubmit(t, c, 0, Txn{Writes: []Write{{Key: "k", Functor: functor.Add(1)}}})
+		mustAdvance(t, c)
+		if _, _, err := h.Await(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.DrainProcessors()
+	mustAdvance(t, c) // trigger one more compaction pass after everything settled
+	stats := c.Stats()
+	if stats.VersionsCompacted == 0 {
+		t.Error("retention configured but nothing compacted")
+	}
+	chainLen := len(c.Server(0).Store().View("k"))
+	if chainLen > 6 {
+		t.Errorf("chain length %d exceeds the retained window", chainLen)
+	}
+	// The current value is intact.
+	if n, ok := readInt(t, c, 0, "k"); !ok || n != 20 {
+		t.Errorf("k = %d ok=%v, want 20", n, ok)
+	}
+}
+
+func TestRetentionZeroKeepsEverything(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, c, 0, Txn{Writes: []Write{{Key: "k", Functor: functor.Add(1)}}})
+		mustAdvance(t, c)
+	}
+	c.DrainProcessors()
+	if got := c.Stats().VersionsCompacted; got != 0 {
+		t.Errorf("VersionsCompacted = %d without retention", got)
+	}
+	if got := len(c.Server(0).Store().View("k")); got != 10 {
+		t.Errorf("chain length = %d, want 10", got)
+	}
+}
+
+func TestScanPrefixConsistentSnapshot(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	var pairs []kv.Pair
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, kv.Pair{
+			Key:   kv.Key(fmt.Sprintf("inv:%02d", i)),
+			Value: kv.EncodeInt64(int64(i)),
+		})
+	}
+	pairs = append(pairs, kv.Pair{Key: "other:x", Value: kv.EncodeInt64(999)})
+	if err := c.Load(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	snap, err := c.Server(0).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the snapshot must be invisible to the scan.
+	mustSubmit(t, c, 1, Txn{Writes: []Write{
+		{Key: "inv:00", Functor: functor.Value(kv.EncodeInt64(1000))},
+		{Key: "inv:99", Functor: functor.Value(kv.EncodeInt64(1000))},
+	}})
+	mustAdvance(t, c)
+
+	got, err := c.Server(2).ScanPrefix(ctx, "inv:", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("scan returned %d keys, want 12", len(got))
+	}
+	for i := 0; i < 12; i++ {
+		k := kv.Key(fmt.Sprintf("inv:%02d", i))
+		n, _ := kv.DecodeInt64(got[k])
+		if n != int64(i) {
+			t.Errorf("%s = %d, want %d", k, n, i)
+		}
+	}
+	if _, ok := got["other:x"]; ok {
+		t.Error("scan leaked a non-matching key")
+	}
+	if _, ok := got["inv:99"]; ok {
+		t.Error("scan observed a post-snapshot insert")
+	}
+
+	// A fresh scan at a later snapshot sees the update and the new key.
+	snap2, err := c.Server(0).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdvance(t, c)
+	got2, err := c.Server(0).ScanPrefix(ctx, "inv:", snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 13 {
+		t.Fatalf("second scan returned %d keys, want 13", len(got2))
+	}
+	if n, _ := kv.DecodeInt64(got2["inv:00"]); n != 1000 {
+		t.Errorf("inv:00 = %d, want 1000", n)
+	}
+}
+
+func TestScanPrefixSkipsDeleted(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	if err := c.Load([]kv.Pair{
+		{Key: "p:a", Value: kv.Value("1")},
+		{Key: "p:b", Value: kv.Value("2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, c, 0, Txn{Writes: []Write{{Key: "p:a", Functor: functor.Deleted()}}})
+	mustAdvance(t, c)
+	snap := c.Server(0).visibleBound().Prev()
+	got, err := c.Server(1).ScanPrefix(context.Background(), "p:", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("scan = %v, want only p:b", got)
+	}
+	if _, ok := got["p:b"]; !ok {
+		t.Error("p:b missing")
+	}
+}

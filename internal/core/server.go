@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// Partitioner maps a key to the server owning its partition. Workloads may
+// provide their own placement (TPC-C partitions by warehouse, scaled TPC-C
+// by item/district); the default is hash partitioning.
+type Partitioner func(k kv.Key, numServers int) int
+
+// HashPartitioner is the default placement.
+func HashPartitioner(k kv.Key, n int) int { return kv.PartitionOf(k, n) }
+
+// ServerConfig configures one combined FE/BE server.
+type ServerConfig struct {
+	// ID is the server's index in 0..NumServers-1; it doubles as the
+	// transport node ID and the timestamp server field.
+	ID int
+	// NumServers is the cluster size.
+	NumServers int
+	// Partitioner places keys; nil means HashPartitioner.
+	Partitioner Partitioner
+	// Registry resolves user-defined functor handlers.
+	Registry *functor.Registry
+	// Workers sets the processor pool size; 0 means 2. A negative value
+	// disables asynchronous processing entirely so that tests can exercise
+	// the on-demand (read-triggered) computation path deterministically.
+	Workers int
+	// Durability, when set, receives the server's durable-state stream
+	// (installs, second-round aborts, epoch commits). internal/wal and
+	// internal/replica implement it. Fault tolerance is disabled by
+	// default, following the paper's evaluation convention (§V-A2).
+	Durability DurabilityHook
+	// DependencyRule declares schema-level key dependencies for dependent
+	// transactions (§IV-E): if it maps key k to a determinate key A, every
+	// read of k at timestamp ts first forces A's value watermark to ts,
+	// guaranteeing all deferred writes to k have been applied. TPC-C maps
+	// order/new-order/order-line rows to their district's next-order-id
+	// key this way. Nil disables the mechanism.
+	DependencyRule func(k kv.Key) (kv.Key, bool)
+}
+
+// DurabilityHook receives one server's durable-state stream. Installs and
+// aborts may arrive concurrently; LogEpochCommitted(e) is ordered after
+// every install and abort of epoch e (the epoch-switch protocol guarantees
+// this), making the epoch the atomic durability unit.
+type DurabilityHook interface {
+	// LogInstall records one installed key-functor pair.
+	LogInstall(version tstamp.Timestamp, key kv.Key, fn *functor.Functor) error
+	// LogAbort records a second-round abort of the given keys.
+	LogAbort(version tstamp.Timestamp, keys []kv.Key) error
+	// LogEpochCommitted records that epoch e is fully committed; the hook
+	// should make everything up to e durable (fsync, ship to backup).
+	LogEpochCommitted(e tstamp.Epoch) error
+}
+
+// Server is one ALOHA-DB node: a front-end (transaction coordinator) and a
+// back-end (one partition of the multi-version store plus the functor
+// processor) co-located in one process, as in the paper's deployment.
+type Server struct {
+	id         int
+	n          int
+	part       Partitioner
+	registry   *functor.Registry
+	store      *mvstore.Store
+	gen        *tstamp.Generator
+	conn       transport.Conn
+	proc       *processor
+	stats      serverStats
+	durability DurabilityHook
+	depRule    func(k kv.Key) (kv.Key, bool)
+
+	// Epoch state. authEpoch is the epoch this FE may start transactions
+	// in; authorized distinguishes holding the authorization from the
+	// straggler window (§III-C) where transactions start without one.
+	mu         sync.Mutex
+	authEpoch  tstamp.Epoch
+	authorized bool
+	inflight   map[tstamp.Epoch]*sync.WaitGroup
+	pendingMu  sync.Mutex
+	pending    map[tstamp.Epoch][]workItem // buffered functor metadata per epoch
+
+	// visible is the exclusive upper bound of readable versions:
+	// Start(e+1) once epoch e committed.
+	visible   atomic.Uint64
+	visibleMu sync.Mutex
+	visibleCh chan struct{}
+
+	// pushCache holds proactively pushed values keyed by (version, key).
+	pushMu    sync.Mutex
+	pushCache map[pushKey]functor.Read
+
+	// computedMu/computedCh broadcast "some functor finished computing",
+	// waking WaitComputed waiters.
+	computedMu sync.Mutex
+	computedCh chan struct{}
+
+	// retention is the history horizon in epochs (0 = keep everything).
+	retention atomic.Uint32
+
+	// ctx is cancelled on Close, releasing blocked remote calls/waiters.
+	ctx    context.Context
+	cancel context.CancelFunc
+	closed atomic.Bool
+}
+
+type pushKey struct {
+	version tstamp.Timestamp
+	key     kv.Key
+}
+
+// NewServer constructs a server and attaches it to the network.
+func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
+	if cfg.NumServers <= 0 {
+		return nil, fmt.Errorf("core: NumServers must be positive")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.NumServers {
+		return nil, fmt.Errorf("core: server ID %d out of range [0,%d)", cfg.ID, cfg.NumServers)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = functor.NewRegistry()
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = HashPartitioner
+	}
+	switch {
+	case cfg.Workers == 0:
+		cfg.Workers = 2
+	case cfg.Workers < 0:
+		cfg.Workers = 0
+	}
+	s := &Server{
+		id:         cfg.ID,
+		n:          cfg.NumServers,
+		part:       cfg.Partitioner,
+		registry:   cfg.Registry,
+		store:      mvstore.New(),
+		gen:        tstamp.NewGenerator(uint16(cfg.ID)),
+		inflight:   make(map[tstamp.Epoch]*sync.WaitGroup),
+		pending:    make(map[tstamp.Epoch][]workItem),
+		pushCache:  make(map[pushKey]functor.Read),
+		visibleCh:  make(chan struct{}),
+		computedCh: make(chan struct{}),
+		durability: cfg.Durability,
+		depRule:    cfg.DependencyRule,
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	conn, err := net.Node(transport.NodeID(cfg.ID), s.handleMessage)
+	if err != nil {
+		return nil, fmt.Errorf("core: attach server %d: %w", cfg.ID, err)
+	}
+	s.conn = conn
+	s.proc = newProcessor(s, cfg.Workers)
+	return s, nil
+}
+
+// ID returns the server's index.
+func (s *Server) ID() int { return s.id }
+
+// CurrentEpoch returns the epoch the server currently issues timestamps
+// in (zero before the first grant arrives).
+func (s *Server) CurrentEpoch() tstamp.Epoch { return s.gen.Epoch() }
+
+// Owner returns the server index owning key k under this cluster's
+// partitioner.
+func (s *Server) Owner(k kv.Key) int { return s.owner(k) }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Store exposes the partition's multi-version store to tests and tools.
+func (s *Server) Store() *mvstore.Store { return s.store }
+
+// Close stops the processor and detaches from the network.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cancel()
+	s.proc.stop()
+	return s.conn.Close()
+}
+
+// baseCtx returns the server's lifetime context, used for internal remote
+// calls and waits so Close unblocks them.
+func (s *Server) baseCtx() context.Context { return s.ctx }
+
+// owner returns the server index owning key k.
+func (s *Server) owner(k kv.Key) int { return s.part(k, s.n) }
+
+// --- epoch.Participant ---------------------------------------------------
+
+// Grant implements epoch.Participant: the server may start transactions in
+// epoch e.
+func (s *Server) Grant(e tstamp.Epoch) {
+	s.mu.Lock()
+	if e > s.authEpoch || (e == s.authEpoch && !s.authorized) {
+		s.authEpoch = e
+		s.authorized = true
+	}
+	s.mu.Unlock()
+	// SetEpoch is a no-op if the straggler path already targeted e.
+	s.gen.SetEpoch(e)
+}
+
+// Revoke implements epoch.Participant: stop starting authorized epoch-e
+// transactions, switch the generator to straggler mode in e+1, and ack once
+// in-flight epoch-e installs drain.
+func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
+	s.mu.Lock()
+	if s.authEpoch == e {
+		s.authorized = false
+	}
+	wg := s.inflight[e]
+	s.mu.Unlock()
+	// Straggler optimization (§III-C): transactions may start immediately
+	// without authorization, drawing timestamps from epoch e+1, which the
+	// packed-timestamp scheme bounds below epoch e+1's finish timestamp.
+	s.gen.SetEpoch(e + 1)
+	if wg == nil {
+		ack()
+		return
+	}
+	go func() {
+		wg.Wait()
+		s.mu.Lock()
+		delete(s.inflight, e)
+		s.mu.Unlock()
+		ack()
+	}()
+}
+
+// Committed implements epoch.Participant: epoch e's versions become
+// visible and its buffered functor metadata flows to the processor.
+func (s *Server) Committed(e tstamp.Epoch) {
+	// Advance visibility to Start(e+1).
+	bound := uint64(tstamp.End(e))
+	for {
+		cur := s.visible.Load()
+		if cur >= bound {
+			break
+		}
+		if s.visible.CompareAndSwap(cur, bound) {
+			s.visibleMu.Lock()
+			close(s.visibleCh)
+			s.visibleCh = make(chan struct{})
+			s.visibleMu.Unlock()
+			break
+		}
+	}
+	if s.durability != nil {
+		if err := s.durability.LogEpochCommitted(e); err != nil {
+			// Durability of the boundary marker failed; the epoch's data
+			// entries are still logged, and recovery treats the epoch as
+			// uncommitted, which is the correct conservative outcome.
+			_ = err
+		}
+	}
+	// Seal the epoch's versions (in-epoch -> out-epoch, Figure 4): they
+	// become readable, then their functor metadata flows to the processor.
+	s.pendingMu.Lock()
+	items := s.pending[e]
+	delete(s.pending, e)
+	s.pendingMu.Unlock()
+	sealed := make(map[kv.Key]bool, len(items))
+	for i := range items {
+		if !sealed[items[i].key] {
+			sealed[items[i].key] = true
+			s.store.Seal(items[i].key, tstamp.End(e))
+		}
+	}
+	now := time.Now()
+	for i := range items {
+		items[i].ready = now
+	}
+	s.proc.enqueue(items)
+	s.evictPushCache(e)
+	s.maybeCompact(e)
+}
+
+// visibleBound returns the exclusive upper bound of readable versions.
+func (s *Server) visibleBound() tstamp.Timestamp {
+	return tstamp.Timestamp(s.visible.Load())
+}
+
+// waitVisible blocks until version ts is readable (its epoch committed).
+func (s *Server) waitVisible(ctx context.Context, ts tstamp.Timestamp) error {
+	for {
+		if ts < s.visibleBound() {
+			return nil
+		}
+		s.visibleMu.Lock()
+		ch := s.visibleCh
+		s.visibleMu.Unlock()
+		if ts < s.visibleBound() {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// beginTxn reserves a slot in the epoch the generator currently targets and
+// returns the epoch plus a completion callback. It retries when an epoch
+// switch races with the reservation, so an install never proceeds in an
+// epoch whose revocation already acked.
+func (s *Server) beginTxn() (tstamp.Epoch, func(), error) {
+	for attempt := 0; attempt < 1024; attempt++ {
+		e := s.gen.Epoch()
+		if e == 0 {
+			return 0, nil, fmt.Errorf("core: cluster not started")
+		}
+		s.mu.Lock()
+		wg := s.inflight[e]
+		if wg == nil {
+			wg = &sync.WaitGroup{}
+			s.inflight[e] = wg
+		}
+		wg.Add(1)
+		s.mu.Unlock()
+		if s.gen.Epoch() == e {
+			return e, wg.Done, nil
+		}
+		// The epoch moved between reservation and check; retry in the
+		// new epoch.
+		wg.Done()
+	}
+	return 0, nil, fmt.Errorf("core: could not reserve an epoch slot")
+}
+
+// --- push cache -----------------------------------------------------------
+
+func (s *Server) pushValue(version tstamp.Timestamp, key kv.Key, r functor.Read) {
+	s.pushMu.Lock()
+	s.pushCache[pushKey{version: version, key: key}] = r
+	s.pushMu.Unlock()
+}
+
+func (s *Server) takePushed(version tstamp.Timestamp, key kv.Key) (functor.Read, bool) {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	r, ok := s.pushCache[pushKey{version: version, key: key}]
+	if ok {
+		delete(s.pushCache, pushKey{version: version, key: key})
+	}
+	return r, ok
+}
+
+// evictPushCache drops pushed values older than the previous epoch; their
+// functors have long been computable and any leftover entries are garbage.
+func (s *Server) evictPushCache(committed tstamp.Epoch) {
+	if committed < 2 {
+		return
+	}
+	cutoff := tstamp.Start(committed - 1)
+	s.pushMu.Lock()
+	for pk := range s.pushCache {
+		if pk.version < cutoff {
+			delete(s.pushCache, pk)
+		}
+	}
+	s.pushMu.Unlock()
+}
+
+// notifyComputed wakes WaitComputed waiters after functors reach final
+// states.
+func (s *Server) notifyComputed() {
+	s.computedMu.Lock()
+	close(s.computedCh)
+	s.computedCh = make(chan struct{})
+	s.computedMu.Unlock()
+}
+
+// waitRecordFinal blocks until the record reaches a final state.
+func (s *Server) waitRecordFinal(ctx context.Context, rec *mvstore.Record) (*functor.Resolution, error) {
+	for {
+		if res := rec.Resolution(); res != nil {
+			return res, nil
+		}
+		s.computedMu.Lock()
+		ch := s.computedCh
+		s.computedMu.Unlock()
+		if res := rec.Resolution(); res != nil {
+			return res, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats aggregates per-server counters for the benchmark harness,
+// including the Figure-10 stage breakdown: functor installing (issue →
+// installed), waiting for processing (installed → retrieved by a
+// processor), and processing (handler run time).
+type serverStats struct {
+	txnsCommitted atomic.Uint64
+	txnsAborted   atomic.Uint64
+	readsServed   atomic.Uint64
+
+	functorsInstalled atomic.Uint64
+	functorsComputed  atomic.Uint64
+	remoteReads       atomic.Uint64
+	pushesSent        atomic.Uint64
+	pushHits          atomic.Uint64
+	onDemandComputes  atomic.Uint64
+	versionsCompacted atomic.Uint64
+
+	installNanos atomic.Int64 // issue -> installed
+	installCount atomic.Uint64
+	waitNanos    atomic.Int64 // installed -> retrieved by processor
+	waitCount    atomic.Uint64
+	computeNanos atomic.Int64 // handler run time
+	computeCount atomic.Uint64
+}
+
+func (s *serverStats) recordInstall(d time.Duration) {
+	s.installNanos.Add(int64(d))
+	s.installCount.Add(1)
+}
+
+func (s *serverStats) recordWait(d time.Duration) {
+	s.waitNanos.Add(int64(d))
+	s.waitCount.Add(1)
+}
+
+func (s *serverStats) recordCompute(d time.Duration) {
+	s.computeNanos.Add(int64(d))
+	s.computeCount.Add(1)
+}
+
+// Stats is an immutable snapshot of one server's counters.
+type Stats struct {
+	TxnsCommitted     uint64
+	TxnsAborted       uint64
+	ReadsServed       uint64
+	FunctorsInstalled uint64
+	FunctorsComputed  uint64
+	RemoteReads       uint64
+	PushesSent        uint64
+	PushHits          uint64
+	OnDemandComputes  uint64
+	VersionsCompacted uint64
+
+	// Stage breakdown (Figure 10): cumulative time and event counts.
+	InstallTime  time.Duration
+	InstallCount uint64
+	WaitTime     time.Duration
+	WaitCount    uint64
+	ComputeTime  time.Duration
+	ComputeCount uint64
+}
+
+// Add accumulates another snapshot into s, for cluster-wide aggregation.
+func (s *Stats) Add(o Stats) {
+	s.TxnsCommitted += o.TxnsCommitted
+	s.TxnsAborted += o.TxnsAborted
+	s.ReadsServed += o.ReadsServed
+	s.FunctorsInstalled += o.FunctorsInstalled
+	s.FunctorsComputed += o.FunctorsComputed
+	s.RemoteReads += o.RemoteReads
+	s.PushesSent += o.PushesSent
+	s.PushHits += o.PushHits
+	s.OnDemandComputes += o.OnDemandComputes
+	s.VersionsCompacted += o.VersionsCompacted
+	s.InstallTime += o.InstallTime
+	s.InstallCount += o.InstallCount
+	s.WaitTime += o.WaitTime
+	s.WaitCount += o.WaitCount
+	s.ComputeTime += o.ComputeTime
+	s.ComputeCount += o.ComputeCount
+}
+
+// String renders a compact operator-facing summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"txns=%d aborts=%d reads=%d functors=%d/%d remote-reads=%d pushes=%d/%d hits compacted=%d",
+		s.TxnsCommitted, s.TxnsAborted, s.ReadsServed,
+		s.FunctorsComputed, s.FunctorsInstalled,
+		s.RemoteReads, s.PushesSent, s.PushHits, s.VersionsCompacted)
+}
+
+func (s *serverStats) snapshot() Stats {
+	return Stats{
+		TxnsCommitted:     s.txnsCommitted.Load(),
+		TxnsAborted:       s.txnsAborted.Load(),
+		ReadsServed:       s.readsServed.Load(),
+		FunctorsInstalled: s.functorsInstalled.Load(),
+		FunctorsComputed:  s.functorsComputed.Load(),
+		RemoteReads:       s.remoteReads.Load(),
+		PushesSent:        s.pushesSent.Load(),
+		PushHits:          s.pushHits.Load(),
+		OnDemandComputes:  s.onDemandComputes.Load(),
+		VersionsCompacted: s.versionsCompacted.Load(),
+		InstallTime:       time.Duration(s.installNanos.Load()),
+		InstallCount:      s.installCount.Load(),
+		WaitTime:          time.Duration(s.waitNanos.Load()),
+		WaitCount:         s.waitCount.Load(),
+		ComputeTime:       time.Duration(s.computeNanos.Load()),
+		ComputeCount:      s.computeCount.Load(),
+	}
+}

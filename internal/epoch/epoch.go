@@ -1,0 +1,264 @@
+// Package epoch implements the epoch manager (EM) of epoch-based
+// concurrency control (paper §II, §III). The EM controls epoch changes by
+// granting and revoking authorizations at all front-ends. ALOHA-DB uses
+// unified epochs (§III-B): there is only a series of write epochs, and all
+// transactions started within epoch e become visible atomically when epoch
+// e+1 is granted.
+//
+// The manager is transport-agnostic: participants are an interface, so the
+// embedded simulated cluster registers servers directly while the TCP
+// deployment registers proxies that relay the protocol as messages. The
+// epoch switch is the paper's amortized-one-round-trip commitment: Revoke
+// (wait for in-flight transactions to drain) followed by a combined
+// Committed+Grant broadcast.
+package epoch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"alohadb/internal/tstamp"
+)
+
+// Participant is one front-end (or FE proxy) under the manager's control.
+// Methods are called from the manager's switch goroutine; implementations
+// must not block indefinitely, and Revoke must eventually invoke ack
+// (possibly asynchronously, after in-flight transactions drain).
+type Participant interface {
+	// Grant authorizes the participant to start transactions in epoch e.
+	Grant(e tstamp.Epoch)
+	// Revoke withdraws the authorization for epoch e. The participant
+	// stops starting authorized transactions in e (it may continue in
+	// straggler mode, drawing timestamps from e+1, per §III-C) and calls
+	// ack once every in-flight epoch-e transaction has completed its
+	// write-only phase.
+	Revoke(e tstamp.Epoch, ack func())
+	// Committed announces that every transaction of epoch e is durable on
+	// all participants: epoch-e versions become visible and their functors
+	// become computable.
+	Committed(e tstamp.Epoch)
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Duration is the epoch length for the timer-driven Run loop. The
+	// paper's default deployment uses 25 ms.
+	Duration time.Duration
+	// SwitchTimeout bounds how long the manager waits for revoke acks
+	// before proceeding anyway (crash-stop straggler escape hatch).
+	// Zero means wait forever.
+	SwitchTimeout time.Duration
+	// StartEpoch is the first epoch granted by Start (default 1). Recovery
+	// restarts a cluster at the epoch after the last durably committed
+	// one; every epoch up to StartEpoch-1 is announced as committed.
+	StartEpoch tstamp.Epoch
+}
+
+// DefaultDuration is the paper's default unified epoch duration (§V-A2).
+const DefaultDuration = 25 * time.Millisecond
+
+// Manager is the epoch manager. Create with New, attach participants, then
+// either drive epochs manually with Advance (deterministic tests) or start
+// the timer loop with Run.
+type Manager struct {
+	cfg Config
+
+	mu           sync.Mutex
+	participants []Participant
+	current      tstamp.Epoch
+	started      bool
+	switching    bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	running  bool
+
+	switchDur   time.Duration // cumulative time spent in epoch switches
+	switchCount int
+}
+
+// New returns a manager with the given configuration. A zero Duration
+// defaults to DefaultDuration for Run; Advance ignores it.
+func New(cfg Config) *Manager {
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultDuration
+	}
+	if cfg.StartEpoch == 0 {
+		cfg.StartEpoch = 1
+	}
+	return &Manager{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Register attaches a participant. All participants must be registered
+// before Start.
+func (m *Manager) Register(p Participant) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("epoch: register after Start")
+	}
+	m.participants = append(m.participants, p)
+	return nil
+}
+
+// Current returns the epoch currently granted (0 before Start).
+func (m *Manager) Current() tstamp.Epoch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// Start commits the data-loading epoch 0 and grants epoch 1 to every
+// participant.
+func (m *Manager) Start() error {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return fmt.Errorf("epoch: already started")
+	}
+	m.started = true
+	first := m.cfg.StartEpoch
+	m.current = first
+	parts := m.participants
+	m.mu.Unlock()
+	for _, p := range parts {
+		p.Committed(first - 1)
+		p.Grant(first)
+	}
+	return nil
+}
+
+// Advance performs one epoch switch: revoke the current epoch from every
+// participant, wait for their acks, then broadcast Committed(current) and
+// Grant(current+1). It returns the newly granted epoch.
+func (m *Manager) Advance() (tstamp.Epoch, error) {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("epoch: Advance before Start")
+	}
+	if m.switching {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("epoch: concurrent Advance")
+	}
+	if m.current >= tstamp.MaxEpoch-1 {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("epoch: epoch space exhausted")
+	}
+	m.switching = true
+	e := m.current
+	parts := m.participants
+	m.mu.Unlock()
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(len(parts))
+	for _, p := range parts {
+		p.Revoke(e, wg.Done)
+	}
+	if !m.waitAcks(&wg) {
+		// Timed out waiting for a straggler's ack. The straggler
+		// optimization (§III-C) means FEs already moved on to no-auth
+		// mode; proceeding is safe because any transaction the straggler
+		// still starts draws epoch e+1 timestamps.
+		// Fall through.
+		_ = parts
+	}
+	next := e + 1
+	for _, p := range parts {
+		p.Committed(e)
+		p.Grant(next)
+	}
+	m.mu.Lock()
+	m.current = next
+	m.switching = false
+	m.switchDur += time.Since(begin)
+	m.switchCount++
+	m.mu.Unlock()
+	return next, nil
+}
+
+// waitAcks waits for all revoke acks, bounded by SwitchTimeout. Returns
+// false on timeout.
+func (m *Manager) waitAcks(wg *sync.WaitGroup) bool {
+	if m.cfg.SwitchTimeout <= 0 {
+		wg.Wait()
+		return true
+	}
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(m.cfg.SwitchTimeout):
+		return false
+	}
+}
+
+// Run drives epoch switches on the configured duration until Stop. It
+// calls Start if the manager has not started yet.
+func (m *Manager) Run() error {
+	m.mu.Lock()
+	started := m.started
+	if m.running {
+		m.mu.Unlock()
+		return fmt.Errorf("epoch: Run called twice")
+	}
+	m.running = true
+	m.mu.Unlock()
+	if !started {
+		if err := m.Start(); err != nil {
+			return err
+		}
+	}
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.cfg.Duration)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if _, err := m.Advance(); err != nil {
+					return
+				}
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop terminates the Run loop and waits for it to exit. Safe to call
+// multiple times and even if Run was never called.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+	})
+	m.mu.Lock()
+	running := m.running
+	m.mu.Unlock()
+	if running {
+		<-m.done
+	}
+}
+
+// SwitchStats reports how many epoch switches have completed and their
+// cumulative duration; used by the benchmark harness.
+func (m *Manager) SwitchStats() (count int, total time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.switchCount, m.switchDur
+}
+
+// Duration returns the configured epoch duration.
+func (m *Manager) Duration() time.Duration { return m.cfg.Duration }

@@ -1,0 +1,195 @@
+package functor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"alohadb/internal/kv"
+)
+
+// The wire/log encoding of a functor is a compact, length-prefixed layout:
+//
+//	type(1) | handler(str) | arg(bytes) | readSet(keys) | recipients(keys) | dependentKeys(keys)
+//
+// where str/bytes are uvarint-length-prefixed and keys is a uvarint count
+// followed by that many strs. Resolutions use:
+//
+//	kind(1) | value(bytes) | reason(str) | depWrites(count, {key(str) value(bytes) delete(1)}...)
+
+// AppendFunctor appends the encoding of f to dst and returns the result.
+func AppendFunctor(dst []byte, f *Functor) []byte {
+	dst = append(dst, byte(f.Type))
+	dst = appendBytes(dst, []byte(f.Handler))
+	dst = appendBytes(dst, f.Arg)
+	dst = appendKeys(dst, f.ReadSet)
+	dst = appendKeys(dst, f.Recipients)
+	dst = appendKeys(dst, f.DependentKeys)
+	return dst
+}
+
+// DecodeFunctor decodes one functor from b, returning it and the number of
+// bytes consumed.
+func DecodeFunctor(b []byte) (*Functor, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("functor: empty encoding")
+	}
+	f := &Functor{Type: Type(b[0])}
+	if f.Type < TypeValue || f.Type > TypeDepMarker {
+		return nil, 0, fmt.Errorf("functor: invalid f-type %d", b[0])
+	}
+	n := 1
+	handler, m, err := readBytes(b[n:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("functor: handler: %w", err)
+	}
+	n += m
+	if len(handler) > 0 {
+		f.Handler = string(handler)
+	}
+	arg, m, err := readBytes(b[n:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("functor: arg: %w", err)
+	}
+	n += m
+	if len(arg) > 0 {
+		f.Arg = arg
+	}
+	for _, dst := range []*[]kv.Key{&f.ReadSet, &f.Recipients, &f.DependentKeys} {
+		keys, m, err := readKeys(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("functor: keys: %w", err)
+		}
+		n += m
+		*dst = keys
+	}
+	return f, n, nil
+}
+
+// AppendResolution appends the encoding of r to dst.
+func AppendResolution(dst []byte, r *Resolution) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = appendBytes(dst, r.Value)
+	dst = appendBytes(dst, []byte(r.Reason))
+	dst = binary.AppendUvarint(dst, uint64(len(r.DependentWrites)))
+	for _, w := range r.DependentWrites {
+		dst = appendBytes(dst, []byte(w.Key))
+		dst = appendBytes(dst, w.Value)
+		if w.Delete {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeResolution decodes one resolution from b, returning it and the
+// number of bytes consumed.
+func DecodeResolution(b []byte) (*Resolution, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("functor: empty resolution encoding")
+	}
+	r := &Resolution{Kind: ResolutionKind(b[0])}
+	if r.Kind < Resolved || r.Kind > ResolvedSkipped {
+		return nil, 0, fmt.Errorf("functor: invalid resolution kind %d", b[0])
+	}
+	n := 1
+	val, m, err := readBytes(b[n:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("functor: resolution value: %w", err)
+	}
+	n += m
+	if len(val) > 0 {
+		r.Value = val
+	}
+	reason, m, err := readBytes(b[n:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("functor: resolution reason: %w", err)
+	}
+	n += m
+	if len(reason) > 0 {
+		r.Reason = string(reason)
+	}
+	count, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("functor: resolution write count")
+	}
+	n += m
+	if count > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("functor: resolution write count %d too large", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		key, m, err := readBytes(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("functor: dep write key: %w", err)
+		}
+		n += m
+		value, m, err := readBytes(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("functor: dep write value: %w", err)
+		}
+		n += m
+		if n >= len(b)+1 || len(b[n:]) == 0 {
+			return nil, 0, fmt.Errorf("functor: dep write delete flag missing")
+		}
+		w := DependentWrite{Key: kv.Key(key), Delete: b[n] == 1}
+		if len(value) > 0 {
+			w.Value = value
+		}
+		n++
+		r.DependentWrites = append(r.DependentWrites, w)
+	}
+	return r, n, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(b []byte) ([]byte, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad length prefix")
+	}
+	if l > uint64(len(b)-n) {
+		return nil, 0, fmt.Errorf("length %d exceeds remaining %d bytes", l, len(b)-n)
+	}
+	if l == 0 {
+		return nil, n, nil
+	}
+	out := make([]byte, l)
+	copy(out, b[n:n+int(l)])
+	return out, n + int(l), nil
+}
+
+func appendKeys(dst []byte, keys []kv.Key) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendBytes(dst, []byte(k))
+	}
+	return dst
+}
+
+func readKeys(b []byte) ([]kv.Key, int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad key count")
+	}
+	if count > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("key count %d too large", count)
+	}
+	if count == 0 {
+		return nil, n, nil
+	}
+	keys := make([]kv.Key, 0, count)
+	for i := uint64(0); i < count; i++ {
+		k, m, err := readBytes(b[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		keys = append(keys, kv.Key(k))
+	}
+	return keys, n, nil
+}

@@ -1,0 +1,160 @@
+// Package functor implements the functor abstraction at the heart of
+// ALOHA-DB (paper §IV). A functor is a placeholder for the value of one key
+// at one version: an f-type selecting a computation, an f-argument blob, a
+// read set naming the historical inputs, and an optional recipient set used
+// for proactive value pushing. Functors are computed at most once, reading
+// only versions strictly below their own, which is what makes key-level
+// concurrency control possible without locks.
+package functor
+
+import (
+	"fmt"
+
+	"alohadb/internal/kv"
+)
+
+// Type is the f-type of a functor (paper Table I). The first three are
+// "final" types that need no computation.
+type Type uint8
+
+const (
+	// TypeValue marks the f-argument itself as the value of the key.
+	TypeValue Type = iota + 1
+	// TypeAborted marks this version as aborted; readers skip it.
+	TypeAborted
+	// TypeDeleted is a tombstone: the key is deleted as of this version.
+	TypeDeleted
+	// TypeAdd increments the previous numeric value by the f-argument.
+	TypeAdd
+	// TypeSub decrements the previous numeric value by the f-argument.
+	TypeSub
+	// TypeMax replaces the previous numeric value if the argument is larger.
+	TypeMax
+	// TypeMin replaces the previous numeric value if the argument is smaller.
+	TypeMin
+	// TypeUser invokes a registered handler named by Functor.Handler; the
+	// handler receives the values of the functor's read set.
+	TypeUser
+	// TypeDepMarker is an internal placeholder installed on a *dependent*
+	// key of a dependent transaction (paper §IV-E). Its argument names the
+	// determinate key whose functor performs the deferred write; reading
+	// the marker forces that functor's computation first.
+	TypeDepMarker
+)
+
+// String returns the paper's name for the f-type.
+func (t Type) String() string {
+	switch t {
+	case TypeValue:
+		return "VALUE"
+	case TypeAborted:
+		return "ABORTED"
+	case TypeDeleted:
+		return "DELETED"
+	case TypeAdd:
+		return "ADD"
+	case TypeSub:
+		return "SUBTR"
+	case TypeMax:
+		return "MAX"
+	case TypeMin:
+		return "MIN"
+	case TypeUser:
+		return "USER"
+	case TypeDepMarker:
+		return "DEP-MARKER"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Final reports whether the f-type needs no computation phase.
+func (t Type) Final() bool {
+	return t == TypeValue || t == TypeAborted || t == TypeDeleted
+}
+
+// Arithmetic reports whether the f-type is one of the built-in numeric
+// operators whose implicit read set is the functor's own key.
+func (t Type) Arithmetic() bool {
+	return t == TypeAdd || t == TypeSub || t == TypeMax || t == TypeMin
+}
+
+// Functor is the unit written by the write-only phase of a read-write
+// transaction. All fields are immutable after construction; the storage
+// layer relies on this to allow lock-free concurrent reads.
+type Functor struct {
+	// Type selects the computation.
+	Type Type
+	// Handler names the registered handler for TypeUser functors.
+	Handler string
+	// Arg is the f-argument blob, interpreted per Type.
+	Arg []byte
+	// ReadSet lists the keys whose latest values below the functor's
+	// version are inputs to the computation. Arithmetic types omit it
+	// (implicit self-read); TypeUser functors list every input, including
+	// any keys that influence an abort decision (paper §IV-C requires the
+	// decision-relevant keys in the read set of every functor of the
+	// transaction so all functors agree).
+	ReadSet []kv.Key
+	// Recipients lists keys whose functors (of the same transaction) read
+	// this functor's key. Computing this functor proactively pushes the
+	// latest value of its key below the version to the recipients'
+	// partitions (paper §IV-B). Optimization only.
+	Recipients []kv.Key
+	// DependentKeys lists keys a determinate functor may write during its
+	// computation (deferred writes at the same version, paper §IV-E).
+	DependentKeys []kv.Key
+}
+
+// Value constructs a final VALUE functor holding v.
+func Value(v kv.Value) *Functor { return &Functor{Type: TypeValue, Arg: v} }
+
+// Aborted constructs a final ABORTED functor.
+func Aborted() *Functor { return &Functor{Type: TypeAborted} }
+
+// Deleted constructs a DELETED tombstone functor.
+func Deleted() *Functor { return &Functor{Type: TypeDeleted} }
+
+// Add constructs an ADD functor incrementing the key's value by delta.
+func Add(delta int64) *Functor { return &Functor{Type: TypeAdd, Arg: kv.EncodeInt64(delta)} }
+
+// Sub constructs a SUBTR functor decrementing the key's value by delta.
+func Sub(delta int64) *Functor { return &Functor{Type: TypeSub, Arg: kv.EncodeInt64(delta)} }
+
+// Max constructs a MAX functor raising the key's value to at least v.
+func Max(v int64) *Functor { return &Functor{Type: TypeMax, Arg: kv.EncodeInt64(v)} }
+
+// Min constructs a MIN functor lowering the key's value to at most v.
+func Min(v int64) *Functor { return &Functor{Type: TypeMin, Arg: kv.EncodeInt64(v)} }
+
+// UserOption customizes a user-defined functor.
+type UserOption func(*Functor)
+
+// WithRecipients sets the proactive-push recipient set.
+func WithRecipients(keys ...kv.Key) UserOption {
+	return func(f *Functor) { f.Recipients = keys }
+}
+
+// WithDependentKeys marks the functor as determinate for the given
+// dependent keys.
+func WithDependentKeys(keys ...kv.Key) UserOption {
+	return func(f *Functor) { f.DependentKeys = keys }
+}
+
+// User constructs a user-defined functor computed by the named handler.
+func User(handler string, arg []byte, readSet []kv.Key, opts ...UserOption) *Functor {
+	f := &Functor{Type: TypeUser, Handler: handler, Arg: arg, ReadSet: readSet}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// DepMarker constructs the internal placeholder installed on a dependent
+// key, naming the determinate key that will perform the deferred write.
+func DepMarker(determinate kv.Key) *Functor {
+	return &Functor{Type: TypeDepMarker, Arg: []byte(determinate)}
+}
+
+// DeterminateKey returns the determinate key named by a DEP-MARKER functor.
+func (f *Functor) DeterminateKey() kv.Key { return kv.Key(f.Arg) }

@@ -1,0 +1,355 @@
+package functor
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"alohadb/internal/kv"
+)
+
+func TestConstructors(t *testing.T) {
+	tests := []struct {
+		name     string
+		f        *Functor
+		wantType Type
+		final    bool
+	}{
+		{name: "value", f: Value(kv.Value("v")), wantType: TypeValue, final: true},
+		{name: "aborted", f: Aborted(), wantType: TypeAborted, final: true},
+		{name: "deleted", f: Deleted(), wantType: TypeDeleted, final: true},
+		{name: "add", f: Add(5), wantType: TypeAdd},
+		{name: "sub", f: Sub(5), wantType: TypeSub},
+		{name: "max", f: Max(5), wantType: TypeMax},
+		{name: "min", f: Min(5), wantType: TypeMin},
+		{name: "user", f: User("h", nil, nil), wantType: TypeUser},
+		{name: "marker", f: DepMarker("k"), wantType: TypeDepMarker},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.f.Type != tt.wantType {
+				t.Errorf("Type = %v, want %v", tt.f.Type, tt.wantType)
+			}
+			if tt.f.Type.Final() != tt.final {
+				t.Errorf("Final() = %v, want %v", tt.f.Type.Final(), tt.final)
+			}
+		})
+	}
+}
+
+func TestUserOptions(t *testing.T) {
+	f := User("transfer", []byte("arg"), []kv.Key{"a"},
+		WithRecipients("b", "c"), WithDependentKeys("d"))
+	if !reflect.DeepEqual(f.Recipients, []kv.Key{"b", "c"}) {
+		t.Errorf("Recipients = %v", f.Recipients)
+	}
+	if !reflect.DeepEqual(f.DependentKeys, []kv.Key{"d"}) {
+		t.Errorf("DependentKeys = %v", f.DependentKeys)
+	}
+}
+
+func TestDeterminateKey(t *testing.T) {
+	if got := DepMarker("orders:next").DeterminateKey(); got != "orders:next" {
+		t.Errorf("DeterminateKey = %q", got)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeValue: "VALUE", TypeAborted: "ABORTED", TypeDeleted: "DELETED",
+		TypeAdd: "ADD", TypeSub: "SUBTR", TypeMax: "MAX", TypeMin: "MIN",
+		TypeUser: "USER", TypeDepMarker: "DEP-MARKER", Type(99): "Type(99)",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(ty), got, want)
+		}
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	enc := kv.EncodeInt64
+	tests := []struct {
+		name string
+		t    Type
+		arg  int64
+		prev Read
+		want int64
+	}{
+		{name: "add to missing", t: TypeAdd, arg: 5, prev: Read{}, want: 5},
+		{name: "add", t: TypeAdd, arg: 5, prev: Read{Value: enc(10), Found: true}, want: 15},
+		{name: "sub", t: TypeSub, arg: 3, prev: Read{Value: enc(10), Found: true}, want: 7},
+		{name: "sub below zero", t: TypeSub, arg: 30, prev: Read{Value: enc(10), Found: true}, want: -20},
+		{name: "max raises", t: TypeMax, arg: 20, prev: Read{Value: enc(10), Found: true}, want: 20},
+		{name: "max keeps", t: TypeMax, arg: 5, prev: Read{Value: enc(10), Found: true}, want: 10},
+		{name: "min lowers", t: TypeMin, arg: 5, prev: Read{Value: enc(10), Found: true}, want: 5},
+		{name: "min keeps", t: TypeMin, arg: 50, prev: Read{Value: enc(10), Found: true}, want: 10},
+		{name: "malformed prev treated as zero", t: TypeAdd, arg: 1,
+			prev: Read{Value: kv.Value("bad"), Found: true}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := EvalArithmetic(tt.t, kv.EncodeInt64(tt.arg), tt.prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := kv.DecodeInt64(res.Value)
+			if !ok || got != tt.want {
+				t.Errorf("got %d (ok=%v), want %d", got, ok, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalArithmeticErrors(t *testing.T) {
+	if _, err := EvalArithmetic(TypeAdd, []byte("xx"), Read{}); err == nil {
+		t.Error("malformed argument should error")
+	}
+	if _, err := EvalArithmetic(TypeValue, kv.EncodeInt64(1), Read{}); err == nil {
+		t.Error("non-arithmetic type should error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := func(ctx *Context) (*Resolution, error) { return ValueResolution(nil), nil }
+	if err := r.Register("h", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("h", h); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register("", h); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register("nil", nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	if _, ok := r.Lookup("h"); !ok {
+		t.Error("Lookup failed for registered handler")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup succeeded for missing handler")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "h" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRegistry().MustRegister("", nil)
+}
+
+func TestResolutionHelpers(t *testing.T) {
+	if !ValueResolution(kv.Value("x")).Readable() {
+		t.Error("value should be readable")
+	}
+	if !DeleteResolution().Readable() {
+		t.Error("delete should be readable (it answers the read)")
+	}
+	if AbortResolution("r").Readable() {
+		t.Error("abort should not be readable")
+	}
+	if SkipResolution().Readable() {
+		t.Error("skip should not be readable")
+	}
+	if AbortResolution("no funds").Reason != "no funds" {
+		t.Error("reason not preserved")
+	}
+}
+
+func TestResolutionKindString(t *testing.T) {
+	for k, want := range map[ResolutionKind]string{
+		Resolved: "VALUE", ResolvedAborted: "ABORTED",
+		ResolvedDeleted: "DELETED", ResolvedSkipped: "SKIPPED",
+		ResolutionKind(77): "ResolutionKind(77)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+func TestFunctorCodecRoundTrip(t *testing.T) {
+	tests := []*Functor{
+		Value(kv.Value("hello")),
+		Value(nil),
+		Aborted(),
+		Deleted(),
+		Add(42),
+		Sub(-3),
+		User("transfer", []byte("args"), []kv.Key{"a", "b"},
+			WithRecipients("c"), WithDependentKeys("d", "e")),
+		DepMarker("det"),
+	}
+	for _, f := range tests {
+		t.Run(f.Type.String(), func(t *testing.T) {
+			enc := AppendFunctor(nil, f)
+			got, n, err := DecodeFunctor(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(enc) {
+				t.Errorf("consumed %d of %d bytes", n, len(enc))
+			}
+			if !reflect.DeepEqual(got, f) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, f)
+			}
+		})
+	}
+}
+
+func TestFunctorCodecConcatenated(t *testing.T) {
+	f1, f2 := Add(1), Value(kv.Value("v"))
+	enc := AppendFunctor(AppendFunctor(nil, f1), f2)
+	got1, n, err := DecodeFunctor(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := DecodeFunctor(enc[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, f1) || !reflect.DeepEqual(got2, f2) {
+		t.Error("concatenated decode mismatch")
+	}
+}
+
+func TestFunctorCodecCorrupt(t *testing.T) {
+	valid := AppendFunctor(nil, User("h", []byte("a"), []kv.Key{"k"}))
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeFunctor(valid[:i]); err == nil {
+			t.Errorf("truncation at %d decoded without error", i)
+		}
+	}
+	if _, _, err := DecodeFunctor([]byte{0xff}); err == nil {
+		t.Error("invalid type byte decoded without error")
+	}
+}
+
+func TestResolutionCodecRoundTrip(t *testing.T) {
+	tests := []*Resolution{
+		ValueResolution(kv.Value("v")),
+		ValueResolution(nil),
+		AbortResolution("insufficient funds"),
+		DeleteResolution(),
+		SkipResolution(),
+		{Kind: Resolved, Value: kv.Value("x"), DependentWrites: []DependentWrite{
+			{Key: "b", Value: kv.Value("bv")},
+			{Key: "c", Delete: true},
+		}},
+	}
+	for _, r := range tests {
+		t.Run(r.Kind.String(), func(t *testing.T) {
+			enc := AppendResolution(nil, r)
+			got, n, err := DecodeResolution(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(enc) {
+				t.Errorf("consumed %d of %d bytes", n, len(enc))
+			}
+			if !reflect.DeepEqual(got, r) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+			}
+		})
+	}
+}
+
+func TestResolutionCodecCorrupt(t *testing.T) {
+	valid := AppendResolution(nil, &Resolution{
+		Kind:            Resolved,
+		Value:           kv.Value("x"),
+		DependentWrites: []DependentWrite{{Key: "b", Value: kv.Value("y")}},
+	})
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeResolution(valid[:i]); err == nil {
+			t.Errorf("truncation at %d decoded without error", i)
+		}
+	}
+	if _, _, err := DecodeResolution([]byte{0}); err == nil {
+		t.Error("invalid kind decoded without error")
+	}
+}
+
+func TestFunctorCodecProperty(t *testing.T) {
+	f := func(arg []byte, readSet []string, recipients []string) bool {
+		keys := func(ss []string) []kv.Key {
+			if len(ss) == 0 {
+				return nil
+			}
+			out := make([]kv.Key, len(ss))
+			for i, s := range ss {
+				out[i] = kv.Key(s)
+			}
+			return out
+		}
+		in := User("handler", arg, keys(readSet), WithRecipients(keys(recipients)...))
+		if len(arg) == 0 {
+			in.Arg = nil
+		}
+		if len(recipients) == 0 {
+			in.Recipients = nil
+		}
+		enc := AppendFunctor(nil, in)
+		got, n, err := DecodeFunctor(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandlerErrorSemantics(t *testing.T) {
+	// A handler that fails returns an error the engine converts to an abort.
+	r := NewRegistry()
+	errNoFunds := errors.New("insufficient funds")
+	r.MustRegister("debit", func(ctx *Context) (*Resolution, error) {
+		bal, _ := kv.DecodeInt64(ctx.Reads[ctx.Key].Value)
+		amt, _ := kv.DecodeInt64(ctx.Arg)
+		if bal < amt {
+			return nil, errNoFunds
+		}
+		return ValueResolution(kv.EncodeInt64(bal - amt)), nil
+	})
+	h, _ := r.Lookup("debit")
+	_, err := h(&Context{
+		Key: "acct", Arg: kv.EncodeInt64(100),
+		Reads: map[kv.Key]Read{"acct": {Value: kv.EncodeInt64(50), Found: true}},
+	})
+	if !errors.Is(err, errNoFunds) {
+		t.Errorf("err = %v, want errNoFunds", err)
+	}
+	res, err := h(&Context{
+		Key: "acct", Arg: kv.EncodeInt64(30),
+		Reads: map[kv.Key]Read{"acct": {Value: kv.EncodeInt64(50), Found: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := kv.DecodeInt64(res.Value); got != 20 {
+		t.Errorf("balance = %d, want 20", got)
+	}
+}
+
+func TestValueEncodingBuffersIndependent(t *testing.T) {
+	f := Value(kv.Value("abc"))
+	enc := AppendFunctor(nil, f)
+	dec, _, err := DecodeFunctor(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] ^= 0xff // mutate the encoding buffer
+	if !bytes.Equal(dec.Arg, []byte("abc")) {
+		t.Error("decoded functor aliases the input buffer")
+	}
+}

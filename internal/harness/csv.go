@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV emits results as CSV for external plotting tools (the figure
+// runners print human-readable rows; this is the machine-readable form).
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"engine", "label", "txns", "aborts", "duration_ms",
+		"throughput_txn_s", "latency_mean_ms", "latency_p50_ms",
+		"latency_p95_ms", "latency_p99_ms", "latency_max_ms", "samples",
+	}); err != nil {
+		return err
+	}
+	msStr := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Engine,
+			r.Label,
+			strconv.FormatUint(r.Txns, 10),
+			strconv.FormatUint(r.Aborts, 10),
+			msStr(r.Duration),
+			strconv.FormatFloat(r.Throughput, 'f', 1, 64),
+			msStr(r.Latency.Mean),
+			msStr(r.Latency.P50),
+			msStr(r.Latency.P95),
+			msStr(r.Latency.P99),
+			msStr(r.Latency.Max),
+			strconv.Itoa(r.Latency.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

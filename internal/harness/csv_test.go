@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	results := []Result{
+		{
+			Engine: "ALOHA", Label: "CI=0.1", Txns: 1000, Aborts: 10,
+			Duration: time.Second, Throughput: 1000,
+			Latency: Latency{N: 50, Mean: 25 * time.Millisecond, P50: 24 * time.Millisecond,
+				P95: 30 * time.Millisecond, P99: 40 * time.Millisecond, Max: 55 * time.Millisecond},
+		},
+		{Engine: "Calvin", Label: "CI=0.1", Txns: 500, Duration: time.Second, Throughput: 500},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want header + 2", len(records))
+	}
+	if records[0][0] != "engine" || len(records[0]) != 12 {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "ALOHA" || records[1][2] != "1000" || records[1][3] != "10" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	if !strings.HasPrefix(records[1][6], "25.000") {
+		t.Errorf("mean latency = %q", records[1][6])
+	}
+	if records[2][0] != "Calvin" {
+		t.Errorf("row 2 = %v", records[2])
+	}
+}

@@ -1,0 +1,99 @@
+// Package harness drives the benchmark experiments of the paper's
+// evaluation (§V): closed-loop load generation against both engines,
+// latency sampling with percentile reporting, stage breakdowns, and the
+// per-figure parameter sweeps that regenerate every plot (Figures 6-11).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencySample accumulates latency observations. Not safe for concurrent
+// use; each load-driver goroutine owns one and they are merged at the end.
+type LatencySample struct {
+	samples []time.Duration
+}
+
+// Add records one observation.
+func (l *LatencySample) Add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// Merge folds another sample set into l.
+func (l *LatencySample) Merge(o *LatencySample) { l.samples = append(l.samples, o.samples...) }
+
+// N returns the number of observations.
+func (l *LatencySample) N() int { return len(l.samples) }
+
+// Latency summarizes a sample set.
+type Latency struct {
+	N                  int
+	Mean               time.Duration
+	P50, P95, P99, Max time.Duration
+}
+
+// Summarize computes the latency summary (destructively sorts).
+func (l *LatencySample) Summarize() Latency {
+	if len(l.samples) == 0 {
+		return Latency{}
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(l.samples)-1))
+		return l.samples[i]
+	}
+	return Latency{
+		N:    len(l.samples),
+		Mean: sum / time.Duration(len(l.samples)),
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		Max:  l.samples[len(l.samples)-1],
+	}
+}
+
+// Result is the outcome of one benchmark run at one parameter point.
+type Result struct {
+	Engine     string
+	Label      string
+	Txns       uint64
+	Aborts     uint64
+	Duration   time.Duration
+	Throughput float64 // committed transactions per second
+	Latency    Latency
+}
+
+// String renders a human-readable single line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s %-14s %9.0f txn/s  mean %8s  p99 %8s  (n=%d, aborts=%d)",
+		r.Engine, r.Label, r.Throughput, r.Latency.Mean.Round(10*time.Microsecond),
+		r.Latency.P99.Round(10*time.Microsecond), r.Txns, r.Aborts)
+}
+
+// StageBreakdown is the Figure-10 decomposition: per-stage share of the
+// transaction lifecycle.
+type StageBreakdown struct {
+	Engine string
+	Label  string
+	// Stages maps stage name to fraction of total time (sums to 1).
+	Stages []Stage
+}
+
+// Stage is one named share.
+type Stage struct {
+	Name     string
+	Fraction float64
+	Mean     time.Duration
+}
+
+func (b StageBreakdown) String() string {
+	s := fmt.Sprintf("%-8s %-12s", b.Engine, b.Label)
+	for _, st := range b.Stages {
+		s += fmt.Sprintf("  %s=%.1f%% (%s)", st.Name, st.Fraction*100, st.Mean.Round(time.Microsecond))
+	}
+	return s
+}

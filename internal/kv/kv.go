@@ -1,0 +1,64 @@
+// Package kv defines the key and value types shared by every layer of
+// ALOHA-DB, along with the hash used for key partitioning. ALOHA-DB stores
+// key-functor pairs in a hash-partitioned distributed table (paper §III-D);
+// all layers agree on this hash so that any node can route any key.
+package kv
+
+import "encoding/binary"
+
+// Key identifies one item in the distributed table. Workloads encode
+// composite keys (table, warehouse, district, ...) into the string.
+type Key string
+
+// Value is an opaque, immutable byte payload. Numeric helpers below define
+// the encoding used by the built-in arithmetic f-types.
+type Value []byte
+
+// Pair couples a key with a value, used in bulk-load and checkpoint paths.
+type Pair struct {
+	Key   Key
+	Value Value
+}
+
+// Hash returns a stable 64-bit FNV-1a hash of the key. Both ALOHA-DB and
+// the Calvin baseline partition by this hash so experiments compare the
+// same data placement.
+func Hash(k Key) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return h
+}
+
+// PartitionOf maps a key onto one of n partitions.
+func PartitionOf(k Key, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(k) % uint64(n))
+}
+
+// EncodeInt64 renders v in the fixed 8-byte big-endian encoding used by the
+// built-in ADD/SUBTR/MAX/MIN f-types.
+func EncodeInt64(v int64) Value {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// DecodeInt64 parses a value produced by EncodeInt64. Values of the wrong
+// length decode as zero with ok=false; arithmetic f-types treat a missing
+// or malformed previous version as zero, matching a counter's natural
+// initial state.
+func DecodeInt64(v Value) (n int64, ok bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(v)), true
+}

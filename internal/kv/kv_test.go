@@ -1,0 +1,71 @@
+package kv
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStable(t *testing.T) {
+	if Hash("") != Hash("") {
+		t.Error("hash of empty key not stable")
+	}
+	if Hash("a") == Hash("b") {
+		t.Error("trivially distinct keys collide")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	tests := []struct {
+		name string
+		key  Key
+		n    int
+	}{
+		{name: "one partition", key: "x", n: 1},
+		{name: "zero partitions treated as one", key: "x", n: 0},
+		{name: "many", key: "warehouse:3", n: 16},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := PartitionOf(tt.key, tt.n)
+			max := tt.n
+			if max < 1 {
+				max = 1
+			}
+			if p < 0 || p >= max {
+				t.Errorf("PartitionOf(%q, %d) = %d, out of range", tt.key, tt.n, p)
+			}
+		})
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 8000; i++ {
+		counts[PartitionOf(Key("key:"+strconv.Itoa(i)), n)]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("partition %d received no keys", p)
+		}
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		got, ok := DecodeInt64(EncodeInt64(v))
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeInt64Malformed(t *testing.T) {
+	for _, v := range []Value{nil, {}, {1, 2, 3}, make(Value, 9)} {
+		if _, ok := DecodeInt64(v); ok {
+			t.Errorf("DecodeInt64(%v) ok = true, want false", v)
+		}
+	}
+}

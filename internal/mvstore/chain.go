@@ -1,0 +1,209 @@
+package mvstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"alohadb/internal/tstamp"
+)
+
+// Chain holds the version records of a single key, split exactly as the
+// paper's Figure 4 describes into two categories:
+//
+//   - out-epoch: an immutable, sorted array of records from committed
+//     epochs, readable without locks through an atomically published
+//     slice;
+//   - in-epoch: a staging table of records from epochs still being
+//     written, invisible to readers, accepting inserts in O(1) regardless
+//     of arrival order (decentralized timestamps interleave across
+//     servers, so arrivals are only nearly sorted).
+//
+// Seal moves staged records below an epoch boundary into the sorted array
+// — one sort + append per key per epoch, amortizing what per-record sorted
+// insertion would make quadratic on hot keys.
+type Chain struct {
+	mu   sync.Mutex // guards staged and structural view changes
+	view atomic.Pointer[[]*Record]
+	// staged holds in-epoch records by version; nil until first used.
+	staged map[tstamp.Timestamp]*Record
+	// watermark is the value watermark: every version at or below it is a
+	// final value (paper §III-D). Monotonically non-decreasing.
+	watermark atomic.Uint64
+}
+
+func newChain() *Chain {
+	c := &Chain{}
+	empty := make([]*Record, 0)
+	c.view.Store(&empty)
+	return c
+}
+
+// View returns the current immutable snapshot of the sealed (out-epoch)
+// version list, sorted ascending by version. Callers must not mutate it.
+func (c *Chain) View() []*Record { return *c.view.Load() }
+
+// Watermark returns the key's value watermark.
+func (c *Chain) Watermark() tstamp.Timestamp {
+	return tstamp.Timestamp(c.watermark.Load())
+}
+
+// AdvanceWatermark raises the watermark to at least v (Algorithm 1,
+// lines 7-9). Raising past versions that are not final is a caller error
+// that the engine prevents by computing in ascending version order.
+func (c *Chain) AdvanceWatermark(v tstamp.Timestamp) {
+	for {
+		w := c.watermark.Load()
+		if w >= uint64(v) {
+			return
+		}
+		if c.watermark.CompareAndSwap(w, uint64(v)) {
+			return
+		}
+	}
+}
+
+// insert stages a record as an in-epoch version. Inserting a duplicate
+// version returns the existing record and false.
+func (c *Chain) insert(r *Record) (*Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.staged[r.Version]; ok {
+		return existing, false
+	}
+	if rec := c.at(r.Version); rec != nil {
+		return rec, false
+	}
+	if c.staged == nil {
+		c.staged = make(map[tstamp.Timestamp]*Record, 4)
+	}
+	c.staged[r.Version] = r
+	return r, true
+}
+
+// seal moves staged records with versions strictly below bound into the
+// immutable sorted view, making them readable. Committed epochs only grow
+// the high end of the version space, so the merge is a sorted append.
+func (c *Chain) seal(bound tstamp.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.staged) == 0 {
+		return
+	}
+	var batch []*Record
+	for v, r := range c.staged {
+		if v < bound {
+			batch = append(batch, r)
+			delete(c.staged, v)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Version < batch[j].Version })
+	old := *c.view.Load()
+	n := len(old)
+	if n == 0 || old[n-1].Version < batch[0].Version {
+		// Sorted append, in place when capacity allows: published slice
+		// headers only grow in length, so readers holding older headers
+		// never observe the freshly filled slots, and the atomic header
+		// store orders the writes for readers that do.
+		var neu []*Record
+		if cap(old)-n >= len(batch) {
+			neu = old[:n+len(batch)]
+		} else {
+			grow := 2 * (n + len(batch))
+			if grow < 8 {
+				grow = 8
+			}
+			neu = make([]*Record, n+len(batch), grow)
+			copy(neu, old)
+		}
+		copy(neu[n:], batch)
+		c.view.Store(&neu)
+		return
+	}
+	// General merge (stragglers sealed late can interleave with an epoch
+	// sealed earlier): build a fresh array.
+	neu := make([]*Record, 0, n+len(batch))
+	i, j := 0, 0
+	for i < n && j < len(batch) {
+		if old[i].Version < batch[j].Version {
+			neu = append(neu, old[i])
+			i++
+		} else {
+			neu = append(neu, batch[j])
+			j++
+		}
+	}
+	neu = append(neu, old[i:]...)
+	neu = append(neu, batch[j:]...)
+	c.view.Store(&neu)
+}
+
+// latest returns the newest sealed record with Version <= max, or nil.
+// Staged (in-epoch) records are invisible by design: reads only ever run
+// at snapshots whose epochs have committed and sealed.
+func (c *Chain) latest(max tstamp.Timestamp) *Record {
+	view := *c.view.Load()
+	i := sort.Search(len(view), func(i int) bool { return view[i].Version > max })
+	if i == 0 {
+		return nil
+	}
+	return view[i-1]
+}
+
+// at returns the record with exactly the given version, sealed or staged.
+// The second-round abort and deferred-write paths address records by
+// version before their epoch commits.
+func (c *Chain) atLocked(v tstamp.Timestamp) *Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.at(v)
+}
+
+// at is atLocked without the staging lock; callers hold c.mu or accept
+// missing staged records.
+func (c *Chain) at(v tstamp.Timestamp) *Record {
+	view := *c.view.Load()
+	i := sort.Search(len(view), func(i int) bool { return view[i].Version >= v })
+	if i < len(view) && view[i].Version == v {
+		return view[i]
+	}
+	return c.staged[v]
+}
+
+// between returns the sealed records with versions in [from, to],
+// ascending. Used by the processor to compute all pending functors of a
+// key up to a queued version (Algorithm 1, line 4).
+func (c *Chain) between(from, to tstamp.Timestamp) []*Record {
+	view := *c.view.Load()
+	lo := sort.Search(len(view), func(i int) bool { return view[i].Version >= from })
+	hi := sort.Search(len(view), func(i int) bool { return view[i].Version > to })
+	if lo >= hi {
+		return nil
+	}
+	return view[lo:hi]
+}
+
+// compact drops sealed records whose versions are strictly below bound,
+// keeping the newest such record so reads at old-but-live snapshots still
+// resolve. Only final records below the watermark may be dropped. Returns
+// the number of records removed.
+func (c *Chain) compact(bound tstamp.Timestamp) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := tstamp.Timestamp(c.watermark.Load()); bound > w {
+		bound = w
+	}
+	old := *c.view.Load()
+	i := sort.Search(len(old), func(i int) bool { return old[i].Version >= bound })
+	if i <= 1 {
+		return 0
+	}
+	keepFrom := i - 1 // retain the newest record below bound
+	neu := make([]*Record, len(old)-keepFrom)
+	copy(neu, old[keepFrom:])
+	c.view.Store(&neu)
+	return keepFrom
+}

@@ -1,0 +1,122 @@
+package mvstore
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// TestConcurrentModelEquivalence runs random interleaved inserts, seals,
+// and reads against the store while maintaining a reference model, then
+// verifies every Latest/At/Between answer over the sealed state matches
+// the model exactly.
+func TestConcurrentModelEquivalence(t *testing.T) {
+	const (
+		rounds  = 30
+		writers = 4
+		perW    = 40
+	)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < rounds; round++ {
+		s := New()
+		var (
+			mu    sync.Mutex
+			model = make(map[tstamp.Timestamp]int64) // version -> value
+		)
+		epochs := tstamp.Epoch(rng.Intn(3) + 1)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(server uint16, seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for i := 0; i < perW; i++ {
+					v := tstamp.Make(tstamp.Epoch(r.Intn(int(epochs))+1), uint32(r.Intn(64)+1), server)
+					val := r.Int63()
+					if _, err := s.Put("k", v, functor.Value(kv.EncodeInt64(val))); err == nil {
+						mu.Lock()
+						model[v] = val
+						mu.Unlock()
+					}
+				}
+			}(uint16(w), int64(round*100+w))
+		}
+		// A concurrent sealer publishes progressively.
+		stop := make(chan struct{})
+		var sealer sync.WaitGroup
+		sealer.Add(1)
+		go func() {
+			defer sealer.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.SealAll(tstamp.Max)
+				}
+			}
+		}()
+		wg.Wait()
+		close(stop)
+		sealer.Wait()
+		s.SealAll(tstamp.Max)
+
+		// Resolve everything so Latest answers carry values.
+		versions := make([]tstamp.Timestamp, 0, len(model))
+		for v := range model {
+			versions = append(versions, v)
+		}
+		sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+		for _, v := range versions {
+			rec, ok := s.At("k", v)
+			if !ok {
+				t.Fatalf("round %d: version %v missing", round, v)
+			}
+			rec.Resolve(functor.ValueResolution(kv.EncodeInt64(model[v])))
+		}
+		view := s.View("k")
+		if len(view) != len(model) {
+			t.Fatalf("round %d: view has %d records, model %d", round, len(view), len(model))
+		}
+		// Probe Latest at random points.
+		for probe := 0; probe < 50; probe++ {
+			max := tstamp.Make(tstamp.Epoch(rng.Intn(int(epochs)+1)), uint32(rng.Intn(70)), uint16(rng.Intn(writers+1)))
+			i := sort.Search(len(versions), func(i int) bool { return versions[i] > max })
+			rec, ok := s.Latest("k", max)
+			if i == 0 {
+				if ok {
+					t.Fatalf("round %d: Latest(%v) = %v, want miss", round, max, rec.Version)
+				}
+				continue
+			}
+			want := versions[i-1]
+			if !ok || rec.Version != want {
+				t.Fatalf("round %d: Latest(%v) = %v ok=%v, want %v", round, max, rec, ok, want)
+			}
+			if got, _ := kv.DecodeInt64(rec.Resolution().Value); got != model[want] {
+				t.Fatalf("round %d: value mismatch at %v", round, want)
+			}
+		}
+		// Between over a random window matches the model slice.
+		lo := versions[rng.Intn(len(versions))]
+		hi := versions[rng.Intn(len(versions))]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := s.Between("k", lo, hi)
+		want := 0
+		for _, v := range versions {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("round %d: Between(%v,%v) = %d records, want %d", round, lo, hi, len(got), want)
+		}
+	}
+}

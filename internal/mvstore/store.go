@@ -1,0 +1,216 @@
+package mvstore
+
+import (
+	"errors"
+	"sync"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// ErrVersionExists is returned by Put when the key already has a record at
+// the given version. Versions are transaction timestamps, which are
+// globally unique, so a duplicate indicates a retransmitted install; the
+// caller treats it as idempotent success or a protocol error as
+// appropriate.
+var ErrVersionExists = errors.New("mvstore: version already exists")
+
+const _defaultShards = 64
+
+// Store is one partition's multi-version table: a sharded hash map from
+// keys to version chains.
+type Store struct {
+	shards []shard
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	chains map[kv.Key]*Chain
+}
+
+// New returns an empty store with the default shard count.
+func New() *Store { return NewWithShards(_defaultShards) }
+
+// NewWithShards returns an empty store with n hash shards. Shards bound
+// contention on chain creation; chain access itself is lock-free for reads.
+func NewWithShards(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[kv.Key]*Chain)
+	}
+	return s
+}
+
+func (s *Store) shardFor(k kv.Key) *shard {
+	return &s.shards[kv.Hash(k)%uint64(len(s.shards))]
+}
+
+// chain returns the key's chain, or nil if the key has never been written.
+func (s *Store) chain(k kv.Key) *Chain {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	c := sh.chains[k]
+	sh.mu.RUnlock()
+	return c
+}
+
+// chainOrCreate returns the key's chain, creating it if needed.
+func (s *Store) chainOrCreate(k kv.Key) *Chain {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	c := sh.chains[k]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.chains[k]; c == nil {
+		c = newChain()
+		sh.chains[k] = c
+	}
+	return c
+}
+
+// Put installs a functor as a new in-epoch version of key k (paper
+// Figure 4). The record stays invisible to reads until Seal moves it into
+// the out-epoch category when its epoch commits.
+func (s *Store) Put(k kv.Key, version tstamp.Timestamp, fn *functor.Functor) (*Record, error) {
+	rec := newRecord(version, fn)
+	got, inserted := s.chainOrCreate(k).insert(rec)
+	if !inserted {
+		return got, ErrVersionExists
+	}
+	return got, nil
+}
+
+// Seal makes k's staged records with versions strictly below bound
+// readable. The backend seals every key an epoch touched when the epoch
+// commits.
+func (s *Store) Seal(k kv.Key, bound tstamp.Timestamp) {
+	if c := s.chain(k); c != nil {
+		c.seal(bound)
+	}
+}
+
+// SealAll seals every key up to bound; recovery and replica promotion use
+// it to publish a rebuilt store in one sweep.
+func (s *Store) SealAll(bound tstamp.Timestamp) {
+	s.Range(func(_ kv.Key, c *Chain) bool {
+		c.seal(bound)
+		return true
+	})
+}
+
+// Latest returns the newest record of k with Version <= max.
+func (s *Store) Latest(k kv.Key, max tstamp.Timestamp) (*Record, bool) {
+	c := s.chain(k)
+	if c == nil {
+		return nil, false
+	}
+	r := c.latest(max)
+	return r, r != nil
+}
+
+// At returns the record of k at exactly the given version, whether sealed
+// or still staged in-epoch (the second-round abort addresses uncommitted
+// records by version).
+func (s *Store) At(k kv.Key, version tstamp.Timestamp) (*Record, bool) {
+	c := s.chain(k)
+	if c == nil {
+		return nil, false
+	}
+	r := c.atLocked(version)
+	return r, r != nil
+}
+
+// View returns the immutable ascending version snapshot of k, or nil.
+func (s *Store) View(k kv.Key) []*Record {
+	c := s.chain(k)
+	if c == nil {
+		return nil
+	}
+	return c.View()
+}
+
+// Between returns k's records with versions in [from, to], ascending.
+func (s *Store) Between(k kv.Key, from, to tstamp.Timestamp) []*Record {
+	c := s.chain(k)
+	if c == nil {
+		return nil
+	}
+	return c.between(from, to)
+}
+
+// Watermark returns k's value watermark (zero if the key is unknown).
+func (s *Store) Watermark(k kv.Key) tstamp.Timestamp {
+	c := s.chain(k)
+	if c == nil {
+		return tstamp.Zero
+	}
+	return c.Watermark()
+}
+
+// AdvanceWatermark raises k's value watermark to at least v.
+func (s *Store) AdvanceWatermark(k kv.Key, v tstamp.Timestamp) {
+	s.chainOrCreate(k).AdvanceWatermark(v)
+}
+
+// Range calls fn for every key in the store until fn returns false. The
+// iteration order is unspecified. Chains observed through fn are live: new
+// versions may be inserted concurrently, but each View() call returns a
+// consistent snapshot.
+func (s *Store) Range(fn func(k kv.Key, c *Chain) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		keys := make([]kv.Key, 0, len(sh.chains))
+		for k := range sh.chains {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			if c := s.chain(k); c != nil {
+				if !fn(k, c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// RangeKeys calls fn for every key in the store until fn returns false,
+// in unspecified order.
+func (s *Store) RangeKeys(fn func(k kv.Key) bool) {
+	s.Range(func(k kv.Key, _ *Chain) bool { return fn(k) })
+}
+
+// Len returns the number of keys in the store.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.chains)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Compact drops final version records strictly below bound for every key,
+// always retaining the newest record below bound so historical reads at
+// live snapshots still resolve. Returns the total number of records
+// removed. Compaction never touches unresolved records (it is capped at
+// each key's watermark).
+func (s *Store) Compact(bound tstamp.Timestamp) int {
+	total := 0
+	s.Range(func(_ kv.Key, c *Chain) bool {
+		total += c.compact(bound)
+		return true
+	})
+	return total
+}

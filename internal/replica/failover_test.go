@@ -1,0 +1,169 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/tstamp"
+)
+
+// TestFailoverUnderLoad replicates a cluster while concurrent transfer
+// traffic runs, "crashes" it mid-stream, promotes the backups, and checks
+// the invariant that matters: the promoted state is a consistent epoch
+// boundary — total money is conserved even though an unknown number of
+// in-flight transactions was lost.
+func TestFailoverUnderLoad(t *testing.T) {
+	const (
+		servers  = 2
+		accounts = 10
+		total    = int64(accounts) * 1000
+	)
+	reg := functor.NewRegistry()
+	reg.MustRegister("take", func(ctx *functor.Context) (*functor.Resolution, error) {
+		bal := int64(0)
+		if r := ctx.Reads[ctx.Key]; r.Found {
+			bal, _ = kv.DecodeInt64(r.Value)
+		}
+		amt, _ := kv.DecodeInt64(ctx.Arg)
+		if bal < amt {
+			return functor.AbortResolution("insufficient"), nil
+		}
+		return functor.ValueResolution(kv.EncodeInt64(bal - amt)), nil
+	})
+	reg.MustRegister("give", func(ctx *functor.Context) (*functor.Resolution, error) {
+		src := kv.Key(ctx.Arg[8:])
+		amt, _ := kv.DecodeInt64(ctx.Arg[:8])
+		srcBal := int64(0)
+		if r := ctx.Reads[src]; r.Found {
+			srcBal, _ = kv.DecodeInt64(r.Value)
+		}
+		if srcBal < amt {
+			return functor.AbortResolution("insufficient"), nil
+		}
+		bal := int64(0)
+		if r := ctx.Reads[ctx.Key]; r.Found {
+			bal, _ = kv.DecodeInt64(r.Value)
+		}
+		return functor.ValueResolution(kv.EncodeInt64(bal + amt)), nil
+	})
+
+	backups := make([]*Backup, servers)
+	for i := range backups {
+		backups[i] = NewBackup()
+	}
+	c, err := core.NewCluster(core.ClusterConfig{
+		Servers:       servers,
+		EpochDuration: 2 * time.Millisecond,
+		Registry:      reg,
+		DurabilityFactory: func(id int) (core.DurabilityHook, error) {
+			return NewShipper(backups[id]), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]kv.Key, accounts)
+	pairs := make([]kv.Pair, accounts)
+	for i := range keys {
+		keys[i] = kv.Key(fmt.Sprintf("acct:%d", i))
+		pairs[i] = kv.Pair{Key: keys[i], Value: kv.EncodeInt64(1000)}
+	}
+	if err := c.Load(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent transfers until the crash.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := keys[(w+i)%accounts]
+				dst := keys[(w+i*3+1)%accounts]
+				if src == dst {
+					i++
+					continue
+				}
+				arg := append(kv.EncodeInt64(5), src...)
+				_, err := c.Server(w%servers).Submit(ctx, core.Txn{Writes: []core.Write{
+					{Key: src, Functor: functor.User("take", kv.EncodeInt64(5), nil)},
+					{Key: dst, Functor: functor.User("give", arg, []kv.Key{src})},
+				}})
+				if err != nil {
+					return // cluster is shutting down
+				}
+				i++
+			}
+		}(w)
+	}
+	time.Sleep(60 * time.Millisecond) // several epochs of traffic
+	close(stop)
+	wg.Wait()
+	c.Close() // crash
+
+	// Promote. Every backup must have applied the same set of committed
+	// epochs for the invariant to hold; the shipper guarantees per-epoch
+	// atomicity, and the EM commits an epoch everywhere or nowhere.
+	stores := make([]*mvstore.Store, servers)
+	var low tstamp.Epoch
+	for i, b := range backups {
+		var e tstamp.Epoch
+		stores[i], e = b.Promote()
+		if i == 0 || e < low {
+			low = e
+		}
+	}
+	if low == 0 {
+		t.Fatal("no epochs were replicated")
+	}
+	c2, err := core.NewCluster(core.ClusterConfig{
+		Servers:      servers,
+		ManualEpochs: true,
+		Registry:     reg,
+		Stores:       stores,
+		StartEpoch:   low + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	snapshot := tstamp.End(low).Prev()
+	sum := int64(0)
+	for _, k := range keys {
+		v, found, err := c2.Server(0).GetAt(ctx, k, snapshot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("%s missing after failover", k)
+		}
+		n, _ := kv.DecodeInt64(v)
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("money not conserved across failover: %d, want %d", sum, total)
+	}
+}

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-process mesh. Messages are passed by reference
+// (senders must not mutate messages after sending, which all ALOHA-DB
+// message types honour by being immutable). An optional latency model
+// delays each message to emulate a data-center network; with zero latency
+// a Call is a plain function call, which keeps simulated-cluster
+// benchmarks focused on the concurrency-control algorithms.
+type MemNetwork struct {
+	latency time.Duration
+	jitter  time.Duration
+
+	mu     sync.RWMutex
+	nodes  map[NodeID]*memConn
+	closed bool
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency injects a fixed one-way delay plus uniform jitter in [0, j)
+// into every message.
+func WithLatency(d, j time.Duration) MemOption {
+	return func(n *MemNetwork) {
+		n.latency = d
+		n.jitter = j
+	}
+}
+
+// NewMemNetwork returns an empty in-memory mesh.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{nodes: make(map[NodeID]*memConn)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Node implements Network.
+func (n *MemNetwork) Node(id NodeID, h Handler) (Conn, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for node %d", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrNodeExists, id)
+	}
+	c := &memConn{net: n, id: id, handler: h}
+	n.nodes[id] = c
+	return c, nil
+}
+
+// Close implements Network.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.nodes = make(map[NodeID]*memConn)
+	return nil
+}
+
+func (n *MemNetwork) lookup(id NodeID) (*memConn, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	c, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return c, nil
+}
+
+// delay sleeps for one simulated network traversal.
+func (n *MemNetwork) delay() {
+	if n.latency == 0 && n.jitter == 0 {
+		return
+	}
+	d := n.latency
+	if n.jitter > 0 {
+		d += time.Duration(rand.Int63n(int64(n.jitter)))
+	}
+	time.Sleep(d)
+}
+
+type memConn struct {
+	net     *MemNetwork
+	id      NodeID
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Conn = (*memConn)(nil)
+
+func (c *memConn) Local() NodeID { return c.id }
+
+func (c *memConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dst, err := c.net.lookup(to)
+	if err != nil {
+		return nil, err
+	}
+	c.net.delay()
+	resp, err := dst.handler(c.id, req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrRemote, err)
+	}
+	c.net.delay()
+	return resp, nil
+}
+
+func (c *memConn) Send(to NodeID, req any) error {
+	dst, err := c.net.lookup(to)
+	if err != nil {
+		return err
+	}
+	if c.net.latency == 0 && c.net.jitter == 0 {
+		// Preserve one-way semantics (the caller does not wait for the
+		// handler) while avoiding a goroutine per message in the
+		// zero-latency fast path used by throughput benchmarks.
+		go func() {
+			_, _ = dst.handler(c.id, req)
+		}()
+		return nil
+	}
+	go func() {
+		c.net.delay()
+		_, _ = dst.handler(c.id, req)
+	}()
+	return nil
+}
+
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.net.mu.Lock()
+	delete(c.net.nodes, c.id)
+	c.net.mu.Unlock()
+	return nil
+}

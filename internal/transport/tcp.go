@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// RegisterType makes a concrete message type encodable on the TCP
+// transport. Applications register every message struct once at startup
+// (the in-memory transport needs no registration).
+func RegisterType(v any) { gob.Register(v) }
+
+const (
+	kindRequest uint8 = iota + 1
+	kindResponse
+	kindOneway
+)
+
+type envelope struct {
+	ID      uint64
+	From    NodeID
+	Kind    uint8
+	ErrText string
+	Payload any
+}
+
+// TCPNetwork is a mesh over TCP with a static address book. Each attached
+// node listens on its own address; peers dial lazily and keep one
+// connection per direction. Messages are gob-encoded envelopes.
+type TCPNetwork struct {
+	addrs map[NodeID]string
+
+	mu     sync.Mutex
+	nodes  []*tcpConn
+	closed bool
+}
+
+// NewTCPNetwork returns a mesh using the given node address book.
+func NewTCPNetwork(addrs map[NodeID]string) *TCPNetwork {
+	book := make(map[NodeID]string, len(addrs))
+	for id, a := range addrs {
+		book[id] = a
+	}
+	return &TCPNetwork{addrs: book}
+}
+
+// Node implements Network: it starts a listener on the node's address.
+func (n *TCPNetwork) Node(id NodeID, h Handler) (Conn, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for node %d", id)
+	}
+	addr, ok := n.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d has no address", ErrUnknownNode, id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	c := &tcpConn{
+		net:     n,
+		id:      id,
+		handler: h,
+		ln:      ln,
+		peers:   make(map[NodeID]*tcpPeer),
+	}
+	// If the address book used port 0, record the actual port so peers on
+	// this process can reach the node (test convenience).
+	n.addrs[id] = ln.Addr().String()
+	n.nodes = append(n.nodes, c)
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound address of node id (useful after port-0 binds).
+func (n *TCPNetwork) Addr(id NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addrs[id]
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	nodes := n.nodes
+	n.nodes = nil
+	n.closed = true
+	n.mu.Unlock()
+	var firstErr error
+	for _, c := range nodes {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// tcpPeer is one established outbound connection.
+type tcpPeer struct {
+	mu   sync.Mutex // guards enc writes
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func (p *tcpPeer) write(env *envelope) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(env)
+}
+
+type tcpConn struct {
+	net     *TCPNetwork
+	id      NodeID
+	handler Handler
+	ln      net.Listener
+
+	peersMu sync.Mutex
+	peers   map[NodeID]*tcpPeer
+
+	inboundMu sync.Mutex
+	inbound   map[net.Conn]struct{}
+
+	pending sync.Map // uint64 -> chan callResult
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+type callResult struct {
+	payload any
+	err     error
+}
+
+func (c *tcpConn) Local() NodeID { return c.id }
+
+func (c *tcpConn) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.inboundMu.Lock()
+		if c.inbound == nil {
+			c.inbound = make(map[net.Conn]struct{})
+		}
+		c.inbound[conn] = struct{}{}
+		c.inboundMu.Unlock()
+		c.wg.Add(1)
+		go c.serveInbound(conn)
+	}
+}
+
+// serveInbound reads requests from one accepted connection and writes
+// responses back on the same connection.
+func (c *tcpConn) serveInbound(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.inboundMu.Lock()
+		delete(c.inbound, conn)
+		c.inboundMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	out := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		switch env.Kind {
+		case kindOneway:
+			env := env
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				_, _ = c.handler(env.From, env.Payload)
+			}()
+		case kindRequest:
+			env := env
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				resp, err := c.handler(env.From, env.Payload)
+				reply := envelope{ID: env.ID, From: c.id, Kind: kindResponse, Payload: resp}
+				if err != nil {
+					reply.ErrText = err.Error()
+					reply.Payload = nil
+				}
+				_ = out.write(&reply)
+			}()
+		default:
+			// A response on an inbound connection is a protocol violation;
+			// drop it.
+		}
+	}
+}
+
+// readResponses consumes responses arriving on an outbound connection.
+func (c *tcpConn) readResponses(to NodeID, conn net.Conn) {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			c.dropPeer(to, err)
+			return
+		}
+		if env.Kind != kindResponse {
+			continue
+		}
+		if ch, ok := c.pending.LoadAndDelete(env.ID); ok {
+			res := callResult{payload: env.Payload}
+			if env.ErrText != "" {
+				res.err = fmt.Errorf("%w: %s", ErrRemote, env.ErrText)
+			}
+			ch.(chan callResult) <- res
+		}
+	}
+}
+
+func (c *tcpConn) dropPeer(to NodeID, cause error) {
+	c.peersMu.Lock()
+	p := c.peers[to]
+	delete(c.peers, to)
+	c.peersMu.Unlock()
+	if p != nil {
+		p.conn.Close()
+	}
+	// Fail outstanding calls so callers do not hang. Pending entries are
+	// not segregated per peer; failing all of them on a broken link is an
+	// acceptable simplification for a crash-stop model (callers retry).
+	if cause != nil && !errors.Is(cause, io.EOF) || c.closed.Load() {
+		c.pending.Range(func(k, v any) bool {
+			if _, loaded := c.pending.LoadAndDelete(k); loaded {
+				v.(chan callResult) <- callResult{err: fmt.Errorf("transport: link to %d lost: %w", to, cause)}
+			}
+			return true
+		})
+	}
+}
+
+func (c *tcpConn) peerFor(to NodeID) (*tcpPeer, error) {
+	c.peersMu.Lock()
+	defer c.peersMu.Unlock()
+	if p, ok := c.peers[to]; ok {
+		return p, nil
+	}
+	addr := c.net.Addr(to)
+	if addr == "" {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
+	}
+	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	c.peers[to] = p
+	c.wg.Add(1)
+	go c.readResponses(to, conn)
+	return p, nil
+}
+
+func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	p, err := c.peerFor(to)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	c.pending.Store(id, ch)
+	if c.closed.Load() {
+		// Close may have swept pending before our Store; never hang.
+		c.pending.Delete(id)
+		return nil, ErrClosed
+	}
+	env := envelope{ID: id, From: c.id, Kind: kindRequest, Payload: req}
+	if err := p.write(&env); err != nil {
+		c.pending.Delete(id)
+		c.dropPeer(to, err)
+		return nil, fmt.Errorf("transport: send to node %d: %w", to, err)
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-ctx.Done():
+		c.pending.Delete(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *tcpConn) Send(to NodeID, req any) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	p, err := c.peerFor(to)
+	if err != nil {
+		return err
+	}
+	env := envelope{From: c.id, Kind: kindOneway, Payload: req}
+	if err := p.write(&env); err != nil {
+		c.dropPeer(to, err)
+		return fmt.Errorf("transport: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := c.ln.Close()
+	c.peersMu.Lock()
+	for id, p := range c.peers {
+		p.conn.Close()
+		delete(c.peers, id)
+	}
+	c.peersMu.Unlock()
+	c.inboundMu.Lock()
+	for conn := range c.inbound {
+		conn.Close()
+	}
+	c.inboundMu.Unlock()
+	// Fail outstanding calls.
+	c.pending.Range(func(k, v any) bool {
+		if _, loaded := c.pending.LoadAndDelete(k); loaded {
+			v.(chan callResult) <- callResult{err: ErrClosed}
+		}
+		return true
+	})
+	c.wg.Wait()
+	return err
+}

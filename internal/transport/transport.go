@@ -1,0 +1,59 @@
+// Package transport provides the messaging substrate connecting ALOHA-DB
+// servers (and the Calvin baseline). Two implementations share one
+// interface: an in-memory network with configurable latency/jitter
+// injection used by the simulated clusters in tests and benchmarks, and a
+// TCP network with gob-framed messages used by the multi-process
+// deployment (cmd/aloha-server).
+//
+// The model is a symmetric node mesh: every node registers one handler and
+// obtains a Conn through which it can Call (request/response) or Send
+// (one-way) any other node by ID.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// NodeID identifies one node of the mesh. ALOHA-DB assigns servers
+// 0..n-1 and the epoch manager a dedicated ID.
+type NodeID int
+
+// Handler processes one inbound message. For Call traffic the returned
+// value travels back to the caller; for Send traffic it is discarded. A
+// handler may be invoked from many goroutines concurrently.
+type Handler func(from NodeID, msg any) (any, error)
+
+// Conn is a node's endpoint into the mesh.
+type Conn interface {
+	// Call delivers req to the destination node's handler and waits for
+	// its response.
+	Call(ctx context.Context, to NodeID, req any) (any, error)
+	// Send delivers req one-way, without waiting for handling to finish.
+	Send(to NodeID, req any) error
+	// Local returns this endpoint's node ID.
+	Local() NodeID
+	// Close detaches the node from the mesh.
+	Close() error
+}
+
+// Network creates node endpoints.
+type Network interface {
+	// Node attaches a handler for id and returns its endpoint. Each ID may
+	// be attached at most once.
+	Node(id NodeID, h Handler) (Conn, error)
+	// Close shuts the whole mesh down.
+	Close() error
+}
+
+// Errors shared by implementations.
+var (
+	// ErrNodeExists is returned when attaching a duplicate node ID.
+	ErrNodeExists = errors.New("transport: node already attached")
+	// ErrUnknownNode is returned when messaging an unattached node.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("transport: closed")
+	// ErrRemote wraps a handler error that crossed the wire.
+	ErrRemote = errors.New("transport: remote handler error")
+)

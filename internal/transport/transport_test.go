@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type ping struct{ N int }
+type pong struct{ N int }
+
+func init() {
+	RegisterType(ping{})
+	RegisterType(pong{})
+}
+
+// echoHandler responds to ping{N} with pong{N+1} and errors on N < 0.
+func echoHandler(from NodeID, msg any) (any, error) {
+	p, ok := msg.(ping)
+	if !ok {
+		return nil, fmt.Errorf("unexpected message %T", msg)
+	}
+	if p.N < 0 {
+		return nil, errors.New("negative ping")
+	}
+	return pong{N: p.N + 1}, nil
+}
+
+// networks under test, constructed fresh per invocation.
+func testNetworks(t *testing.T) map[string]func() Network {
+	t.Helper()
+	return map[string]func() Network{
+		"mem": func() Network { return NewMemNetwork() },
+		"mem-latency": func() Network {
+			return NewMemNetwork(WithLatency(100*time.Microsecond, 50*time.Microsecond))
+		},
+		"tcp": func() Network {
+			return NewTCPNetwork(map[NodeID]string{
+				0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0",
+			})
+		},
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if _, err := n.Node(1, echoHandler); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c0.Local() != 0 {
+				t.Errorf("Local() = %d", c0.Local())
+			}
+			resp, err := c0.Call(context.Background(), 1, ping{N: 41})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := resp.(pong); !ok || got.N != 42 {
+				t.Errorf("resp = %#v, want pong{42}", resp)
+			}
+		})
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if _, err := n.Node(1, echoHandler); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = c0.Call(context.Background(), 1, ping{N: -1})
+			if !errors.Is(err, ErrRemote) {
+				t.Errorf("err = %v, want ErrRemote", err)
+			}
+		})
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			got := make(chan int, 1)
+			if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+				got <- msg.(ping).N
+				return nil, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c0.Send(1, ping{N: 7}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case v := <-got:
+				if v != 7 {
+					t.Errorf("received %d, want 7", v)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("one-way message never arrived")
+			}
+		})
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c0.Call(context.Background(), 99, ping{}); err == nil {
+				t.Error("Call to unknown node should fail")
+			}
+			if err := c0.Send(99, ping{}); err == nil {
+				t.Error("Send to unknown node should fail")
+			}
+		})
+	}
+}
+
+func TestDuplicateNode(t *testing.T) {
+	n := NewMemNetwork()
+	defer n.Close()
+	if _, err := n.Node(0, echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Node(0, echoHandler); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("err = %v, want ErrNodeExists", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if _, err := n.Node(1, echoHandler); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const calls = 64
+			var wg sync.WaitGroup
+			errs := make(chan error, calls)
+			for i := 0; i < calls; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := c0.Call(context.Background(), 1, ping{N: i})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.(pong).N != i+1 {
+						errs <- fmt.Errorf("call %d: response mismatch %v", i, resp)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	for name, mk := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			var c0, c1 Conn
+			var err error
+			if c1, err = n.Node(1, echoHandler); err != nil {
+				t.Fatal(err)
+			}
+			if c0, err = n.Node(0, echoHandler); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c0.Call(context.Background(), 1, ping{N: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c1.Call(context.Background(), 0, ping{N: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+	defer n.Close()
+	block := make(chan struct{})
+	if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+		<-block
+		return pong{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c0.Call(ctx, 1, ping{N: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+	block := make(chan struct{})
+	defer close(block)
+	if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+		<-block
+		return pong{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Call(context.Background(), 1, ping{N: 1})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call get in flight
+	if err := c0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("pending call should fail after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call hung after Close")
+	}
+}
+
+func TestMemLatencyDelaysCall(t *testing.T) {
+	n := NewMemNetwork(WithLatency(5*time.Millisecond, 0))
+	defer n.Close()
+	if _, err := n.Node(1, echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c0.Call(context.Background(), 1, ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 10*time.Millisecond {
+		t.Errorf("RTT %v < simulated 10ms", rtt)
+	}
+}
+
+func TestMemConnCloseDetaches(t *testing.T) {
+	n := NewMemNetwork()
+	defer n.Close()
+	c1, err := n.Node(1, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Call(context.Background(), 1, ping{N: 1}); err == nil {
+		t.Error("Call to detached node should fail")
+	}
+}

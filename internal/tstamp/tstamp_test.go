@@ -1,0 +1,255 @@
+package tstamp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name   string
+		epoch  Epoch
+		seq    uint32
+		server uint16
+	}{
+		{name: "zero", epoch: 0, seq: 0, server: 0},
+		{name: "small", epoch: 1, seq: 2, server: 3},
+		{name: "max epoch", epoch: MaxEpoch, seq: 0, server: 0},
+		{name: "max seq", epoch: 0, seq: MaxSeq, server: 0},
+		{name: "max server", epoch: 0, seq: 0, server: MaxServer},
+		{name: "all max", epoch: MaxEpoch, seq: MaxSeq, server: MaxServer},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := Make(tt.epoch, tt.seq, tt.server)
+			if got := ts.Epoch(); got != tt.epoch {
+				t.Errorf("Epoch() = %d, want %d", got, tt.epoch)
+			}
+			if got := ts.Seq(); got != tt.seq {
+				t.Errorf("Seq() = %d, want %d", got, tt.seq)
+			}
+			if got := ts.Server(); got != tt.server {
+				t.Errorf("Server() = %d, want %d", got, tt.server)
+			}
+		})
+	}
+}
+
+func TestMakePanicsOutOfRange(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{name: "epoch", fn: func() { Make(MaxEpoch+1, 0, 0) }},
+		{name: "seq", fn: func() { Make(0, MaxSeq+1, 0) }},
+		{name: "server", fn: func() { Make(0, 0, MaxServer+1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(epoch uint32, seq uint32, server uint16) bool {
+		e := Epoch(epoch) & MaxEpoch
+		s := seq & MaxSeq
+		sv := server & MaxServer
+		ts := Make(e, s, sv)
+		return ts.Epoch() == e && ts.Seq() == s && ts.Server() == sv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderingProperty verifies that natural uint64 ordering agrees with
+// lexicographic (epoch, seq, server) ordering.
+func TestOrderingProperty(t *testing.T) {
+	f := func(e1, s1 uint32, sv1 uint16, e2, s2 uint32, sv2 uint16) bool {
+		a := Make(Epoch(e1)&MaxEpoch, s1&MaxSeq, sv1&MaxServer)
+		b := Make(Epoch(e2)&MaxEpoch, s2&MaxSeq, sv2&MaxServer)
+		lexLess := a.Epoch() < b.Epoch() ||
+			(a.Epoch() == b.Epoch() && a.Seq() < b.Seq()) ||
+			(a.Epoch() == b.Epoch() && a.Seq() == b.Seq() && a.Server() < b.Server())
+		return (a < b) == lexLess
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochBounds(t *testing.T) {
+	for _, e := range []Epoch{0, 1, 7, 1000, MaxEpoch - 1} {
+		start, end := Start(e), End(e)
+		if start.Epoch() != e {
+			t.Errorf("Start(%d).Epoch() = %d", e, start.Epoch())
+		}
+		if !Contains(e, start) {
+			t.Errorf("Contains(%d, Start) = false", e)
+		}
+		if Contains(e, end) {
+			t.Errorf("Contains(%d, End) = true", e)
+		}
+		inner := Make(e, MaxSeq, MaxServer)
+		if !(start <= inner && inner < end) {
+			t.Errorf("epoch %d: inner timestamp outside [start, end)", e)
+		}
+	}
+	if End(MaxEpoch) != Max {
+		t.Errorf("End(MaxEpoch) = %v, want Max", End(MaxEpoch))
+	}
+}
+
+func TestPrev(t *testing.T) {
+	if Zero.Prev() != Zero {
+		t.Error("Prev of Zero should be Zero")
+	}
+	ts := Make(3, 5, 1)
+	if ts.Prev() != ts-1 {
+		t.Error("Prev should subtract one")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Make(3, 5, 1).String(); got != "3.5@1" {
+		t.Errorf("String() = %q, want %q", got, "3.5@1")
+	}
+}
+
+func TestGeneratorSequential(t *testing.T) {
+	g := NewGenerator(7)
+	g.SetEpoch(2)
+	prev := Zero
+	for i := 1; i <= 100; i++ {
+		ts, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.Epoch() != 2 || ts.Server() != 7 || ts.Seq() != uint32(i) {
+			t.Fatalf("unexpected ts %v at i=%d", ts, i)
+		}
+		if ts <= prev {
+			t.Fatalf("timestamps not monotone: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestGeneratorEpochMonotone(t *testing.T) {
+	g := NewGenerator(0)
+	g.SetEpoch(5)
+	if _, err := g.Next(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetEpoch(3) // backwards: ignored
+	if got := g.Epoch(); got != 5 {
+		t.Errorf("Epoch() = %d, want 5", got)
+	}
+	g.SetEpoch(5) // same epoch: no counter reset
+	ts, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Seq() != 2 {
+		t.Errorf("Seq() = %d, want 2 (counter must not reset)", ts.Seq())
+	}
+	g.SetEpoch(6)
+	ts, err = g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Epoch() != 6 || ts.Seq() != 1 {
+		t.Errorf("after SetEpoch(6): got %v, want 6.1@0", ts)
+	}
+}
+
+func TestGeneratorConcurrentUnique(t *testing.T) {
+	g := NewGenerator(1)
+	g.SetEpoch(1)
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	results := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Timestamp, 0, perW)
+			for i := 0; i < perW; i++ {
+				ts, err := g.Next()
+				if err != nil {
+					t.Errorf("Next: %v", err)
+					return
+				}
+				out = append(out, ts)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, workers*perW)
+	for _, out := range results {
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("got %d unique timestamps, want %d", len(seen), workers*perW)
+	}
+}
+
+func TestGeneratorsDistinctServersNeverCollide(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g1 := NewGenerator(1)
+	g2 := NewGenerator(2)
+	g1.SetEpoch(1)
+	g2.SetEpoch(1)
+	seen := make(map[Timestamp]bool)
+	for i := 0; i < 1000; i++ {
+		g := g1
+		if rng.Intn(2) == 0 {
+			g = g2
+		}
+		ts, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ts] {
+			t.Fatalf("collision at %v", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+// TestStragglerBoundStructural documents how the packed scheme realizes
+// §III-C's bound: every timestamp a server issues without authorization
+// (generator retargeted at epoch e+1) is strictly below epoch e+1's
+// finish timestamp, so serializability cannot be violated by stragglers.
+func TestStragglerBoundStructural(t *testing.T) {
+	g := NewGenerator(3)
+	g.SetEpoch(7) // authorized epoch
+	g.SetEpoch(8) // revocation: straggler mode targets the next epoch
+	for i := 0; i < 1000; i++ {
+		ts, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts < Start(8) || ts >= End(8) {
+			t.Fatalf("no-auth timestamp %v outside epoch 8's validity", ts)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// TestEntryCodecProperty round-trips randomized install entries through
+// the log framing.
+func TestEntryCodecProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(version uint64, key string, handler string, arg []byte, readSet []string) bool {
+		i++
+		path := filepath.Join(dir, "wal-"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+(i/676)%26)))
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]kv.Key, len(readSet))
+		for j, s := range readSet {
+			keys[j] = kv.Key(s)
+		}
+		if len(keys) == 0 {
+			keys = nil
+		}
+		if len(arg) == 0 {
+			arg = nil
+		}
+		fn := functor.User("h"+handler, arg, keys)
+		v := tstamp.Timestamp(version)
+		if err := l.LogInstall(v, kv.Key(key), fn); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var got Entry
+		n := 0
+		if err := ReplayStrict(path, func(e Entry) error {
+			got = e
+			n++
+			return nil
+		}); err != nil {
+			return false
+		}
+		if n != 1 || got.Kind != KindInstall || got.Version != v || got.Key != kv.Key(key) {
+			return false
+		}
+		if got.Functor.Handler != "h"+handler || len(got.Functor.ReadSet) != len(keys) {
+			return false
+		}
+		for j := range keys {
+			if got.Functor.ReadSet[j] != keys[j] {
+				return false
+			}
+		}
+		return string(got.Functor.Arg) == string(arg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogPathHelpers(t *testing.T) {
+	if LogPath("/x", 3) != "/x/server-3.wal" {
+		t.Errorf("LogPath = %q", LogPath("/x", 3))
+	}
+	if CheckpointPath("/x", 12) != "/x/server-12.ckpt" {
+		t.Errorf("CheckpointPath = %q", CheckpointPath("/x", 12))
+	}
+	l, err := Open(filepath.Join(t.TempDir(), "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Path() == "" {
+		t.Error("Path() empty")
+	}
+}

@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"fmt"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/tstamp"
+)
+
+// _abortedByPeer mirrors the resolution the coordinator's second round
+// installs; replaying it restores the exact pre-crash state.
+var _abortedByPeer = functor.AbortResolution("aborted: peer partition failed phase 1")
+
+// Recover rebuilds one server's store from its log: replay every install
+// and abort whose epoch is durably committed, discard everything newer (an
+// epoch without its committed marker never became visible), and return the
+// last committed epoch so the cluster can restart at the next one.
+func Recover(path string) (*mvstore.Store, tstamp.Epoch, error) {
+	// Pass 1: find the last committed epoch.
+	var last tstamp.Epoch
+	if err := Replay(path, func(e Entry) error {
+		if e.Kind == KindEpochCommitted && e.Epoch > last {
+			last = e.Epoch
+		}
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	// Pass 2: apply committed-epoch entries.
+	store := mvstore.New()
+	bound := tstamp.End(last)
+	err := Replay(path, func(e Entry) error {
+		switch e.Kind {
+		case KindInstall:
+			if e.Version >= bound {
+				return nil // uncommitted epoch: discard
+			}
+			if _, err := store.Put(e.Key, e.Version, e.Functor); err != nil && err != mvstore.ErrVersionExists {
+				return fmt.Errorf("wal: recover %q@%v: %w", e.Key, e.Version, err)
+			}
+		case KindAbort:
+			if e.Version >= bound {
+				return nil
+			}
+			for _, k := range e.Keys {
+				if rec, ok := store.At(k, e.Version); ok {
+					rec.Resolve(_abortedByPeer)
+				}
+			}
+		case KindEpochCommitted:
+			// Pass 1 consumed these.
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Publish the rebuilt versions (in-epoch staging -> readable).
+	store.SealAll(tstamp.End(last))
+	return store, last, nil
+}

@@ -1,0 +1,256 @@
+// Package wal implements ALOHA-DB's epoch-granularity write-ahead log and
+// checkpointing, the fault-tolerance strategy inherited from ALOHA-KV
+// (paper §III-A). Installs and second-round aborts are appended as they
+// happen; the epoch-committed marker is appended and synced at each epoch
+// switch, making the epoch the atomic durability unit. Recovery replays
+// installs and aborts of committed epochs only — an epoch without its
+// marker never happened, exactly matching ECC's visibility rule.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// EntryKind tags one log record.
+type EntryKind uint8
+
+const (
+	// KindInstall records one installed key-functor pair.
+	KindInstall EntryKind = iota + 1
+	// KindAbort records a second-round abort.
+	KindAbort
+	// KindEpochCommitted marks an epoch fully committed (synced).
+	KindEpochCommitted
+)
+
+// Entry is one decoded log record.
+type Entry struct {
+	Kind    EntryKind
+	Version tstamp.Timestamp
+	Epoch   tstamp.Epoch // KindEpochCommitted only
+	Key     kv.Key       // KindInstall only
+	Functor *functor.Functor
+	Keys    []kv.Key // KindAbort only
+}
+
+// ErrCorrupt reports a failed CRC or framing check; replay stops at the
+// last intact record, which is the standard torn-write recovery rule.
+var ErrCorrupt = errors.New("wal: corrupt entry")
+
+// Log is an append-only write-ahead log for one server. Appends are
+// buffered; Sync flushes and fsyncs. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// Open creates or appends to the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// LogInstall implements core.DurabilityHook.
+func (l *Log) LogInstall(version tstamp.Timestamp, key kv.Key, fn *functor.Functor) error {
+	payload := make([]byte, 0, 64)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(version))
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = functor.AppendFunctor(payload, fn)
+	return l.append(KindInstall, payload)
+}
+
+// LogAbort implements core.DurabilityHook.
+func (l *Log) LogAbort(version tstamp.Timestamp, keys []kv.Key) error {
+	payload := make([]byte, 0, 64)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(version))
+	payload = binary.AppendUvarint(payload, uint64(len(keys)))
+	for _, k := range keys {
+		payload = binary.AppendUvarint(payload, uint64(len(k)))
+		payload = append(payload, k...)
+	}
+	return l.append(KindAbort, payload)
+}
+
+// LogEpochCommitted implements core.DurabilityHook: append the marker and
+// fsync, making the whole epoch durable in one synchronous write per epoch
+// (the amortization that lets ECC log at memory speed).
+func (l *Log) LogEpochCommitted(e tstamp.Epoch) error {
+	var payload [4]byte
+	binary.BigEndian.PutUint32(payload[:], uint32(e))
+	if err := l.append(KindEpochCommitted, payload[:]); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// append frames one record: crc32(kind|len|payload) kind len payload.
+func (l *Log) append(kind EntryKind, payload []byte) error {
+	var hdr [9]byte
+	hdr[4] = byte(kind)
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(payload)
+	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay streams every intact entry of the log at path to fn, stopping at
+// the first corrupt/torn record (which it reports via ErrCorrupt only if
+// strict is requested through ReplayStrict; plain Replay treats a torn tail
+// as end-of-log).
+func Replay(path string, fn func(Entry) error) error { return replay(path, fn, false) }
+
+// ReplayStrict is Replay but fails on any corrupt record.
+func ReplayStrict(path string, fn func(Entry) error) error { return replay(path, fn, true) }
+
+func replay(path string, fn func(Entry) error, strict bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		entry, err := readEntry(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if strict {
+				return err
+			}
+			return nil // torn tail: recover up to here
+		}
+		if err := fn(entry); err != nil {
+			return err
+		}
+	}
+}
+
+func readEntry(r *bufio.Reader) (Entry, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Entry{}, fmt.Errorf("%w: torn header", ErrCorrupt)
+		}
+		return Entry{}, err
+	}
+	kind := EntryKind(hdr[4])
+	size := binary.BigEndian.Uint32(hdr[5:])
+	if size > 1<<24 {
+		return Entry{}, fmt.Errorf("%w: implausible size %d", ErrCorrupt, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Entry{}, fmt.Errorf("%w: torn payload", ErrCorrupt)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(hdr[:4]) {
+		return Entry{}, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return decodeEntry(kind, payload)
+}
+
+func decodeEntry(kind EntryKind, payload []byte) (Entry, error) {
+	switch kind {
+	case KindInstall:
+		if len(payload) < 8 {
+			return Entry{}, fmt.Errorf("%w: short install", ErrCorrupt)
+		}
+		e := Entry{Kind: kind, Version: tstamp.Timestamp(binary.BigEndian.Uint64(payload))}
+		rest := payload[8:]
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 || klen > uint64(len(rest)-n) {
+			return Entry{}, fmt.Errorf("%w: install key", ErrCorrupt)
+		}
+		e.Key = kv.Key(rest[n : n+int(klen)])
+		fn, _, err := functor.DecodeFunctor(rest[n+int(klen):])
+		if err != nil {
+			return Entry{}, fmt.Errorf("%w: install functor: %v", ErrCorrupt, err)
+		}
+		e.Functor = fn
+		return e, nil
+	case KindAbort:
+		if len(payload) < 8 {
+			return Entry{}, fmt.Errorf("%w: short abort", ErrCorrupt)
+		}
+		e := Entry{Kind: kind, Version: tstamp.Timestamp(binary.BigEndian.Uint64(payload))}
+		rest := payload[8:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > uint64(len(rest)) {
+			return Entry{}, fmt.Errorf("%w: abort count", ErrCorrupt)
+		}
+		rest = rest[n:]
+		for i := uint64(0); i < count; i++ {
+			klen, n := binary.Uvarint(rest)
+			if n <= 0 || klen > uint64(len(rest)-n) {
+				return Entry{}, fmt.Errorf("%w: abort key", ErrCorrupt)
+			}
+			e.Keys = append(e.Keys, kv.Key(rest[n:n+int(klen)]))
+			rest = rest[n+int(klen):]
+		}
+		return e, nil
+	case KindEpochCommitted:
+		if len(payload) != 4 {
+			return Entry{}, fmt.Errorf("%w: bad epoch marker", ErrCorrupt)
+		}
+		return Entry{Kind: kind, Epoch: tstamp.Epoch(binary.BigEndian.Uint32(payload))}, nil
+	default:
+		return Entry{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+}

@@ -1,0 +1,208 @@
+// Package tpcc implements the TPC-C workload of the paper's evaluation
+// (§V-A1): NewOrder and Payment transactions over the standard
+// partition-by-warehouse layout ("TPC-C") and the scaled variant of
+// Rococo [1] that treats the database as one large warehouse partitioned
+// by item and district ("Scaled TPC-C"). The same generated transactions
+// run on both engines: as functors on ALOHA-DB (with the district
+// next-order-id as the determinate key, §V-A2) and as deterministic stored
+// procedures on Calvin.
+package tpcc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"alohadb/internal/kv"
+)
+
+// Key constructors. Numeric fields are decimal-encoded; every row that the
+// transactions touch independently is its own key, which keeps functors
+// single-purpose (an ADD on a YTD counter never conflicts structurally
+// with a balance update).
+func ItemKey(item int) kv.Key { return kv.Key("i:" + strconv.Itoa(item)) }
+
+// ReplicaItemKey is the per-server copy of a read-only item row. Standard
+// TPC-C deployments replicate the item table to every server so a
+// NewOrder transaction contacts exactly two partitions (its home and one
+// supply warehouse, §V-A1); both engines read the copy co-located with
+// the home warehouse. Scaled TPC-C instead partitions the single item
+// table by item id (ItemKey), which is precisely what makes its
+// transactions span many partitions.
+func ReplicaItemKey(server, item int) kv.Key {
+	return kv.Key("i:" + strconv.Itoa(server) + ":" + strconv.Itoa(item))
+}
+func StockKey(w, item int) kv.Key    { return kv.Key("s:" + strconv.Itoa(w) + ":" + strconv.Itoa(item)) }
+func WarehouseTaxKey(w int) kv.Key   { return kv.Key("wt:" + strconv.Itoa(w)) }
+func WarehouseYTDKey(w int) kv.Key   { return kv.Key("wy:" + strconv.Itoa(w)) }
+func DistrictTaxKey(w, d int) kv.Key { return kv.Key("dt:" + strconv.Itoa(w) + ":" + strconv.Itoa(d)) }
+func DistrictYTDKey(w, d int) kv.Key { return kv.Key("dy:" + strconv.Itoa(w) + ":" + strconv.Itoa(d)) }
+func NextOIDKey(w, d int) kv.Key     { return kv.Key("doid:" + strconv.Itoa(w) + ":" + strconv.Itoa(d)) }
+func CustomerKey(w, d, c int) kv.Key {
+	return kv.Key("c:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" + strconv.Itoa(c))
+}
+func CustomerBalanceKey(w, d, c int) kv.Key {
+	return kv.Key("cb:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" + strconv.Itoa(c))
+}
+func OrderKey(w, d int, oid int64) kv.Key {
+	return kv.Key("o:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" + strconv.FormatInt(oid, 10))
+}
+func NewOrderKey(w, d int, oid int64) kv.Key {
+	return kv.Key("no:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" + strconv.FormatInt(oid, 10))
+}
+func OrderLineKey(w, d int, oid int64, line int) kv.Key {
+	return kv.Key("ol:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" +
+		strconv.FormatInt(oid, 10) + ":" + strconv.Itoa(line))
+}
+func HistoryKey(w, d, c int, uid uint64) kv.Key {
+	return kv.Key("h:" + strconv.Itoa(w) + ":" + strconv.Itoa(d) + ":" +
+		strconv.Itoa(c) + ":" + strconv.FormatUint(uid, 10))
+}
+
+// fields splits a key into its prefix and numeric components. Returns nil
+// on malformed keys.
+func fields(k kv.Key) (prefix string, nums []int64) {
+	s := string(k)
+	sep := strings.IndexByte(s, ':')
+	if sep < 0 {
+		return "", nil
+	}
+	prefix = s[:sep]
+	rest := s[sep+1:]
+	for len(rest) > 0 {
+		next := strings.IndexByte(rest, ':')
+		var part string
+		if next < 0 {
+			part, rest = rest, ""
+		} else {
+			part, rest = rest[:next], rest[next+1:]
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return "", nil
+		}
+		nums = append(nums, n)
+	}
+	return prefix, nums
+}
+
+// Partitioner returns the key placement for the configuration: TPC-C
+// partitions by warehouse (items by item id, as the read-only item table
+// is spread across servers), Scaled TPC-C partitions by item and district
+// (§V-A1).
+func (c Config) Partitioner() func(k kv.Key, n int) int {
+	scaled := c.Scaled
+	return func(k kv.Key, n int) int {
+		prefix, nums := fields(k)
+		if len(nums) == 0 {
+			return kv.PartitionOf(k, n)
+		}
+		switch prefix {
+		case "i":
+			// Replicated copies "i:<server>:<item>" live on their server;
+			// the scaled variant's single table "i:<item>" spreads by item.
+			return int(nums[0]) % n
+		case "s":
+			if scaled {
+				if len(nums) < 2 {
+					return kv.PartitionOf(k, n)
+				}
+				return int(nums[1]) % n // by item
+			}
+			return warehouseServer(int(nums[0]), n)
+		case "wt", "wy":
+			return warehouseServer(int(nums[0]), n)
+		case "dt", "dy", "doid", "c", "cb", "o", "no", "ol", "h":
+			if scaled {
+				if len(nums) < 2 {
+					return kv.PartitionOf(k, n)
+				}
+				return int(nums[1]) % n // by district
+			}
+			return warehouseServer(int(nums[0]), n)
+		default:
+			return kv.PartitionOf(k, n)
+		}
+	}
+}
+
+// warehouseServer maps warehouse w (1-based) onto one of n servers.
+func warehouseServer(w, n int) int {
+	if w < 1 {
+		return 0
+	}
+	return (w - 1) % n
+}
+
+// DependencyRule maps order, new-order, and order-line rows to their
+// district's next-order-id key — the determinate key of those tables
+// (§V-A2). Reading any of those rows at timestamp ts first forces the
+// next-order-id functors at or below ts to compute, which applies the
+// deferred row writes.
+func (c Config) DependencyRule() func(k kv.Key) (kv.Key, bool) {
+	return func(k kv.Key) (kv.Key, bool) {
+		prefix, nums := fields(k)
+		switch prefix {
+		case "o", "no", "ol":
+			if len(nums) < 2 {
+				return "", false
+			}
+			return NextOIDKey(int(nums[0]), int(nums[1])), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// Stock encodes the mutable stock row fields the NewOrder transaction
+// maintains (TPC-C §2.4.2.2): quantity, year-to-date, order count, remote
+// order count.
+type Stock struct {
+	Quantity  int64
+	YTD       int64
+	OrderCnt  int64
+	RemoteCnt int64
+}
+
+// Encode renders the stock as a 32-byte value.
+func (s Stock) Encode() kv.Value {
+	out := make(kv.Value, 0, 32)
+	out = append(out, kv.EncodeInt64(s.Quantity)...)
+	out = append(out, kv.EncodeInt64(s.YTD)...)
+	out = append(out, kv.EncodeInt64(s.OrderCnt)...)
+	out = append(out, kv.EncodeInt64(s.RemoteCnt)...)
+	return out
+}
+
+// DecodeStock parses a stock value; malformed input yields the zero stock.
+func DecodeStock(v kv.Value) Stock {
+	if len(v) != 32 {
+		return Stock{}
+	}
+	q, _ := kv.DecodeInt64(v[0:8])
+	y, _ := kv.DecodeInt64(v[8:16])
+	o, _ := kv.DecodeInt64(v[16:24])
+	r, _ := kv.DecodeInt64(v[24:32])
+	return Stock{Quantity: q, YTD: y, OrderCnt: o, RemoteCnt: r}
+}
+
+// Deduct applies the TPC-C stock update rule for qty units (remote marks a
+// remote warehouse order line): s_quantity decreases by qty but wraps back
+// above the threshold of 10 by adding 91 when it would fall below.
+func (s Stock) Deduct(qty int64, remote bool) Stock {
+	if s.Quantity-qty >= 10 {
+		s.Quantity -= qty
+	} else {
+		s.Quantity = s.Quantity - qty + 91
+	}
+	s.YTD += qty
+	s.OrderCnt++
+	if remote {
+		s.RemoteCnt++
+	}
+	return s
+}
+
+func (s Stock) String() string {
+	return fmt.Sprintf("stock{qty=%d ytd=%d cnt=%d remote=%d}", s.Quantity, s.YTD, s.OrderCnt, s.RemoteCnt)
+}

@@ -1,0 +1,281 @@
+package tpcc
+
+import (
+	"testing"
+
+	"alohadb/internal/kv"
+)
+
+func TestFieldsParsing(t *testing.T) {
+	tests := []struct {
+		key    kv.Key
+		prefix string
+		nums   []int64
+	}{
+		{key: ItemKey(42), prefix: "i", nums: []int64{42}},
+		{key: StockKey(3, 99), prefix: "s", nums: []int64{3, 99}},
+		{key: OrderLineKey(1, 2, 77, 5), prefix: "ol", nums: []int64{1, 2, 77, 5}},
+		{key: "garbage", prefix: "", nums: nil},
+		{key: "x:notanumber", prefix: "", nums: nil},
+	}
+	for _, tt := range tests {
+		prefix, nums := fields(tt.key)
+		if prefix != tt.prefix {
+			t.Errorf("fields(%q) prefix = %q, want %q", tt.key, prefix, tt.prefix)
+			continue
+		}
+		if len(nums) != len(tt.nums) {
+			t.Errorf("fields(%q) nums = %v, want %v", tt.key, nums, tt.nums)
+			continue
+		}
+		for i := range nums {
+			if nums[i] != tt.nums[i] {
+				t.Errorf("fields(%q) nums = %v, want %v", tt.key, nums, tt.nums)
+				break
+			}
+		}
+	}
+}
+
+func TestPartitionerByWarehouse(t *testing.T) {
+	cfg := Config{Servers: 4}
+	part := cfg.Partitioner()
+	// Warehouse w lives on server (w-1) % 4; all its rows colocate.
+	for w := 1; w <= 8; w++ {
+		want := (w - 1) % 4
+		for _, k := range []kv.Key{
+			WarehouseTaxKey(w), WarehouseYTDKey(w), DistrictTaxKey(w, 3),
+			NextOIDKey(w, 3), CustomerKey(w, 3, 7), StockKey(w, 123),
+			OrderKey(w, 3, 9), NewOrderKey(w, 3, 9), OrderLineKey(w, 3, 9, 1),
+			HistoryKey(w, 3, 7, 1),
+		} {
+			if got := part(k, 4); got != want {
+				t.Errorf("part(%q) = %d, want %d", k, got, want)
+			}
+		}
+	}
+	// Items spread by item id.
+	if part(ItemKey(6), 4) != 2 {
+		t.Errorf("item partition = %d, want 2", part(ItemKey(6), 4))
+	}
+}
+
+func TestPartitionerScaled(t *testing.T) {
+	cfg := Config{Servers: 4, Scaled: true}
+	part := cfg.Partitioner()
+	// Stock and items by item id.
+	if got := part(StockKey(1, 6), 4); got != 2 {
+		t.Errorf("scaled stock partition = %d, want 2", got)
+	}
+	if got := part(ItemKey(6), 4); got != 2 {
+		t.Errorf("scaled item partition = %d, want 2", got)
+	}
+	// District-scoped rows by district.
+	for d := 1; d <= 8; d++ {
+		want := d % 4
+		for _, k := range []kv.Key{
+			DistrictTaxKey(1, d), NextOIDKey(1, d), CustomerKey(1, d, 5),
+			OrderKey(1, d, 3), OrderLineKey(1, d, 3, 1),
+		} {
+			if got := part(k, 4); got != want {
+				t.Errorf("part(%q) = %d, want %d", k, got, want)
+			}
+		}
+	}
+}
+
+func TestDependencyRule(t *testing.T) {
+	rule := Config{Servers: 2}.DependencyRule()
+	for _, k := range []kv.Key{OrderKey(2, 5, 9), NewOrderKey(2, 5, 9), OrderLineKey(2, 5, 9, 3)} {
+		det, ok := rule(k)
+		if !ok || det != NextOIDKey(2, 5) {
+			t.Errorf("rule(%q) = %q ok=%v, want %q", k, det, ok, NextOIDKey(2, 5))
+		}
+	}
+	for _, k := range []kv.Key{ItemKey(1), StockKey(1, 2), NextOIDKey(1, 1), "junk"} {
+		if _, ok := rule(k); ok {
+			t.Errorf("rule(%q) should not apply", k)
+		}
+	}
+}
+
+func TestStockDeduct(t *testing.T) {
+	tests := []struct {
+		name   string
+		start  int64
+		qty    int64
+		remote bool
+		want   Stock
+	}{
+		{name: "plenty", start: 50, qty: 5, want: Stock{Quantity: 45, YTD: 5, OrderCnt: 1}},
+		{name: "exactly threshold", start: 15, qty: 5, want: Stock{Quantity: 10, YTD: 5, OrderCnt: 1}},
+		{name: "wraps", start: 14, qty: 5, want: Stock{Quantity: 100, YTD: 5, OrderCnt: 1}},
+		{name: "remote", start: 50, qty: 5, remote: true, want: Stock{Quantity: 45, YTD: 5, OrderCnt: 1, RemoteCnt: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Stock{Quantity: tt.start}.Deduct(tt.qty, tt.remote)
+			if got != tt.want {
+				t.Errorf("Deduct = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStockCodecRoundTrip(t *testing.T) {
+	s := Stock{Quantity: 42, YTD: 100, OrderCnt: 7, RemoteCnt: 3}
+	if got := DecodeStock(s.Encode()); got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+	if got := DecodeStock(kv.Value("short")); got != (Stock{}) {
+		t.Errorf("malformed stock = %+v, want zero", got)
+	}
+}
+
+func TestNewOrderArgRoundTrip(t *testing.T) {
+	no := NewOrder{
+		W: 3, D: 7, C: 1234, UID: 1<<48 | 99,
+		Lines: []Line{{Item: 5, SupplyW: 3, Qty: 2}, {Item: 88, SupplyW: 4, Qty: 10}},
+	}
+	got, err := decodeNewOrderArg(newOrderArg(no))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != no.W || got.D != no.D || got.C != no.C || got.UID != no.UID {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Lines) != 2 || got.Lines[1] != no.Lines[1] {
+		t.Errorf("lines mismatch: %+v", got.Lines)
+	}
+	if _, err := decodeNewOrderArg([]byte{1, 2}); err == nil {
+		t.Error("truncated argument should fail")
+	}
+}
+
+func TestGeneratorNewOrderShape(t *testing.T) {
+	cfg := Config{Servers: 4, WarehousesPerServer: 2, Items: 1000, CustomersPerDistrict: 100, AbortRate: 0.01}
+	g, err := NewGenerator(cfg, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalid := 0
+	for trial := 0; trial < 2000; trial++ {
+		no := g.NextNewOrder()
+		// Home warehouse on the origin server.
+		if (no.W-1)%4 != 1 {
+			t.Fatalf("home warehouse %d not on server 1", no.W)
+		}
+		if no.D < 1 || no.D > 10 {
+			t.Fatalf("district %d out of range", no.D)
+		}
+		if no.C < 1 || no.C > 100 {
+			t.Fatalf("customer %d out of range", no.C)
+		}
+		if len(no.Lines) < 5 || len(no.Lines) > 15 {
+			t.Fatalf("%d lines, out of 5..15", len(no.Lines))
+		}
+		// Distributed convention: the first line's supply warehouse lives
+		// on another server.
+		if (no.Lines[0].SupplyW-1)%4 == 1 {
+			t.Fatalf("first line supply warehouse %d is on the home server", no.Lines[0].SupplyW)
+		}
+		if no.InvalidItem {
+			invalid++
+			last := no.Lines[len(no.Lines)-1]
+			if last.Item <= cfg.Items {
+				t.Fatalf("invalid-item transaction references a valid item %d", last.Item)
+			}
+		} else {
+			for _, l := range no.Lines {
+				if l.Item < 1 || l.Item > cfg.Items {
+					t.Fatalf("item %d out of range", l.Item)
+				}
+			}
+		}
+	}
+	if invalid == 0 || invalid > 100 {
+		t.Errorf("invalid transactions = %d of 2000, want around 20", invalid)
+	}
+}
+
+func TestGeneratorScaled(t *testing.T) {
+	cfg := Config{Servers: 4, Scaled: true, DistrictsPerServer: 2, Items: 500}
+	g, err := NewGenerator(cfg, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		no := g.NextNewOrder()
+		if no.W != 1 {
+			t.Fatalf("scaled warehouse = %d, want 1", no.W)
+		}
+		if no.D < 1 || no.D > 8 {
+			t.Fatalf("district %d out of 1..8", no.D)
+		}
+		for _, l := range no.Lines {
+			if l.SupplyW != 1 {
+				t.Fatalf("scaled supply warehouse = %d, want 1", l.SupplyW)
+			}
+		}
+	}
+}
+
+func TestGeneratorPayment(t *testing.T) {
+	g, err := NewGenerator(Config{Servers: 2, CustomersPerDistrict: 50}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := g.NextPayment()
+		if (p.W-1)%2 != 0 {
+			t.Fatalf("payment warehouse %d not on origin server", p.W)
+		}
+		if p.Amount <= 0 {
+			t.Fatalf("amount %d", p.Amount)
+		}
+		if p.C < 1 || p.C > 50 {
+			t.Fatalf("customer %d", p.C)
+		}
+	}
+}
+
+func TestLoadShape(t *testing.T) {
+	cfg := Config{Servers: 2, Items: 10, CustomersPerDistrict: 3}
+	counts := make(map[byte]int)
+	if err := cfg.Load(func(p kv.Pair) error {
+		counts[p.Key[0]]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warehouses := cfg.Warehouses() // 2
+	// The read-only item table is replicated per server under TPC-C.
+	if got := counts['i']; got != 10*cfg.Servers {
+		t.Errorf("items = %d, want %d", got, 10*cfg.Servers)
+	}
+	if got := counts['s']; got != 10*warehouses {
+		t.Errorf("stock = %d, want %d", got, 10*warehouses)
+	}
+	// c + cb share prefix 'c'; 2 warehouses x 10 districts x 3 customers x 2 keys
+	if got := counts['c']; got != warehouses*10*3*2 {
+		t.Errorf("customer keys = %d, want %d", got, warehouses*10*3*2)
+	}
+}
+
+func TestLoadScaledOmitsWarehouseYTD(t *testing.T) {
+	cfg := Config{Servers: 2, Scaled: true, Items: 5, CustomersPerDistrict: 1}
+	for _, p := range cfg.LoadPairs() {
+		prefix, _ := fields(p.Key)
+		if prefix == "wy" {
+			t.Fatal("scaled TPC-C must not load w_ytd (the column is removed, §V-A1)")
+		}
+	}
+}
+
+func TestAdjustTotal(t *testing.T) {
+	// 100.00 with 5% + 5% tax and 10% discount: 100 * 1.10 * 0.90 = 99.00
+	got := adjustTotal(10000, 500, 500, 1000)
+	if got != 9900 {
+		t.Errorf("adjustTotal = %d, want 9900", got)
+	}
+}

@@ -1,0 +1,187 @@
+// Package ycsb implements the YCSB-like microbenchmark of the paper's
+// evaluation (§V-A1), reproduced from Calvin's implementation: each server
+// holds a partition of 1M keys split into hot and cold keys by the
+// contention index (CI = 1/K for K hot keys per partition); every
+// transaction reads 10 keys and increments each by 1, touching exactly one
+// hot key on each participant partition; a distributed transaction spans
+// two partitions.
+//
+// The same generated transaction runs on both engines: as ADD functors on
+// ALOHA-DB (a read-modify-write of a single key is exactly an arithmetic
+// functor) and as a deterministic "ycsb-rmw" stored procedure on Calvin.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"alohadb/internal/calvin"
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+)
+
+// Config parameterizes the microbenchmark.
+type Config struct {
+	// Partitions is the number of servers (one partition each).
+	Partitions int
+	// KeysPerPartition is the partition size (paper: 1M). Keys never
+	// touched are never materialized, so large values cost nothing.
+	KeysPerPartition int
+	// ContentionIndex is CI = 1/K; hot keys per partition K = round(1/CI).
+	// The paper sweeps 0.0001 (10 000 hot keys) to 0.1 (10 hot keys).
+	ContentionIndex float64
+	// KeysPerTxn is the transaction size (paper: 10).
+	KeysPerTxn int
+	// Distributed makes every transaction touch exactly two partitions
+	// (the paper's default); otherwise transactions are single-partition.
+	Distributed bool
+	// Seed seeds the generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeysPerPartition <= 0 {
+		c.KeysPerPartition = 1_000_000
+	}
+	if c.KeysPerTxn <= 0 {
+		c.KeysPerTxn = 10
+	}
+	if c.ContentionIndex <= 0 {
+		c.ContentionIndex = 0.0001
+	}
+	return c
+}
+
+// HotKeys returns K, the number of hot keys per partition.
+func (c Config) HotKeys() int {
+	c = c.withDefaults()
+	k := int(1/c.ContentionIndex + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > c.KeysPerPartition {
+		k = c.KeysPerPartition
+	}
+	return k
+}
+
+// Key formats one microbenchmark key: "y:<partition>:<index>".
+func Key(partition, index int) kv.Key {
+	return kv.Key("y:" + strconv.Itoa(partition) + ":" + strconv.Itoa(index))
+}
+
+// Partitioner places microbenchmark keys on their encoded partition.
+func Partitioner(k kv.Key, n int) int {
+	s := string(k)
+	if !strings.HasPrefix(s, "y:") {
+		return kv.PartitionOf(k, n)
+	}
+	rest := s[2:]
+	sep := strings.IndexByte(rest, ':')
+	if sep < 0 {
+		return kv.PartitionOf(k, n)
+	}
+	p, err := strconv.Atoi(rest[:sep])
+	if err != nil || p < 0 {
+		return kv.PartitionOf(k, n)
+	}
+	return p % n
+}
+
+// Txn is one engine-neutral microbenchmark transaction.
+type Txn struct {
+	// Keys are the read-modify-write targets.
+	Keys []kv.Key
+}
+
+// Generator produces transactions. Not safe for concurrent use; create one
+// per load-driver goroutine with distinct seeds.
+type Generator struct {
+	cfg Config
+	hot int
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator for the configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("ycsb: Partitions must be positive")
+	}
+	if cfg.Distributed && cfg.Partitions < 2 {
+		return nil, fmt.Errorf("ycsb: distributed transactions need >= 2 partitions")
+	}
+	return &Generator{cfg: cfg, hot: cfg.HotKeys(), rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Next produces one transaction: one hot key per participant partition,
+// the remaining keys cold, split evenly across participants (§V-A1).
+func (g *Generator) Next() Txn {
+	cfg := g.cfg
+	parts := []int{g.rng.Intn(cfg.Partitions)}
+	if cfg.Distributed {
+		second := g.rng.Intn(cfg.Partitions - 1)
+		if second >= parts[0] {
+			second++
+		}
+		parts = append(parts, second)
+	}
+	keys := make([]kv.Key, 0, cfg.KeysPerTxn)
+	seen := make(map[kv.Key]bool, cfg.KeysPerTxn)
+	// Exactly one hot key at each participant partition.
+	for _, p := range parts {
+		k := Key(p, g.rng.Intn(g.hot))
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	// Fill with cold keys, round-robin across participants.
+	for i := 0; len(keys) < cfg.KeysPerTxn; i++ {
+		p := parts[i%len(parts)]
+		idx := g.hot + g.rng.Intn(cfg.KeysPerPartition-g.hot)
+		k := Key(p, idx)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	return Txn{Keys: keys}
+}
+
+// Aloha converts the transaction for ALOHA-DB: one ADD functor per key.
+// The read set of each functor is its own key (implicit), so this is
+// pure key-level concurrency control with no remote functor reads.
+func Aloha(t Txn) core.Txn {
+	writes := make([]core.Write, len(t.Keys))
+	for i, k := range t.Keys {
+		writes[i] = core.Write{Key: k, Functor: functor.Add(1)}
+	}
+	return core.Txn{Writes: writes}
+}
+
+// Calvin converts the transaction for the Calvin baseline: full read set,
+// full write set, deterministic RMW procedure.
+func Calvin(t Txn) calvin.Txn {
+	return calvin.Txn{ReadSet: t.Keys, WriteSet: t.Keys, Proc: ProcName}
+}
+
+// ProcName is the Calvin stored procedure name.
+const ProcName = "ycsb-rmw"
+
+// RegisterCalvinProcs installs the microbenchmark's stored procedure.
+func RegisterCalvinProcs(r *calvin.ProcRegistry) {
+	r.MustRegister(ProcName, func(reads map[kv.Key]kv.Value, args []byte, writeSet []kv.Key) map[kv.Key]kv.Value {
+		out := make(map[kv.Key]kv.Value, len(writeSet))
+		for _, k := range writeSet {
+			n := int64(0)
+			if v, ok := reads[k]; ok {
+				n, _ = kv.DecodeInt64(v)
+			}
+			out[k] = kv.EncodeInt64(n + 1)
+		}
+		return out
+	})
+}

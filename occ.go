@@ -1,0 +1,68 @@
+package alohadb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// This file implements the optimistic approach to dependent transactions
+// (paper §IV-E): a transaction reads all required keys at a snapshot,
+// computes its writes client-side, and installs OCC functors that perform
+// Hyder-style backward validation during functor computing — aborting if
+// any key of the read set changed between the snapshot and the
+// transaction's version. Unlike Hyder's central log melding, each functor
+// validates independently against only the keys it declares, so
+// validations proceed in parallel.
+
+const _occHandlerName = "aloha.occ"
+
+// OCCWrite builds a functor that writes value if none of the keys in
+// readSet (plus the written key itself) changed after the snapshot, and
+// aborts the transaction otherwise. Every functor of the transaction must
+// declare the same read set so all of them reach the same commit/abort
+// decision (paper §IV-C).
+func OCCWrite(value Value, snapshot Timestamp, readSet []Key) *Functor {
+	arg := make([]byte, 0, 9+len(value))
+	arg = binary.BigEndian.AppendUint64(arg, uint64(snapshot))
+	arg = append(arg, 0) // write marker: value
+	arg = append(arg, value...)
+	return functor.User(_occHandlerName, arg, readSet)
+}
+
+// OCCDelete is OCCWrite for a tombstone.
+func OCCDelete(snapshot Timestamp, readSet []Key) *Functor {
+	arg := make([]byte, 0, 9)
+	arg = binary.BigEndian.AppendUint64(arg, uint64(snapshot))
+	arg = append(arg, 1) // write marker: delete
+	return functor.User(_occHandlerName, arg, readSet)
+}
+
+// occHandler validates and applies one OCC write. The engine supplies the
+// version of every read (the latest version strictly below the functor's
+// own version); a version above the snapshot means a conflicting
+// transaction serialized between the read and the write.
+func occHandler(ctx *HandlerContext) (*Resolution, error) {
+	if len(ctx.Arg) < 9 {
+		return nil, fmt.Errorf("alohadb: malformed OCC argument")
+	}
+	snapshot := tstamp.Timestamp(binary.BigEndian.Uint64(ctx.Arg))
+	isDelete := ctx.Arg[8] == 1
+	for k, r := range ctx.Reads {
+		if r.Found && r.Version > snapshot {
+			return functor.AbortResolution(fmt.Sprintf(
+				"occ conflict: %q changed at %v after snapshot %v", k, r.Version, snapshot)), nil
+		}
+	}
+	if isDelete {
+		return functor.DeleteResolution(), nil
+	}
+	value := kv.Value(ctx.Arg[9:])
+	if len(value) == 0 {
+		value = nil
+	}
+	return functor.ValueResolution(value), nil
+}

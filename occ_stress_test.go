@@ -1,0 +1,92 @@
+package alohadb
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOCCRetryLoopCounter stresses the optimistic mode through the public
+// API: many goroutines perform read-modify-write increments with OCC
+// validation and retry on conflict. Exactly the successful attempts must
+// be reflected in the final counter — no lost updates, no double counts.
+func TestOCCRetryLoopCounter(t *testing.T) {
+	db, err := Open(Config{
+		Servers:       2,
+		EpochDuration: 3 * time.Millisecond,
+		Preload: func(emit func(Pair) error) error {
+			return emit(Pair{Key: "occ:ctr", Value: EncodeInt64(0)})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	const (
+		workers = 6
+		perW    = 10
+	)
+	var (
+		committed atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				for attempt := 0; ; attempt++ {
+					if attempt > 200 {
+						t.Error("OCC increment starved")
+						return
+					}
+					snap, err := db.Snapshot()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					cur, _, err := db.GetAt(ctx, "occ:ctr", snap)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					n, _ := DecodeInt64(cur)
+					h, err := db.Submit(ctx, Txn{Writes: []Write{
+						{Key: "occ:ctr", Functor: OCCWrite(EncodeInt64(n+1), snap, nil)},
+					}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ok, _, err := h.Await(ctx)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						committed.Add(1)
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	v, found, err := db.Get(ctx, "occ:ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := DecodeInt64(v)
+	if !found || n != committed.Load() {
+		t.Fatalf("counter = %d, committed increments = %d", n, committed.Load())
+	}
+	if committed.Load() != workers*perW {
+		t.Fatalf("committed = %d, want %d (every increment eventually succeeds)",
+			committed.Load(), workers*perW)
+	}
+}
