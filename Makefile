@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-full examples clean
+.PHONY: all build vet test race bench figures figures-full examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+	$(GO) vet ./...
+
+vet:
 	$(GO) vet ./...
 
 test:

@@ -30,6 +30,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
 	"alohadb/internal/tstamp"
 )
 
@@ -70,6 +71,31 @@ type (
 	Stats = core.Stats
 	// Partitioner overrides key placement.
 	Partitioner = core.Partitioner
+)
+
+// Metrics type aliases: the self-describing families returned by
+// DB.Metrics. A Family is one named metric (counter, gauge, or histogram)
+// with one or more labeled series; histogram series carry a
+// HistogramSnapshot from which quantiles can be extracted.
+type (
+	// MetricFamily is one named metric with its series.
+	MetricFamily = metrics.Family
+	// MetricSeries is one labeled sample (or histogram) of a family.
+	MetricSeries = metrics.Series
+	// MetricLabel is one key=value pair attached to a series.
+	MetricLabel = metrics.Label
+	// MetricKind discriminates counter, gauge, and histogram families.
+	MetricKind = metrics.Kind
+	// HistogramSnapshot is a point-in-time copy of a histogram's buckets;
+	// use Quantile/QuantileDuration/Mean to summarize it.
+	HistogramSnapshot = metrics.HistogramSnapshot
+)
+
+// Metric kind values.
+const (
+	KindCounter   = metrics.KindCounter
+	KindGauge     = metrics.KindGauge
+	KindHistogram = metrics.KindHistogram
 )
 
 // Functor constructors, re-exported.
@@ -201,23 +227,64 @@ func (db *DB) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*TxnH
 	return db.fe().SubmitBatch(ctx, txns)
 }
 
-// Get performs a latest-version serializable read: it is assigned a
-// timestamp in the current epoch and served when that epoch commits
-// (unified epochs, paper §III-B).
+// ReadOptions selects which snapshot a Read observes. The zero value
+// requests a fresh read.
+type ReadOptions struct {
+	// Snapshot, when nonzero, pins the read to an explicit snapshot
+	// timestamp (historical / time-travel read).
+	Snapshot Timestamp
+	// Committed, when true, reads the latest already-committed epoch
+	// instead of waiting for the current one.
+	Committed bool
+}
+
+// Read is the documented single entry point for point reads; Get,
+// GetCommitted, and GetAt are thin wrappers over it. All three modes are
+// serializable — they observe a prefix of the transaction order — and
+// differ only in freshness (the staleness contract):
+//
+//   - Fresh (zero ReadOptions): the read draws a timestamp in the current
+//     write epoch and is served when that epoch commits (unified epochs,
+//     paper §III-B). No staleness, but the reply waits up to one epoch
+//     duration (25 ms by default).
+//   - Committed (Committed: true): the read is served immediately from the
+//     newest committed epoch. Staleness is bounded by at most one epoch:
+//     it may miss transactions from the still-open epoch, never more.
+//   - Snapshot (Snapshot != 0): the read is pinned to the given snapshot,
+//     typically obtained from DB.Snapshot or TxnHandle timestamps.
+//     Historical snapshots are served immediately at any time; staleness
+//     is whatever the caller chose. Setting both Snapshot and Committed is
+//     an error.
+func (db *DB) Read(ctx context.Context, key Key, opts ReadOptions) (Value, bool, error) {
+	switch {
+	case opts.Snapshot != 0 && opts.Committed:
+		return nil, false, fmt.Errorf("alohadb: ReadOptions sets both Snapshot and Committed")
+	case opts.Snapshot != 0:
+		return db.fe().GetAt(ctx, key, opts.Snapshot)
+	case opts.Committed:
+		return db.fe().GetCommitted(ctx, key)
+	default:
+		return db.fe().Get(ctx, key)
+	}
+}
+
+// Get performs a fresh serializable read. Equivalent to Read with zero
+// ReadOptions; see Read for the staleness contract.
 func (db *DB) Get(ctx context.Context, key Key) (Value, bool, error) {
-	return db.fe().Get(ctx, key)
+	return db.Read(ctx, key, ReadOptions{})
 }
 
 // GetCommitted reads the latest already-committed version without waiting
-// for the current epoch (bounded staleness of at most one epoch).
+// for the current epoch. Equivalent to Read with Committed: true; see
+// Read for the staleness contract.
 func (db *DB) GetCommitted(ctx context.Context, key Key) (Value, bool, error) {
-	return db.fe().GetCommitted(ctx, key)
+	return db.Read(ctx, key, ReadOptions{Committed: true})
 }
 
-// GetAt reads the key at an explicit snapshot (historical / time-travel
-// read). Historical snapshots are served immediately at any time.
+// GetAt reads the key at an explicit snapshot. Equivalent to Read with
+// Snapshot set; see Read for the staleness contract.
 func (db *DB) GetAt(ctx context.Context, key Key, snapshot Timestamp) (Value, bool, error) {
-	return db.fe().GetAt(ctx, key, snapshot)
+	return db.Read(ctx, key, ReadOptions{Snapshot: snapshot})
 }
 
 // Snapshot returns a fresh snapshot timestamp in the current epoch. Reads
@@ -251,8 +318,18 @@ func (db *DB) AdvanceEpoch() error {
 	return err
 }
 
-// Stats aggregates all servers' counters.
+// Stats aggregates all servers' counters. It is a thin compatibility view
+// over the metric families returned by Metrics; prefer Metrics for new
+// code (it carries full latency distributions, not just sums).
 func (db *DB) Stats() Stats { return db.cluster.Stats() }
+
+// Metrics snapshots every metric family of the cluster: per-server stage
+// histograms (install/wait/compute), epoch txn counts and switch
+// durations, transport message/byte counters, and WAL append/fsync
+// histograms when durability is wired. Families are sorted by name;
+// per-server series carry a server="i" label. The snapshot is safe to
+// take concurrently with transaction processing.
+func (db *DB) Metrics() []MetricFamily { return db.cluster.Metrics() }
 
 // NumServers returns the cluster size.
 func (db *DB) NumServers() int { return db.cluster.NumServers() }

@@ -56,6 +56,15 @@ func (b *TxnBuilder) Write(k Key, fn *Functor) *TxnBuilder {
 // Require adds phase-1 existence requirements: if any key is absent on its
 // partition, the transaction aborts during install with a second round.
 func (b *TxnBuilder) Require(keys ...Key) *TxnBuilder {
+	if b.err != nil {
+		return b
+	}
+	for _, k := range keys {
+		if k == "" {
+			b.err = fmt.Errorf("alohadb: empty require key")
+			return b
+		}
+	}
 	b.requires = append(b.requires, keys...)
 	return b
 }
@@ -64,6 +73,15 @@ func (b *TxnBuilder) Require(keys ...Key) *TxnBuilder {
 // commit/abort decision; they are added to every user functor's read set
 // so all functors agree (§IV-C).
 func (b *TxnBuilder) Condition(keys ...Key) *TxnBuilder {
+	if b.err != nil {
+		return b
+	}
+	for _, k := range keys {
+		if k == "" {
+			b.err = fmt.Errorf("alohadb: empty condition key")
+			return b
+		}
+	}
 	b.conditions = append(b.conditions, keys...)
 	return b
 }
@@ -139,7 +157,7 @@ func (b *TxnBuilder) Build() (Txn, error) {
 }
 
 // Submit builds and submits in one step.
-func (b *TxnBuilder) Submit(db *DB, ctx context.Context) (*TxnHandle, error) {
+func (b *TxnBuilder) Submit(ctx context.Context, db *DB) (*TxnHandle, error) {
 	txn, err := b.Build()
 	if err != nil {
 		return nil, err

@@ -100,6 +100,21 @@ func TestBuilderErrors(t *testing.T) {
 	if _, err := NewTxn().Write("k", nil).Write("j", Add(1)).Build(); err == nil {
 		t.Error("error should be sticky")
 	}
+	if _, err := NewTxn().Write("k", Add(1)).Require("").Build(); err == nil {
+		t.Error("empty require key should fail")
+	}
+	if _, err := NewTxn().Write("k", Add(1)).Condition("").Build(); err == nil {
+		t.Error("empty condition key should fail")
+	}
+	// Require and Condition respect an earlier error: the nil-functor
+	// error survives, and their arguments are not recorded.
+	b := NewTxn().Write("k", nil).Require("r").Condition("c")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nil functor") {
+		t.Errorf("err = %v, want the original nil-functor error", err)
+	}
+	if len(b.requires) != 0 || len(b.conditions) != 0 {
+		t.Errorf("failed builder recorded keys: requires=%v conditions=%v", b.requires, b.conditions)
+	}
 }
 
 // TestBuilderEndToEnd uses Condition to make two functors agree on an
@@ -180,7 +195,7 @@ func TestBuilderEndToEnd(t *testing.T) {
 func TestBuilderSubmitHelper(t *testing.T) {
 	db := openTestDB(t, Config{})
 	ctx := context.Background()
-	h, err := NewTxn().Write("k", Add(7)).Submit(db, ctx)
+	h, err := NewTxn().Write("k", Add(7)).Submit(ctx, db)
 	if err != nil {
 		t.Fatal(err)
 	}

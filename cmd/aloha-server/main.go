@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +23,7 @@ import (
 
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
+	"alohadb/internal/metrics"
 	"alohadb/internal/transport"
 	"alohadb/internal/wal"
 )
@@ -40,6 +42,7 @@ func run() error {
 		emAddr  = flag.String("em", "", "epoch manager address")
 		workers = flag.Int("workers", 0, "functor processor pool size (0 = default)")
 		walPath = flag.String("wal", "", "write-ahead log path (empty disables durability)")
+		opsAddr = flag.String("metrics-addr", "", "ops HTTP listener (/metrics, /healthz, /debug/pprof); empty disables")
 	)
 	flag.Parse()
 
@@ -78,10 +81,27 @@ func run() error {
 	fmt.Printf("aloha-server %d listening on %s (epoch manager at %s)\n",
 		*id, addrs[transport.NodeID(*id)], *emAddr)
 
+	var ops *http.Server
+	if *opsAddr != "" {
+		gather := func() []metrics.Family {
+			return metrics.Merge(srv.MetricFamilies(), net.NetMetrics().MetricFamilies())
+		}
+		ops = &http.Server{Addr: *opsAddr, Handler: metrics.OpsHandler(gather)}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "aloha-server: ops listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("aloha-server %d ops endpoint on http://%s/metrics\n", *id, *opsAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if ops != nil {
+		ops.Close()
+	}
 	return nil
 }
 

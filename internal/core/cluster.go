@@ -7,6 +7,7 @@ import (
 	"alohadb/internal/epoch"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -210,13 +211,31 @@ func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 // NumServers returns the cluster size.
 func (c *Cluster) NumServers() int { return len(c.servers) }
 
-// Stats aggregates all servers' counters.
+// Stats aggregates all servers' counters (flat compatibility view).
 func (c *Cluster) Stats() Stats {
 	var total Stats
 	for _, srv := range c.servers {
 		total.Add(srv.Stats())
 	}
 	return total
+}
+
+// Metrics returns the cluster's self-describing metric snapshot: every
+// server's families (one series per server, labeled server="i"), the
+// epoch manager's switch-duration histogram and current-epoch gauge, and
+// the transport's message/byte/latency counters. Families with the same
+// name are merged; the result is sorted by name and safe to render with
+// metrics.WriteText or to inspect programmatically.
+func (c *Cluster) Metrics() []metrics.Family {
+	groups := make([][]metrics.Family, 0, len(c.servers)+2)
+	for _, srv := range c.servers {
+		groups = append(groups, srv.MetricFamilies())
+	}
+	groups = append(groups, c.em.MetricFamilies())
+	if inst, ok := c.net.(transport.Instrumented); ok {
+		groups = append(groups, inst.NetMetrics().MetricFamilies())
+	}
+	return metrics.Merge(groups...)
 }
 
 // DrainProcessors blocks until every server's processor queue is empty.

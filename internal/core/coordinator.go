@@ -58,7 +58,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		return nil, nil, nil
 	}
 	start := time.Now()
-	_, done, err := s.beginTxn()
+	_, done, err := s.beginTxn(len(txns))
 	if err != nil {
 		return nil, nil, err
 	}

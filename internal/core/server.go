@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -88,6 +90,8 @@ type Server struct {
 	authEpoch  tstamp.Epoch
 	authorized bool
 	inflight   map[tstamp.Epoch]*sync.WaitGroup
+	epochTxns  map[tstamp.Epoch]uint64    // transactions begun per epoch (metrics)
+	revokedAt  map[tstamp.Epoch]time.Time // revoke arrival, for the switch-span histogram
 	pendingMu  sync.Mutex
 	pending    map[tstamp.Epoch][]workItem // buffered functor metadata per epoch
 
@@ -148,6 +152,8 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		store:      mvstore.New(),
 		gen:        tstamp.NewGenerator(uint16(cfg.ID)),
 		inflight:   make(map[tstamp.Epoch]*sync.WaitGroup),
+		epochTxns:  make(map[tstamp.Epoch]uint64),
+		revokedAt:  make(map[tstamp.Epoch]time.Time),
 		pending:    make(map[tstamp.Epoch][]workItem),
 		pushCache:  make(map[pushKey]functor.Read),
 		visibleCh:  make(chan struct{}),
@@ -155,6 +161,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		durability: cfg.Durability,
 		depRule:    cfg.DependencyRule,
 	}
+	s.stats.init()
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	conn, err := net.Node(transport.NodeID(cfg.ID), s.handleMessage)
 	if err != nil {
@@ -176,8 +183,21 @@ func (s *Server) CurrentEpoch() tstamp.Epoch { return s.gen.Epoch() }
 // partitioner.
 func (s *Server) Owner(k kv.Key) int { return s.owner(k) }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a flat snapshot of the server's counters (compatibility
+// view; MetricFamilies carries the full distributions).
 func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// MetricFamilies returns the server's self-describing metric snapshot:
+// engine counters, Figure-10 stage histograms, epoch distributions, and —
+// when the durability hook exposes metrics (internal/wal does) — the WAL
+// families. Every series is tagged with this server's id.
+func (s *Server) MetricFamilies() []metrics.Family {
+	fams := s.stats.families()
+	if src, ok := s.durability.(interface{ MetricFamilies() []metrics.Family }); ok {
+		fams = append(fams, src.MetricFamilies()...)
+	}
+	return metrics.WithLabel(fams, "server", strconv.Itoa(s.id))
+}
 
 // Store exposes the partition's multi-version store to tests and tools.
 func (s *Server) Store() *mvstore.Store { return s.store }
@@ -223,6 +243,7 @@ func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
 		s.authorized = false
 	}
 	wg := s.inflight[e]
+	s.revokedAt[e] = time.Now()
 	s.mu.Unlock()
 	// Straggler optimization (§III-C): transactions may start immediately
 	// without authorization, drawing timestamps from epoch e+1, which the
@@ -244,6 +265,19 @@ func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
 // Committed implements epoch.Participant: epoch e's versions become
 // visible and its buffered functor metadata flows to the processor.
 func (s *Server) Committed(e tstamp.Epoch) {
+	// Record the epoch's transaction count and revoke→committed span.
+	// Epochs that never saw a revoke (the Start-time commit of the loading
+	// epoch) are not observed, so the distributions cover real switches
+	// only.
+	s.mu.Lock()
+	txns := s.epochTxns[e]
+	delete(s.epochTxns, e)
+	revoked, sawRevoke := s.revokedAt[e]
+	delete(s.revokedAt, e)
+	s.mu.Unlock()
+	if sawRevoke {
+		s.stats.recordEpoch(txns, time.Since(revoked))
+	}
 	// Advance visibility to Start(e+1).
 	bound := uint64(tstamp.End(e))
 	for {
@@ -315,10 +349,12 @@ func (s *Server) waitVisible(ctx context.Context, ts tstamp.Timestamp) error {
 }
 
 // beginTxn reserves a slot in the epoch the generator currently targets and
-// returns the epoch plus a completion callback. It retries when an epoch
+// returns the epoch plus a completion callback. txns is the number of
+// transactions the reservation covers (a batch reserves once), counted
+// into the per-epoch transaction histogram. It retries when an epoch
 // switch races with the reservation, so an install never proceeds in an
 // epoch whose revocation already acked.
-func (s *Server) beginTxn() (tstamp.Epoch, func(), error) {
+func (s *Server) beginTxn(txns int) (tstamp.Epoch, func(), error) {
 	for attempt := 0; attempt < 1024; attempt++ {
 		e := s.gen.Epoch()
 		if e == 0 {
@@ -331,12 +367,16 @@ func (s *Server) beginTxn() (tstamp.Epoch, func(), error) {
 			s.inflight[e] = wg
 		}
 		wg.Add(1)
+		s.epochTxns[e] += uint64(txns)
 		s.mu.Unlock()
 		if s.gen.Epoch() == e {
 			return e, wg.Done, nil
 		}
 		// The epoch moved between reservation and check; retry in the
 		// new epoch.
+		s.mu.Lock()
+		s.epochTxns[e] -= uint64(txns)
+		s.mu.Unlock()
 		wg.Done()
 	}
 	return 0, nil, fmt.Errorf("core: could not reserve an epoch slot")

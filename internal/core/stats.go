@@ -4,12 +4,17 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"alohadb/internal/metrics"
 )
 
-// serverStats aggregates per-server counters for the benchmark harness,
-// including the Figure-10 stage breakdown: functor installing (issue →
-// installed), waiting for processing (installed → retrieved by a
-// processor), and processing (handler run time).
+// serverStats aggregates per-server instruments: engine counters plus the
+// Figure-10 stage histograms — functor installing (issue → installed),
+// waiting for processing (installed → retrieved by a processor), and
+// processing (handler run time) — and the epoch-level distributions
+// (transactions per epoch, server-observed switch span). All record calls
+// are atomic and allocation-free; snapshots are taken by Stats (flat
+// compatibility view) and MetricFamilies (self-describing families).
 type serverStats struct {
 	txnsCommitted atomic.Uint64
 	txnsAborted   atomic.Uint64
@@ -23,30 +28,39 @@ type serverStats struct {
 	onDemandComputes  atomic.Uint64
 	versionsCompacted atomic.Uint64
 
-	installNanos atomic.Int64 // issue -> installed
-	installCount atomic.Uint64
-	waitNanos    atomic.Int64 // installed -> retrieved by processor
-	waitCount    atomic.Uint64
-	computeNanos atomic.Int64 // handler run time
-	computeCount atomic.Uint64
+	installHist *metrics.Histogram // issue -> installed
+	waitHist    *metrics.Histogram // installed -> retrieved by processor
+	computeHist *metrics.Histogram // handler run time
+
+	epochTxns   *metrics.Histogram // transactions begun per committed epoch
+	epochSwitch *metrics.Histogram // revoke -> committed span, as seen by this server
 }
 
-func (s *serverStats) recordInstall(d time.Duration) {
-	s.installNanos.Add(int64(d))
-	s.installCount.Add(1)
+// init builds the histograms; called once from NewServer.
+func (s *serverStats) init() {
+	s.installHist = metrics.NewHistogram(metrics.LatencyBounds())
+	s.waitHist = metrics.NewHistogram(metrics.LatencyBounds())
+	s.computeHist = metrics.NewHistogram(metrics.LatencyBounds())
+	s.epochTxns = metrics.NewHistogram(metrics.CountBounds())
+	s.epochSwitch = metrics.NewHistogram(metrics.LatencyBounds())
 }
 
-func (s *serverStats) recordWait(d time.Duration) {
-	s.waitNanos.Add(int64(d))
-	s.waitCount.Add(1)
+func (s *serverStats) recordInstall(d time.Duration) { s.installHist.ObserveDuration(d) }
+func (s *serverStats) recordWait(d time.Duration)    { s.waitHist.ObserveDuration(d) }
+func (s *serverStats) recordCompute(d time.Duration) { s.computeHist.ObserveDuration(d) }
+
+// recordEpoch records one committed epoch: how many transactions this
+// server began in it and how long the revoke→committed window lasted.
+func (s *serverStats) recordEpoch(txns uint64, switchSpan time.Duration) {
+	s.epochTxns.Observe(int64(txns))
+	if switchSpan > 0 {
+		s.epochSwitch.ObserveDuration(switchSpan)
+	}
 }
 
-func (s *serverStats) recordCompute(d time.Duration) {
-	s.computeNanos.Add(int64(d))
-	s.computeCount.Add(1)
-}
-
-// Stats is an immutable snapshot of one server's counters.
+// Stats is an immutable snapshot of one server's counters. It is the
+// flat compatibility view; MetricFamilies is the structured API carrying
+// the full distributions.
 type Stats struct {
 	TxnsCommitted     uint64
 	TxnsAborted       uint64
@@ -59,7 +73,8 @@ type Stats struct {
 	OnDemandComputes  uint64
 	VersionsCompacted uint64
 
-	// Stage breakdown (Figure 10): cumulative time and event counts.
+	// Stage breakdown (Figure 10): cumulative time and event counts,
+	// derived from the stage histograms.
 	InstallTime  time.Duration
 	InstallCount uint64
 	WaitTime     time.Duration
@@ -98,6 +113,9 @@ func (s Stats) String() string {
 }
 
 func (s *serverStats) snapshot() Stats {
+	install := s.installHist.Snapshot()
+	wait := s.waitHist.Snapshot()
+	compute := s.computeHist.Snapshot()
 	return Stats{
 		TxnsCommitted:     s.txnsCommitted.Load(),
 		TxnsAborted:       s.txnsAborted.Load(),
@@ -109,11 +127,65 @@ func (s *serverStats) snapshot() Stats {
 		PushHits:          s.pushHits.Load(),
 		OnDemandComputes:  s.onDemandComputes.Load(),
 		VersionsCompacted: s.versionsCompacted.Load(),
-		InstallTime:       time.Duration(s.installNanos.Load()),
-		InstallCount:      s.installCount.Load(),
-		WaitTime:          time.Duration(s.waitNanos.Load()),
-		WaitCount:         s.waitCount.Load(),
-		ComputeTime:       time.Duration(s.computeNanos.Load()),
-		ComputeCount:      s.computeCount.Load(),
+		InstallTime:       time.Duration(install.Sum),
+		InstallCount:      install.Count,
+		WaitTime:          time.Duration(wait.Sum),
+		WaitCount:         wait.Count,
+		ComputeTime:       time.Duration(compute.Sum),
+		ComputeCount:      compute.Count,
+	}
+}
+
+// Metric family names exported by every server. cmd/aloha-server serves
+// them on /metrics; DB.Metrics returns them programmatically.
+const (
+	FamTxnsCommitted     = "aloha_txns_committed_total"
+	FamTxnsAborted       = "aloha_txns_aborted_total"
+	FamReadsServed       = "aloha_reads_served_total"
+	FamFunctorsInstalled = "aloha_functors_installed_total"
+	FamFunctorsComputed  = "aloha_functors_computed_total"
+	FamRemoteReads       = "aloha_remote_reads_total"
+	FamPushesSent        = "aloha_pushes_sent_total"
+	FamPushHits          = "aloha_push_hits_total"
+	FamOnDemandComputes  = "aloha_on_demand_computes_total"
+	FamVersionsCompacted = "aloha_versions_compacted_total"
+	FamStageInstall      = "aloha_stage_install_seconds"
+	FamStageWait         = "aloha_stage_wait_seconds"
+	FamStageCompute      = "aloha_stage_compute_seconds"
+	FamEpochTxns         = "aloha_epoch_txns"
+	FamEpochSwitch       = "aloha_epoch_switch_seconds"
+)
+
+// families builds the unlabeled family list; the server tags each series
+// with its server label before exposing them.
+func (s *serverStats) families() []metrics.Family {
+	counter := func(name, help string, v uint64) metrics.Family {
+		return metrics.Family{
+			Name: name, Help: help, Kind: metrics.KindCounter,
+			Series: []metrics.Series{metrics.CounterSeries(v)},
+		}
+	}
+	hist := func(name, help string, unit metrics.Unit, h *metrics.Histogram) metrics.Family {
+		return metrics.Family{
+			Name: name, Help: help, Kind: metrics.KindHistogram, Unit: unit,
+			Series: []metrics.Series{metrics.HistSeries(h.Snapshot())},
+		}
+	}
+	return []metrics.Family{
+		counter(FamTxnsCommitted, "Transactions whose write-only phase succeeded.", s.txnsCommitted.Load()),
+		counter(FamTxnsAborted, "Transactions rolled back by the second round.", s.txnsAborted.Load()),
+		counter(FamReadsServed, "Read requests served by this partition.", s.readsServed.Load()),
+		counter(FamFunctorsInstalled, "Functors installed as in-epoch versions.", s.functorsInstalled.Load()),
+		counter(FamFunctorsComputed, "Functors resolved to final states.", s.functorsComputed.Load()),
+		counter(FamRemoteReads, "Historical reads issued to other partitions during computation.", s.remoteReads.Load()),
+		counter(FamPushesSent, "Proactive value pushes sent to recipient partitions.", s.pushesSent.Load()),
+		counter(FamPushHits, "Computations served from the proactive-push cache.", s.pushHits.Load()),
+		counter(FamOnDemandComputes, "Functors computed on demand at read time.", s.onDemandComputes.Load()),
+		counter(FamVersionsCompacted, "Historical versions removed by retention.", s.versionsCompacted.Load()),
+		hist(FamStageInstall, "Transaction issue to all functors installed (Figure 10 stage 1).", metrics.UnitSeconds, s.installHist),
+		hist(FamStageWait, "Functor install to processor dequeue (Figure 10 stage 2).", metrics.UnitSeconds, s.waitHist),
+		hist(FamStageCompute, "Functor handler run time (Figure 10 stage 3).", metrics.UnitSeconds, s.computeHist),
+		hist(FamEpochTxns, "Transactions this server began per committed epoch.", metrics.UnitNone, s.epochTxns),
+		hist(FamEpochSwitch, "Epoch revoke to committed span observed by this server.", metrics.UnitSeconds, s.epochSwitch),
 	}
 }

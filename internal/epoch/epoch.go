@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"alohadb/internal/metrics"
 	"alohadb/internal/tstamp"
 )
 
@@ -75,8 +76,10 @@ type Manager struct {
 	done     chan struct{}
 	running  bool
 
-	switchDur   time.Duration // cumulative time spent in epoch switches
-	switchCount int
+	// switchHist is the distribution of epoch-switch durations
+	// (revoke broadcast through the Committed+Grant broadcast), the
+	// manager-side view of epoch-switch jitter.
+	switchHist *metrics.Histogram
 }
 
 // New returns a manager with the given configuration. A zero Duration
@@ -89,9 +92,10 @@ func New(cfg Config) *Manager {
 		cfg.StartEpoch = 1
 	}
 	return &Manager{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:        cfg,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		switchHist: metrics.NewHistogram(metrics.LatencyBounds()),
 	}
 }
 
@@ -175,11 +179,10 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 		p.Committed(e)
 		p.Grant(next)
 	}
+	m.switchHist.ObserveDuration(time.Since(begin))
 	m.mu.Lock()
 	m.current = next
 	m.switching = false
-	m.switchDur += time.Since(begin)
-	m.switchCount++
 	m.mu.Unlock()
 	return next, nil
 }
@@ -253,11 +256,39 @@ func (m *Manager) Stop() {
 }
 
 // SwitchStats reports how many epoch switches have completed and their
-// cumulative duration; used by the benchmark harness.
+// cumulative duration; used by the benchmark harness. The full
+// distribution is available via MetricFamilies.
 func (m *Manager) SwitchStats() (count int, total time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.switchCount, m.switchDur
+	s := m.switchHist.Snapshot()
+	return int(s.Count), time.Duration(s.Sum)
+}
+
+// Metric family names exported by the manager.
+const (
+	// FamSwitch is the manager-side switch-duration histogram (revoke
+	// broadcast through Committed+Grant).
+	FamSwitch = "aloha_em_switch_seconds"
+	// FamCurrentEpoch is the currently granted epoch number.
+	FamCurrentEpoch = "aloha_epoch_current"
+)
+
+// MetricFamilies returns the manager's metric snapshot: the epoch-switch
+// duration histogram and the current epoch gauge.
+func (m *Manager) MetricFamilies() []metrics.Family {
+	return []metrics.Family{
+		{
+			Name: FamSwitch,
+			Help: "Epoch-switch duration at the manager (revoke through Committed+Grant broadcast).",
+			Kind: metrics.KindHistogram, Unit: metrics.UnitSeconds,
+			Series: []metrics.Series{metrics.HistSeries(m.switchHist.Snapshot())},
+		},
+		{
+			Name:   FamCurrentEpoch,
+			Help:   "Currently granted epoch.",
+			Kind:   metrics.KindGauge,
+			Series: []metrics.Series{metrics.GaugeSeries(int64(m.Current()))},
+		},
+	}
 }
 
 // Duration returns the configured epoch duration.

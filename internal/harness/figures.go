@@ -7,6 +7,7 @@ import (
 
 	"alohadb/internal/calvin"
 	"alohadb/internal/core"
+	"alohadb/internal/metrics"
 	"alohadb/internal/workload/tpcc"
 	"alohadb/internal/workload/ycsb"
 )
@@ -464,8 +465,10 @@ func Figure10(o Options) ([]StageBreakdown, error) {
 			return out, err
 		}
 		stats := ac.Stats()
+		fams := ac.Metrics()
 		ac.Close()
 		b := alohaBreakdown(stats, fmt.Sprintf("CI=%g", ci))
+		stagePercentiles(&b, fams)
 		fmt.Fprintln(o.Out, b)
 		out = append(out, b)
 
@@ -517,6 +520,33 @@ func alohaBreakdown(s core.Stats, label string) StageBreakdown {
 			{Name: "wait-for-processing", Fraction: frac(wait), Mean: wait},
 			{Name: "processing", Fraction: frac(compute), Mean: compute},
 		},
+	}
+}
+
+// stagePercentiles fills the breakdown's p50/p95/p99 columns from the
+// cluster's per-stage latency histograms (series merged across servers).
+func stagePercentiles(b *StageBreakdown, fams []metrics.Family) {
+	famFor := map[string]string{
+		"functor-installing":  core.FamStageInstall,
+		"wait-for-processing": core.FamStageWait,
+		"processing":          core.FamStageCompute,
+	}
+	byName := make(map[string]metrics.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for i := range b.Stages {
+		f, ok := byName[famFor[b.Stages[i].Name]]
+		if !ok {
+			continue
+		}
+		h := f.TotalHist()
+		if h.Count == 0 {
+			continue
+		}
+		b.Stages[i].P50 = h.QuantileDuration(0.50)
+		b.Stages[i].P95 = h.QuantileDuration(0.95)
+		b.Stages[i].P99 = h.QuantileDuration(0.99)
 	}
 }
 

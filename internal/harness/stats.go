@@ -88,11 +88,22 @@ type Stage struct {
 	Name     string
 	Fraction float64
 	Mean     time.Duration
+	// P50, P95, and P99 are stage-latency percentiles, populated when the
+	// engine exposes full distributions (ALOHA's per-stage histograms via
+	// Cluster.Metrics); they stay zero for engines that track sums only.
+	P50, P95, P99 time.Duration
 }
 
 func (b StageBreakdown) String() string {
 	s := fmt.Sprintf("%-8s %-12s", b.Engine, b.Label)
 	for _, st := range b.Stages {
+		if st.P99 != 0 {
+			s += fmt.Sprintf("  %s=%.1f%% (p50 %s / p95 %s / p99 %s)",
+				st.Name, st.Fraction*100,
+				st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond),
+				st.P99.Round(time.Microsecond))
+			continue
+		}
 		s += fmt.Sprintf("  %s=%.1f%% (%s)", st.Name, st.Fraction*100, st.Mean.Round(time.Microsecond))
 	}
 	return s

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsHandler builds the operator HTTP surface served by -metrics-addr:
+//
+//	/metrics       Prometheus text exposition of gather()
+//	/healthz       liveness probe (200 "ok")
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// gather is invoked per scrape; it should return a fresh snapshot (see
+// Cluster.Metrics / Server.MetricFamilies).
+func OpsHandler(gather func() []Family) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteText(w, gather())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

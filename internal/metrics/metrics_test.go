@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	// 1000 observations uniform in [0, 1ms): p50 ≈ 0.5ms, p99 ≈ 0.99ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(i) * int64(time.Millisecond) / 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	p50 := s.QuantileDuration(0.50)
+	if p50 < 300*time.Microsecond || p50 > 700*time.Microsecond {
+		t.Errorf("p50 = %s, want ~0.5ms", p50)
+	}
+	p99 := s.QuantileDuration(0.99)
+	if p99 < 700*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Errorf("p99 = %s, want ~1ms", p99)
+	}
+	if got := s.Mean(); got <= 0 || got > int64(time.Millisecond) {
+		t.Errorf("mean = %d out of range", got)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+	// Overflow bucket: observations above the last bound report the last
+	// finite bound.
+	h.Observe(1_000_000)
+	if q := h.Snapshot().Quantile(0.99); q != 100 {
+		t.Errorf("overflow quantile = %d, want 100", q)
+	}
+	// Quantile clamping.
+	if q := h.Snapshot().Quantile(5); q != 100 {
+		t.Errorf("clamped quantile = %d, want 100", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	b := NewHistogram([]int64{10, 100})
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(500)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 || sa.Sum != 555 {
+		t.Errorf("merged count=%d sum=%d, want 3/555", sa.Count, sa.Sum)
+	}
+	// Mismatched bounds are ignored, not corrupted.
+	c := NewHistogram([]int64{1}).Snapshot()
+	before := sa.Count
+	sa.Merge(c)
+	if sa.Count != before {
+		t.Errorf("mismatched merge changed count: %d -> %d", before, sa.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}
+
+// TestRecordAllocs guards the acceptance criterion: hot-path record calls
+// allocate nothing.
+func TestRecordAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per call, want 0", n)
+	}
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per call, want 0", n)
+	}
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v per call, want 0", n)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBounds())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(LatencyBounds())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			i++
+			h.Observe(i)
+		}
+	})
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestMergeFamilies(t *testing.T) {
+	a := []Family{
+		{Name: "b_total", Kind: KindCounter, Series: []Series{CounterSeries(1, Label{"server", "0"})}},
+		{Name: "a_total", Kind: KindCounter, Series: []Series{CounterSeries(2, Label{"server", "0"})}},
+	}
+	b := []Family{
+		{Name: "b_total", Kind: KindCounter, Series: []Series{CounterSeries(3, Label{"server", "1"})}},
+	}
+	out := Merge(a, b)
+	if len(out) != 2 || out[0].Name != "a_total" || out[1].Name != "b_total" {
+		t.Fatalf("merge order wrong: %+v", out)
+	}
+	if len(out[1].Series) != 2 || out[1].Total() != 4 {
+		t.Errorf("b_total series=%d total=%v, want 2/4", len(out[1].Series), out[1].Total())
+	}
+}
+
+func TestWithLabelAndTotals(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(5)
+	fams := WithLabel([]Family{
+		{Name: "x_seconds", Kind: KindHistogram, Unit: UnitSeconds, Series: []Series{HistSeries(h.Snapshot())}},
+	}, "server", "3")
+	if got := fams[0].Series[0].Labels; len(got) != 1 || got[0].Value != "3" {
+		t.Fatalf("labels = %+v", got)
+	}
+	th := fams[0].TotalHist()
+	if th.Count != 1 {
+		t.Errorf("TotalHist count = %d, want 1", th.Count)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	b := ExponentialBounds(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	if fmt.Sprint(b) != fmt.Sprint(want) {
+		t.Errorf("bounds = %v, want %v", b, want)
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders families in the Prometheus text exposition format
+// (version 0.0.4): # HELP / # TYPE headers, one line per sample,
+// histograms expanded into cumulative _bucket series plus _sum and
+// _count. Families with UnitSeconds have their nanosecond observations
+// scaled to seconds, following the *_seconds naming convention.
+func WriteText(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.Series {
+			if f.Kind == KindHistogram && s.Hist != nil {
+				writeHistogram(bw, f.Name, s, f.Unit)
+				continue
+			}
+			writeSample(bw, f.Name, s.Labels, "", "", f.Unit.apply(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s Series, unit Unit) {
+	var cum uint64
+	for i, c := range s.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Hist.Bounds) {
+			le = formatFloat(unit.apply(float64(s.Hist.Bounds[i])))
+		}
+		writeSample(bw, name+"_bucket", s.Labels, "le", le, float64(cum))
+	}
+	writeSample(bw, name+"_sum", s.Labels, "", "", unit.apply(float64(s.Hist.Sum)))
+	writeSample(bw, name+"_count", s.Labels, "", "", float64(s.Hist.Count))
+}
+
+// writeSample emits one line: name{labels,extraKey="extraVal"} value.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(extraVal)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders values the way Prometheus clients do: integers
+// without an exponent or trailing zeros, everything else in shortest
+// form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -17,11 +17,15 @@ import (
 type MemNetwork struct {
 	latency time.Duration
 	jitter  time.Duration
+	metrics *Metrics
 
 	mu     sync.RWMutex
 	nodes  map[NodeID]*memConn
 	closed bool
 }
+
+// NetMetrics implements Instrumented.
+func (n *MemNetwork) NetMetrics() *Metrics { return n.metrics }
 
 // MemOption configures a MemNetwork.
 type MemOption func(*MemNetwork)
@@ -37,7 +41,7 @@ func WithLatency(d, j time.Duration) MemOption {
 
 // NewMemNetwork returns an empty in-memory mesh.
 func NewMemNetwork(opts ...MemOption) *MemNetwork {
-	n := &MemNetwork{nodes: make(map[NodeID]*memConn)}
+	n := &MemNetwork{nodes: make(map[NodeID]*memConn), metrics: NewMetrics()}
 	for _, o := range opts {
 		o(n)
 	}
@@ -117,12 +121,16 @@ func (c *memConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	c.net.metrics.recordSend()
 	c.net.delay()
+	c.net.metrics.recordRecv()
 	resp, err := dst.handler(c.id, req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrRemote, err)
 	}
 	c.net.delay()
+	c.net.metrics.recordCall(time.Since(start))
 	return resp, nil
 }
 
@@ -131,17 +139,20 @@ func (c *memConn) Send(to NodeID, req any) error {
 	if err != nil {
 		return err
 	}
+	c.net.metrics.recordSend()
 	if c.net.latency == 0 && c.net.jitter == 0 {
 		// Preserve one-way semantics (the caller does not wait for the
 		// handler) while avoiding a goroutine per message in the
 		// zero-latency fast path used by throughput benchmarks.
 		go func() {
+			c.net.metrics.recordRecv()
 			_, _ = dst.handler(c.id, req)
 		}()
 		return nil
 	}
 	go func() {
 		c.net.delay()
+		c.net.metrics.recordRecv()
 		_, _ = dst.handler(c.id, req)
 	}()
 	return nil

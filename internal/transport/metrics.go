@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"time"
+
+	"alohadb/internal/metrics"
+)
+
+// Metric family names exported by both network implementations.
+const (
+	// FamMsgsSent counts outbound messages (requests, one-ways, responses).
+	FamMsgsSent = "aloha_transport_msgs_sent_total"
+	// FamMsgsReceived counts inbound messages handled.
+	FamMsgsReceived = "aloha_transport_msgs_received_total"
+	// FamBytesSent counts encoded bytes written to peers (TCP only; the
+	// in-memory mesh passes references and reports 0).
+	FamBytesSent = "aloha_transport_bytes_sent_total"
+	// FamBytesReceived counts encoded bytes read from peers (TCP only).
+	FamBytesReceived = "aloha_transport_bytes_received_total"
+	// FamCallLatency is the request/response round-trip distribution.
+	FamCallLatency = "aloha_transport_call_seconds"
+)
+
+// Metrics instruments one network: message and byte counters plus the
+// Call round-trip histogram. One Metrics is shared by every node of the
+// mesh; all record paths are atomic and allocation-free, keeping the
+// zero-latency in-memory fast path (a plain function call) intact.
+type Metrics struct {
+	msgsSent  metrics.Counter
+	msgsRecv  metrics.Counter
+	bytesSent metrics.Counter
+	bytesRecv metrics.Counter
+	callHist  *metrics.Histogram
+}
+
+// NewMetrics returns an empty instrument set.
+func NewMetrics() *Metrics {
+	return &Metrics{callHist: metrics.NewHistogram(metrics.LatencyBounds())}
+}
+
+func (m *Metrics) recordSend() { m.msgsSent.Inc() }
+func (m *Metrics) recordRecv() { m.msgsRecv.Inc() }
+func (m *Metrics) recordCall(d time.Duration) {
+	m.callHist.ObserveDuration(d)
+}
+
+// MetricFamilies returns the network's metric snapshot.
+func (m *Metrics) MetricFamilies() []metrics.Family {
+	counter := func(name, help string, c *metrics.Counter) metrics.Family {
+		return metrics.Family{
+			Name: name, Help: help, Kind: metrics.KindCounter,
+			Series: []metrics.Series{metrics.CounterSeries(c.Value())},
+		}
+	}
+	return []metrics.Family{
+		counter(FamMsgsSent, "Messages sent into the mesh.", &m.msgsSent),
+		counter(FamMsgsReceived, "Messages received and handled.", &m.msgsRecv),
+		counter(FamBytesSent, "Encoded bytes written to peers (TCP transport).", &m.bytesSent),
+		counter(FamBytesReceived, "Encoded bytes read from peers (TCP transport).", &m.bytesRecv),
+		{
+			Name: FamCallLatency,
+			Help: "Request/response round-trip time through the transport.",
+			Kind: metrics.KindHistogram, Unit: metrics.UnitSeconds,
+			Series: []metrics.Series{metrics.HistSeries(m.callHist.Snapshot())},
+		},
+	}
+}
+
+// Instrumented is implemented by networks that expose metrics; the
+// cluster and the ops endpoint discover it by assertion so the Network
+// interface stays minimal.
+type Instrumented interface {
+	NetMetrics() *Metrics
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RegisterType makes a concrete message type encodable on the TCP
@@ -34,7 +35,8 @@ type envelope struct {
 // node listens on its own address; peers dial lazily and keep one
 // connection per direction. Messages are gob-encoded envelopes.
 type TCPNetwork struct {
-	addrs map[NodeID]string
+	addrs   map[NodeID]string
+	metrics *Metrics
 
 	mu     sync.Mutex
 	nodes  []*tcpConn
@@ -47,7 +49,34 @@ func NewTCPNetwork(addrs map[NodeID]string) *TCPNetwork {
 	for id, a := range addrs {
 		book[id] = a
 	}
-	return &TCPNetwork{addrs: book}
+	return &TCPNetwork{addrs: book, metrics: NewMetrics()}
+}
+
+// NetMetrics implements Instrumented.
+func (n *TCPNetwork) NetMetrics() *Metrics { return n.metrics }
+
+// countingWriter tallies bytes written to a peer connection.
+type countingWriter struct {
+	w io.Writer
+	m *Metrics
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.m.bytesSent.Add(uint64(n))
+	return n, err
+}
+
+// countingReader tallies bytes read from a peer connection.
+type countingReader struct {
+	r io.Reader
+	m *Metrics
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.m.bytesRecv.Add(uint64(n))
+	return n, err
 }
 
 // Node implements Network: it starts a listener on the node's address.
@@ -175,13 +204,14 @@ func (c *tcpConn) serveInbound(conn net.Conn) {
 		delete(c.inbound, conn)
 		c.inboundMu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	out := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	dec := gob.NewDecoder(countingReader{r: conn, m: c.net.metrics})
+	out := &tcpPeer{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, m: c.net.metrics})}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		c.net.metrics.recordRecv()
 		switch env.Kind {
 		case kindOneway:
 			env := env
@@ -201,6 +231,7 @@ func (c *tcpConn) serveInbound(conn net.Conn) {
 					reply.ErrText = err.Error()
 					reply.Payload = nil
 				}
+				c.net.metrics.recordSend()
 				_ = out.write(&reply)
 			}()
 		default:
@@ -213,13 +244,14 @@ func (c *tcpConn) serveInbound(conn net.Conn) {
 // readResponses consumes responses arriving on an outbound connection.
 func (c *tcpConn) readResponses(to NodeID, conn net.Conn) {
 	defer c.wg.Done()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(countingReader{r: conn, m: c.net.metrics})
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			c.dropPeer(to, err)
 			return
 		}
+		c.net.metrics.recordRecv()
 		if env.Kind != kindResponse {
 			continue
 		}
@@ -268,7 +300,7 @@ func (c *tcpConn) peerFor(to NodeID) (*tcpPeer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
 	}
-	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, m: c.net.metrics})}
 	c.peers[to] = p
 	c.wg.Add(1)
 	go c.readResponses(to, conn)
@@ -283,6 +315,7 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	id := c.nextID.Add(1)
 	ch := make(chan callResult, 1)
 	c.pending.Store(id, ch)
@@ -292,6 +325,7 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 		return nil, ErrClosed
 	}
 	env := envelope{ID: id, From: c.id, Kind: kindRequest, Payload: req}
+	c.net.metrics.recordSend()
 	if err := p.write(&env); err != nil {
 		c.pending.Delete(id)
 		c.dropPeer(to, err)
@@ -299,6 +333,9 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	}
 	select {
 	case res := <-ch:
+		if res.err == nil {
+			c.net.metrics.recordCall(time.Since(start))
+		}
 		return res.payload, res.err
 	case <-ctx.Done():
 		c.pending.Delete(id)
@@ -315,6 +352,7 @@ func (c *tcpConn) Send(to NodeID, req any) error {
 		return err
 	}
 	env := envelope{From: c.id, Kind: kindOneway, Payload: req}
+	c.net.metrics.recordSend()
 	if err := p.write(&env); err != nil {
 		c.dropPeer(to, err)
 		return fmt.Errorf("transport: send to node %d: %w", to, err)

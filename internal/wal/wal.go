@@ -16,9 +16,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
 	"alohadb/internal/tstamp"
 )
 
@@ -56,6 +58,9 @@ type Log struct {
 	f    *os.File
 	w    *bufio.Writer
 	path string
+
+	appendHist *metrics.Histogram // framed record sizes in bytes
+	fsyncHist  *metrics.Histogram // Sync (flush+fsync) latency
 }
 
 // Open creates or appends to the log at path.
@@ -64,7 +69,38 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+	return &Log{
+		f: f, w: bufio.NewWriterSize(f, 1<<16), path: path,
+		appendHist: metrics.NewHistogram(metrics.SizeBounds()),
+		fsyncHist:  metrics.NewHistogram(metrics.LatencyBounds()),
+	}, nil
+}
+
+// Metric family names exported by the log.
+const (
+	// FamAppendBytes is the framed record size distribution.
+	FamAppendBytes = "aloha_wal_append_bytes"
+	// FamFsync is the Sync (flush + fsync) latency distribution.
+	FamFsync = "aloha_wal_fsync_seconds"
+)
+
+// MetricFamilies returns the log's metric snapshot. core.Server detects
+// this method on its durability hook and folds the families into its own.
+func (l *Log) MetricFamilies() []metrics.Family {
+	return []metrics.Family{
+		{
+			Name:   FamAppendBytes,
+			Help:   "Size of appended WAL records including framing.",
+			Kind:   metrics.KindHistogram,
+			Series: []metrics.Series{metrics.HistSeries(l.appendHist.Snapshot())},
+		},
+		{
+			Name: FamFsync,
+			Help: "WAL flush+fsync latency (one per committed epoch).",
+			Kind: metrics.KindHistogram, Unit: metrics.UnitSeconds,
+			Series: []metrics.Series{metrics.HistSeries(l.fsyncHist.Snapshot())},
+		},
+	}
 }
 
 // Path returns the log file path.
@@ -113,6 +149,7 @@ func (l *Log) append(kind EntryKind, payload []byte) error {
 	crc.Write(hdr[4:])
 	crc.Write(payload)
 	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
+	l.appendHist.Observe(int64(len(hdr) + len(payload)))
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, err := l.w.Write(hdr[:]); err != nil {
@@ -126,6 +163,7 @@ func (l *Log) append(kind EntryKind, payload []byte) error {
 
 // Sync flushes buffered records and fsyncs the file.
 func (l *Log) Sync() error {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
@@ -134,6 +172,7 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.fsyncHist.ObserveDuration(time.Since(start))
 	return nil
 }
 
