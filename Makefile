@@ -2,13 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures figures-full examples clean
+.PHONY: all build fmt-check vet test race bench figures figures-full examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -24,6 +24,7 @@ package alohadb
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
+	"alohadb/internal/trace"
 	"alohadb/internal/tstamp"
 )
 
@@ -98,6 +100,21 @@ const (
 	KindHistogram = metrics.KindHistogram
 )
 
+// Tracing type aliases: per-transaction lifecycle traces (see DB.Traces).
+type (
+	// TraceConfig enables the distributed tracer: a head-based sample
+	// rate, a slow-transaction capture threshold, and the span ring size.
+	TraceConfig = trace.Config
+	// TraceData is one captured trace: all retained spans of a TraceID.
+	TraceData = trace.Trace
+	// SpanData is one completed span within a trace.
+	SpanData = trace.SpanData
+)
+
+// SlowestTraces sorts traces longest-first and keeps the top n; use it to
+// triage DB.Traces / DB.SlowTraces output.
+var SlowestTraces = trace.Slowest
+
 // Functor constructors, re-exported.
 var (
 	// PutValue writes a literal value (f-type VALUE).
@@ -157,6 +174,9 @@ type Config struct {
 	Preload func(emit func(Pair) error) error
 	// Workers is the per-server functor processor pool size (default 2).
 	Workers int
+	// Trace enables per-transaction distributed tracing. The zero value
+	// disables it with no overhead on the transaction path.
+	Trace TraceConfig
 }
 
 // DB is an embedded ALOHA-DB cluster.
@@ -184,6 +204,7 @@ func Open(cfg Config) (*DB, error) {
 		Registry:       reg,
 		Workers:        cfg.Workers,
 		DependencyRule: cfg.DependencyRule,
+		Tracer:         trace.New(cfg.Trace),
 	})
 	if err != nil {
 		return nil, err
@@ -330,6 +351,20 @@ func (db *DB) Stats() Stats { return db.cluster.Stats() }
 // per-server series carry a server="i" label. The snapshot is safe to
 // take concurrently with transaction processing.
 func (db *DB) Metrics() []MetricFamily { return db.cluster.Metrics() }
+
+// Traces snapshots the recent sampled traces, oldest first. Returns nil
+// unless Config.Trace enabled the tracer.
+func (db *DB) Traces() []TraceData { return db.cluster.Traces() }
+
+// SlowTraces snapshots the traces captured by the slow-transaction policy
+// (root duration >= Config.Trace.SlowThreshold), including unsampled
+// outliers the head-based sampler dropped.
+func (db *DB) SlowTraces() []TraceData { return db.cluster.SlowTraces() }
+
+// TraceHandler returns the /debug/traces HTTP handler for this DB's
+// tracer, ready to mount via metrics.WithTraces (or any mux). Safe to call
+// when tracing is disabled: routes answer 404 with a hint.
+func (db *DB) TraceHandler() http.Handler { return trace.Handler(db.cluster.Tracer()) }
 
 // NumServers returns the cluster size.
 func (db *DB) NumServers() int { return db.cluster.NumServers() }

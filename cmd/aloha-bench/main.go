@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"alohadb/internal/harness"
+	"alohadb/internal/trace"
 )
 
 func main() {
@@ -33,8 +34,18 @@ func run() error {
 		duration = flag.Duration("duration", 0, "measurement window override per point")
 		items    = flag.Int("items", 0, "TPC-C item table size override")
 		csvPath  = flag.String("csv", "", "also write machine-readable results to this CSV file (figures 6-9, 11)")
+
+		traceSample  = flag.Float64("trace-sample", 0, "trace sample rate in [0,1] for the ALOHA-DB clusters under benchmark")
+		traceSlowest = flag.Int("trace-slowest", 0, "after the sweep, dump the N slowest captured traces (needs -trace-sample)")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{SampleRate: *traceSample})
+	} else if *traceSlowest > 0 {
+		return fmt.Errorf("aloha-bench: -trace-slowest needs -trace-sample > 0")
+	}
 
 	opts := harness.Options{
 		Quick:    !*full,
@@ -42,6 +53,7 @@ func run() error {
 		Duration: *duration,
 		Items:    *items,
 		Out:      os.Stdout,
+		Tracer:   tracer,
 	}
 
 	var collected []harness.Result
@@ -92,6 +104,14 @@ func run() error {
 			return fmt.Errorf("write csv: %w", err)
 		}
 		fmt.Printf("# wrote %d rows to %s\n", len(collected), *csvPath)
+	}
+	if *traceSlowest > 0 {
+		slowest := trace.Slowest(tracer.Traces(), *traceSlowest)
+		fmt.Printf("# %d slowest traces (of %d captured, %d spans dropped)\n",
+			len(slowest), len(tracer.Traces()), tracer.Dropped())
+		if err := trace.WriteText(os.Stdout, slowest); err != nil {
+			return err
+		}
 	}
 	return nil
 }

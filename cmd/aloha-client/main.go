@@ -52,7 +52,7 @@ func run() error {
 	core.RegisterMessages()
 	net := transport.NewTCPNetwork(book)
 	defer net.Close()
-	conn, err := net.Node(1000, func(transport.NodeID, any) (any, error) { return nil, nil })
+	conn, err := net.Node(1000, func(context.Context, transport.NodeID, any) (any, error) { return nil, nil })
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/metrics"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/wal"
 )
@@ -42,7 +43,11 @@ func run() error {
 		emAddr  = flag.String("em", "", "epoch manager address")
 		workers = flag.Int("workers", 0, "functor processor pool size (0 = default)")
 		walPath = flag.String("wal", "", "write-ahead log path (empty disables durability)")
-		opsAddr = flag.String("metrics-addr", "", "ops HTTP listener (/metrics, /healthz, /debug/pprof); empty disables")
+		opsAddr = flag.String("metrics-addr", "", "ops HTTP listener (/metrics, /healthz, /debug/pprof, /debug/traces); empty disables")
+
+		traceSample = flag.Float64("trace-sample", 0, "trace sample rate in [0,1] (0 disables sampling)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always capture transactions slower than this (0 disables)")
+		traceRing   = flag.Int("trace-ring", 0, "trace span ring size (0 = default)")
 	)
 	flag.Parse()
 
@@ -59,11 +64,17 @@ func run() error {
 	net := transport.NewTCPNetwork(addrs)
 	defer net.Close()
 
+	tracer := trace.New(trace.Config{
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		RingSize:      *traceRing,
+	})
 	cfg := core.ServerConfig{
 		ID:         *id,
 		NumServers: emID,
 		Registry:   functor.NewRegistry(),
 		Workers:    *workers,
+		Tracer:     tracer,
 	}
 	if *walPath != "" {
 		log, err := wal.Open(*walPath)
@@ -86,7 +97,7 @@ func run() error {
 		gather := func() []metrics.Family {
 			return metrics.Merge(srv.MetricFamilies(), net.NetMetrics().MetricFamilies())
 		}
-		ops = &http.Server{Addr: *opsAddr, Handler: metrics.OpsHandler(gather)}
+		ops = &http.Server{Addr: *opsAddr, Handler: metrics.OpsHandler(gather, metrics.WithTraces(trace.Handler(tracer)))}
 		go func() {
 			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "aloha-server: ops listener: %v\n", err)

@@ -47,7 +47,7 @@ func run() error {
 		*servers, *perHost, *items, *scaled)
 
 	// ALOHA-DB.
-	aloha, err := harness.NewAlohaTPCC(cfg, 0, 0)
+	aloha, err := harness.NewAlohaTPCC(cfg, 0, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -267,7 +267,7 @@ func (s *sequencer) nextID(origin int) uint64 {
 	return s.nextSeq64<<8 | uint64(origin&0xff)
 }
 
-func (s *sequencer) handle(from transport.NodeID, msg any) (any, error) {
+func (s *sequencer) handle(_ context.Context, from transport.NodeID, msg any) (any, error) {
 	m, ok := msg.(MsgSubmit)
 	if !ok {
 		return nil, fmt.Errorf("calvin: sequencer: unexpected message %T", msg)

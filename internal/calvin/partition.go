@@ -1,6 +1,7 @@
 package calvin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -162,7 +163,7 @@ func (p *partition) snapshotStats() Stats {
 }
 
 // handle dispatches inbound messages.
-func (p *partition) handle(from transport.NodeID, msg any) (any, error) {
+func (p *partition) handle(_ context.Context, from transport.NodeID, msg any) (any, error) {
 	switch m := msg.(type) {
 	case MsgBatch:
 		p.post(schedEvent{batch: m.Txns})
@@ -513,7 +514,7 @@ func (p *partition) readAndBroadcast(st *txnState) {
 		if o == p.id {
 			continue
 		}
-		_ = p.conn.Send(transport.NodeID(o), MsgReads{
+		_ = p.conn.Send(context.Background(), transport.NodeID(o), MsgReads{
 			TxnID: st.txn.ID,
 			From:  transport.NodeID(p.id),
 			Reads: local,
@@ -528,7 +529,7 @@ func (p *partition) finish(st *txnState) {
 	if st.txn.Origin == transport.NodeID(p.id) {
 		p.completeOne(st.txn.ID)
 	} else {
-		_ = p.conn.Send(st.txn.Origin, MsgDone{TxnID: st.txn.ID})
+		_ = p.conn.Send(context.Background(), st.txn.Origin, MsgDone{TxnID: st.txn.ID})
 	}
 }
 

@@ -1,6 +1,7 @@
 package calvin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestEarlyReadsBufferedBeforeBatch(t *testing.T) {
 	}
 	defer p.close()
 	// Attach a stub for partition 1 and the sequencer slot so sends work.
-	if _, err := net.Node(1, func(transport.NodeID, any) (any, error) { return nil, nil }); err != nil {
+	if _, err := net.Node(1, func(context.Context, transport.NodeID, any) (any, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package calvin
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -94,7 +95,7 @@ func TestRemoteSubmitViaSequencerMessage(t *testing.T) {
 	p.doneMu.Lock()
 	p.pending[id] = h
 	p.doneMu.Unlock()
-	if _, err := c.seq.handle(0, MsgSubmit{Txn: wireTxn{
+	if _, err := c.seq.handle(context.Background(), 0, MsgSubmit{Txn: wireTxn{
 		ID:       id,
 		Origin:   0,
 		ReadSet:  []kv.Key{"k"},
@@ -115,7 +116,7 @@ func TestRemoteSubmitViaSequencerMessage(t *testing.T) {
 		t.Errorf("k = %d, want 1", n)
 	}
 	// Unknown messages are rejected.
-	if _, err := c.seq.handle(0, MsgDone{}); err == nil {
+	if _, err := c.seq.handle(context.Background(), 0, MsgDone{}); err == nil {
 		t.Error("sequencer accepted an unexpected message type")
 	}
 }

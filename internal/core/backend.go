@@ -1,53 +1,58 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
 
-// handleMessage dispatches every inbound message to the back-end.
-func (s *Server) handleMessage(from transport.NodeID, msg any) (any, error) {
+// handleMessage dispatches every inbound message to the back-end. ctx is
+// the transport's handler context and carries the sender's trace context;
+// handlers that block or call out re-root it on the server's lifetime via
+// engineCtx so a remote caller's deadline never cancels local engine work.
+func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg any) (any, error) {
 	switch m := msg.(type) {
 	case MsgInstall:
-		return s.handleInstall(m), nil
+		return s.handleInstall(ctx, m), nil
 	case MsgAbort:
 		s.handleAbort(m)
 		return nil, nil
 	case MsgRead:
-		return s.handleRead(m)
+		return s.handleRead(ctx, m)
 	case MsgPush:
 		s.pushValue(m.Version, m.Key, readFromPush(m))
 		return nil, nil
 	case MsgEnsure:
-		return s.handleEnsure(m)
+		return s.handleEnsure(ctx, m)
 	case MsgEnsureUpTo:
-		if err := s.computeKeyUpTo(m.Key, m.Version); err != nil {
+		if err := s.computeKeyUpTo(s.engineCtx(ctx), m.Key, m.Version); err != nil {
 			return nil, err
 		}
 		return MsgEnsureUpToResp{}, nil
 	case MsgApplyDeferred:
-		s.handleApplyDeferred(m)
+		s.handleApplyDeferred(ctx, m)
 		return nil, nil
 	case MsgWaitComputed:
-		return s.handleWaitComputed(m)
+		return s.handleWaitComputed(ctx, m)
 	case MsgScan:
-		return s.handleScan(m)
+		return s.handleScan(s.engineCtx(ctx), m)
 	case MsgClientSubmit:
-		return s.handleClientSubmit(m)
+		return s.handleClientSubmit(ctx, m)
 	case MsgClientGet:
-		return s.handleClientGet(m)
+		return s.handleClientGet(ctx, m)
 	case MsgGrant:
 		s.Grant(m.E)
 		return nil, nil
 	case MsgRevoke:
 		s.Revoke(m.E, func() {
-			_ = s.conn.Send(from, MsgRevokeAck{E: m.E})
+			_ = s.conn.Send(s.ctx, from, MsgRevokeAck{E: m.E})
 		})
 		return nil, nil
 	case MsgCommitted:
@@ -64,8 +69,15 @@ func readFromPush(m MsgPush) funcRead {
 
 // handleInstall is the back-end side of the write-only phase: it checks
 // phase-1 constraints, inserts every key-functor pair as an in-epoch
-// version, and buffers functor metadata until the epoch commits.
-func (s *Server) handleInstall(m MsgInstall) MsgInstallResp {
+// version, and buffers functor metadata until the epoch commits. The
+// install span's context is stamped onto every buffered work item so the
+// asynchronous functor.process span (which may start an epoch later)
+// remains attached to the transaction's trace.
+func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp {
+	ctx, span := s.tr.Start(ctx, "be.install")
+	span.SetAttr("txns", fmt.Sprintf("%d", len(m.Txns)))
+	defer span.End()
+	sc := trace.FromContext(ctx)
 	resp := MsgInstallResp{Results: make([]InstallResult, len(m.Txns))}
 	var items []workItem
 	now := time.Now()
@@ -89,7 +101,7 @@ func (s *Server) handleInstall(m MsgInstall) MsgInstallResp {
 				}
 			}
 			s.stats.functorsInstalled.Add(1)
-			items = append(items, workItem{key: w.Key, version: txn.Version, rec: rec, installed: now})
+			items = append(items, workItem{key: w.Key, version: txn.Version, rec: rec, installed: now, sc: sc})
 		}
 		if failed {
 			continue
@@ -160,9 +172,12 @@ func (s *Server) handleAbort(m MsgAbort) {
 
 // handleRead serves a remote Get at the requested snapshot (Algorithm 1's
 // Get; computes functors on demand).
-func (s *Server) handleRead(m MsgRead) (MsgReadResp, error) {
+func (s *Server) handleRead(ctx context.Context, m MsgRead) (MsgReadResp, error) {
+	ctx, span := s.tr.Start(ctx, "be.read")
+	span.SetAttr("key", string(m.Key))
+	defer span.End()
 	s.stats.readsServed.Add(1)
-	r, err := s.localRead(m.Key, m.Version)
+	r, err := s.localRead(s.engineCtx(ctx), m.Key, m.Version)
 	if err != nil {
 		return MsgReadResp{}, err
 	}
@@ -171,12 +186,15 @@ func (s *Server) handleRead(m MsgRead) (MsgReadResp, error) {
 
 // handleEnsure computes the determinate functor at (Key, Version) and
 // returns its resolution so the caller can resolve dependent-key markers.
-func (s *Server) handleEnsure(m MsgEnsure) (MsgEnsureResp, error) {
+func (s *Server) handleEnsure(ctx context.Context, m MsgEnsure) (MsgEnsureResp, error) {
+	ctx, span := s.tr.Start(ctx, "be.ensure")
+	span.SetAttr("key", string(m.Key))
+	defer span.End()
 	rec, ok := s.store.At(m.Key, m.Version)
 	if !ok {
 		return MsgEnsureResp{}, fmt.Errorf("core: server %d: determinate functor %q@%v not found", s.id, m.Key, m.Version)
 	}
-	res, err := s.resolveRecord(m.Key, rec)
+	res, err := s.resolveRecord(s.engineCtx(ctx), m.Key, rec)
 	if err != nil {
 		return MsgEnsureResp{}, err
 	}
@@ -190,7 +208,10 @@ func (s *Server) handleEnsure(m MsgEnsure) (MsgEnsureResp, error) {
 // here. Resolution is a CAS and record creation is idempotent, so
 // duplicate deliveries and races with on-demand marker resolution are
 // harmless.
-func (s *Server) handleApplyDeferred(m MsgApplyDeferred) {
+func (s *Server) handleApplyDeferred(ctx context.Context, m MsgApplyDeferred) {
+	_, span := s.tr.Start(ctx, "be.deferred")
+	span.SetAttr("writes", fmt.Sprintf("%d", len(m.Writes)))
+	defer span.End()
 	for _, w := range m.Writes {
 		rec, ok := s.store.At(w.Key, m.Version)
 		if !ok {
@@ -224,8 +245,9 @@ func (s *Server) handleApplyDeferred(m MsgApplyDeferred) {
 }
 
 // handleClientSubmit coordinates a remote client's transaction.
-func (s *Server) handleClientSubmit(m MsgClientSubmit) (MsgClientSubmitResp, error) {
-	h, err := s.Submit(s.baseCtx(), Txn{Writes: m.Writes, Requires: m.Requires})
+func (s *Server) handleClientSubmit(ctx context.Context, m MsgClientSubmit) (MsgClientSubmitResp, error) {
+	ctx = s.engineCtx(ctx)
+	h, err := s.Submit(ctx, Txn{Writes: m.Writes, Requires: m.Requires})
 	if err != nil {
 		return MsgClientSubmitResp{}, err
 	}
@@ -236,7 +258,7 @@ func (s *Server) handleClientSubmit(m MsgClientSubmit) (MsgClientSubmitResp, err
 		return resp, nil
 	}
 	if m.WaitComputed {
-		committed, reason, err := h.Await(s.baseCtx())
+		committed, reason, err := h.Await(ctx)
 		if err != nil {
 			return MsgClientSubmitResp{}, err
 		}
@@ -247,16 +269,17 @@ func (s *Server) handleClientSubmit(m MsgClientSubmit) (MsgClientSubmitResp, err
 }
 
 // handleClientGet serves a remote client's serializable read.
-func (s *Server) handleClientGet(m MsgClientGet) (MsgClientGetResp, error) {
+func (s *Server) handleClientGet(ctx context.Context, m MsgClientGet) (MsgClientGetResp, error) {
+	ctx = s.engineCtx(ctx)
 	var (
 		v     kv.Value
 		found bool
 		err   error
 	)
 	if m.Snapshot != tstamp.Zero {
-		v, found, err = s.GetAt(s.baseCtx(), m.Key, m.Snapshot)
+		v, found, err = s.GetAt(ctx, m.Key, m.Snapshot)
 	} else {
-		v, found, err = s.Get(s.baseCtx(), m.Key)
+		v, found, err = s.Get(ctx, m.Key)
 	}
 	if err != nil {
 		return MsgClientGetResp{}, err
@@ -266,12 +289,12 @@ func (s *Server) handleClientGet(m MsgClientGet) (MsgClientGetResp, error) {
 
 // handleWaitComputed blocks until the record reaches a final state. Used by
 // clients choosing the "acknowledge after functor computing" option.
-func (s *Server) handleWaitComputed(m MsgWaitComputed) (MsgWaitComputedResp, error) {
+func (s *Server) handleWaitComputed(ctx context.Context, m MsgWaitComputed) (MsgWaitComputedResp, error) {
 	rec, ok := s.store.At(m.Key, m.Version)
 	if !ok {
 		return MsgWaitComputedResp{}, fmt.Errorf("core: server %d: record %q@%v not found", s.id, m.Key, m.Version)
 	}
-	res, err := s.waitRecordFinal(s.baseCtx(), rec)
+	res, err := s.waitRecordFinal(s.engineCtx(ctx), rec)
 	if err != nil {
 		return MsgWaitComputedResp{}, err
 	}

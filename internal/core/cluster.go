@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -48,6 +50,10 @@ type ClusterConfig struct {
 	// DependencyRule declares schema-level key dependencies (§IV-E); see
 	// ServerConfig.DependencyRule.
 	DependencyRule func(k kv.Key) (kv.Key, bool)
+	// Tracer, when set, is shared by every server and the epoch manager;
+	// spans carry the originating node so one cluster-wide snapshot shows
+	// cross-server traces whole. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Cluster is an embedded multi-server ALOHA-DB instance. It is the unit the
@@ -100,6 +106,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Workers:        cfg.Workers,
 			Durability:     hook,
 			DependencyRule: cfg.DependencyRule,
+			Tracer:         cfg.Tracer,
 		}, c.net)
 		if err != nil {
 			c.Close()
@@ -111,6 +118,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.servers = append(c.servers, srv)
 	}
 	c.em = epoch.New(epoch.Config{Duration: cfg.EpochDuration, StartEpoch: cfg.StartEpoch})
+	// The manager traces as node Servers, matching the TCP address-book
+	// convention that places the EM right after the server IDs.
+	c.em.SetTracer(cfg.Tracer.ForNode(cfg.Servers))
 	for _, srv := range c.servers {
 		if err := c.em.Register(srv); err != nil {
 			c.Close()
@@ -205,6 +215,15 @@ func (c *Cluster) CurrentEpoch() tstamp.Epoch { return c.em.Current() }
 // EpochManager exposes the manager for harness instrumentation.
 func (c *Cluster) EpochManager() *epoch.Manager { return c.em }
 
+// Tracer returns the cluster's shared tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.cfg.Tracer }
+
+// Traces snapshots the recent sampled traces (nil when tracing is off).
+func (c *Cluster) Traces() []trace.Trace { return c.cfg.Tracer.Traces() }
+
+// SlowTraces snapshots the slow-captured traces (nil when tracing is off).
+func (c *Cluster) SlowTraces() []trace.Trace { return c.cfg.Tracer.SlowTraces() }
+
 // Server returns node i, which acts as a front-end for clients.
 func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 
@@ -280,18 +299,18 @@ var _ epoch.Participant = (*RemoteParticipant)(nil)
 
 // Grant implements epoch.Participant.
 func (p *RemoteParticipant) Grant(e tstamp.Epoch) {
-	_ = p.conn.Send(p.node, MsgGrant{E: e})
+	_ = p.conn.Send(context.Background(), p.node, MsgGrant{E: e})
 }
 
 // Revoke implements epoch.Participant.
 func (p *RemoteParticipant) Revoke(e tstamp.Epoch, ack func()) {
 	p.acks.put(e, p.node, ack)
-	_ = p.conn.Send(p.node, MsgRevoke{E: e})
+	_ = p.conn.Send(context.Background(), p.node, MsgRevoke{E: e})
 }
 
 // Committed implements epoch.Participant.
 func (p *RemoteParticipant) Committed(e tstamp.Epoch) {
-	_ = p.conn.Send(p.node, MsgCommitted{E: e})
+	_ = p.conn.Send(context.Background(), p.node, MsgCommitted{E: e})
 }
 
 type ackKey struct {
@@ -350,7 +369,7 @@ func NewEMNode(net transport.Network, nodeID transport.NodeID, servers []transpo
 	return n, nil
 }
 
-func (n *EMNode) handle(from transport.NodeID, msg any) (any, error) {
+func (n *EMNode) handle(_ context.Context, from transport.NodeID, msg any) (any, error) {
 	ack, ok := msg.(MsgRevokeAck)
 	if !ok {
 		return nil, fmt.Errorf("core: epoch manager: unexpected message %T", msg)

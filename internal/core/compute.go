@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -22,16 +24,21 @@ var (
 	_skipResolutionShared    = functor.SkipResolution()
 )
 
+// The compute call graph threads a context end to end: it carries the
+// transaction's trace across the recursive resolution chain (and across
+// nodes, via transport), and its cancellation is the server's lifetime —
+// callers entering from a remote handler re-root on engineCtx first.
+
 // getLocal is Algorithm 1's Get for keys owned by this partition: return
 // the value of the latest version of k not exceeding v, computing functors
 // on demand, skipping aborted versions, and treating tombstones as absent.
-func (s *Server) getLocal(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+func (s *Server) getLocal(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 	rec, ok := s.store.Latest(k, v)
 	for ok {
 		res := rec.Resolution()
 		if res == nil {
 			var err error
-			res, err = s.resolveRecord(k, rec)
+			res, err = s.resolveRecord(ctx, k, rec)
 			if err != nil {
 				return funcRead{}, err
 			}
@@ -52,10 +59,14 @@ func (s *Server) getLocal(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 
 // read returns the value of k at snapshot v, routing to the owning
 // partition (local call or remote MsgRead).
-func (s *Server) read(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+func (s *Server) read(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 	if owner := s.owner(k); owner != s.id {
 		s.stats.remoteReads.Add(1)
-		resp, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgRead{Key: k, Version: v})
+		rctx, span := s.tr.Start(ctx, "read.remote")
+		span.SetAttr("key", string(k))
+		span.SetAttr("owner", fmt.Sprintf("%d", owner))
+		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgRead{Key: k, Version: v})
+		span.End()
 		if err != nil {
 			return funcRead{}, fmt.Errorf("core: remote read %q@%v: %w", k, v, err)
 		}
@@ -65,7 +76,7 @@ func (s *Server) read(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 		}
 		return funcRead{Value: r.Value, Found: r.Found, Version: r.Version}, nil
 	}
-	return s.localRead(k, v)
+	return s.localRead(ctx, k, v)
 }
 
 // localRead is the entry point for reads of locally-owned keys: it
@@ -73,33 +84,33 @@ func (s *Server) read(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 // Algorithm 1's Get. Reads issued from inside functor computations also
 // pass through here, so deferred writes are always settled before a
 // dependent key's value is observed.
-func (s *Server) localRead(k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+func (s *Server) localRead(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 	if s.depRule != nil {
 		if det, ok := s.depRule(k); ok {
-			if err := s.ensureUpTo(det, v); err != nil {
+			if err := s.ensureUpTo(ctx, det, v); err != nil {
 				return funcRead{}, err
 			}
 		}
 	}
-	return s.getLocal(k, v)
+	return s.getLocal(ctx, k, v)
 }
 
 // ensureUpTo forces every functor of k at or below v to its final state —
 // including synchronous distribution of deferred writes — and advances k's
 // value watermark to v, locally or via MsgEnsureUpTo.
-func (s *Server) ensureUpTo(k kv.Key, v tstamp.Timestamp) error {
+func (s *Server) ensureUpTo(ctx context.Context, k kv.Key, v tstamp.Timestamp) error {
 	if owner := s.owner(k); owner != s.id {
-		if _, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgEnsureUpTo{Key: k, Version: v}); err != nil {
+		if _, err := s.conn.Call(ctx, transport.NodeID(owner), MsgEnsureUpTo{Key: k, Version: v}); err != nil {
 			return fmt.Errorf("core: ensure %q up to %v: %w", k, v, err)
 		}
 		return nil
 	}
-	return s.computeKeyUpTo(k, v)
+	return s.computeKeyUpTo(ctx, k, v)
 }
 
 // computeKeyUpTo resolves every record of k at or below v in ascending
 // order and raises the value watermark to v (Algorithm 1's Compute).
-func (s *Server) computeKeyUpTo(k kv.Key, v tstamp.Timestamp) error {
+func (s *Server) computeKeyUpTo(ctx context.Context, k kv.Key, v tstamp.Timestamp) error {
 	if s.store.Watermark(k) >= v {
 		return nil
 	}
@@ -107,7 +118,7 @@ func (s *Server) computeKeyUpTo(k kv.Key, v tstamp.Timestamp) error {
 		if rec.Final() {
 			continue
 		}
-		if err := s.computeOne(k, rec); err != nil {
+		if err := s.computeOne(ctx, k, rec); err != nil {
 			return err
 		}
 	}
@@ -121,7 +132,7 @@ func (s *Server) computeKeyUpTo(k kv.Key, v tstamp.Timestamp) error {
 // not an option). Cross-key dependencies recurse through getLocal/read,
 // bounded by the workload's dependency depth; version numbers strictly
 // decrease across such hops, so the recursion terminates.
-func (s *Server) resolveRecord(k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
+func (s *Server) resolveRecord(ctx context.Context, k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
 	view := s.store.View(k)
 	// Locate rec in the snapshot.
 	i := sort.Search(len(view), func(i int) bool { return view[i].Version >= rec.Version })
@@ -144,7 +155,7 @@ func (s *Server) resolveRecord(k kv.Key, rec *mvstore.Record) (*functor.Resoluti
 		if view[idx].Final() {
 			continue
 		}
-		if err := s.computeOne(k, view[idx]); err != nil {
+		if err := s.computeOne(ctx, k, view[idx]); err != nil {
 			return nil, err
 		}
 	}
@@ -160,11 +171,17 @@ func (s *Server) resolveRecord(k kv.Key, rec *mvstore.Record) (*functor.Resoluti
 // 10-15). Concurrent invocations are safe: the resolution CAS ensures the
 // functor is computed at most once and identical inputs yield identical
 // results.
-func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
+func (s *Server) computeOne(ctx context.Context, k kv.Key, rec *mvstore.Record) error {
 	fn := rec.Functor
 	var computeStart time.Time
 	if !fn.Type.Final() {
 		computeStart = time.Now()
+		// Final f-types (VALUE/DELETE) resolve without computing; spans for
+		// them would be pure noise, so only real computations trace.
+		var span *trace.Span
+		ctx, span = s.tr.Start(ctx, "functor.compute")
+		span.SetAttr("key", string(k))
+		defer span.End()
 	}
 	var res *functor.Resolution
 	switch {
@@ -172,7 +189,7 @@ func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
 		res, _ = mvstore.FinalResolution(fn)
 
 	case fn.Type.Arithmetic():
-		prev, err := s.getLocal(k, rec.Version.Prev())
+		prev, err := s.getLocal(ctx, k, rec.Version.Prev())
 		if err != nil {
 			return err
 		}
@@ -185,7 +202,7 @@ func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
 
 	case fn.Type == functor.TypeDepMarker:
 		det := fn.DeterminateKey()
-		detRes, err := s.ensureComputed(det, rec.Version)
+		detRes, err := s.ensureComputed(ctx, det, rec.Version)
 		if err != nil {
 			return err
 		}
@@ -193,7 +210,7 @@ func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
 
 	case fn.Type == functor.TypeUser:
 		var err error
-		res, err = s.computeUser(k, rec)
+		res, err = s.computeUser(ctx, k, rec)
 		if err != nil {
 			return err
 		}
@@ -217,14 +234,14 @@ func (s *Server) computeOne(k kv.Key, rec *mvstore.Record) error {
 	// all partitions agree.
 	installed := rec.Resolution()
 	if len(fn.DependentKeys) > 0 || len(installed.DependentWrites) > 0 {
-		s.distributeDeferred(fn, rec.Version, installed)
+		s.distributeDeferred(ctx, fn, rec.Version, installed)
 	}
 	s.notifyComputed()
 	return nil
 }
 
 // computeUser gathers the read set and invokes the user handler.
-func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
+func (s *Server) computeUser(ctx context.Context, k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
 	fn := rec.Functor
 	handler, ok := s.registry.Lookup(fn.Handler)
 	if !ok {
@@ -235,7 +252,7 @@ func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution
 	// always available to the handler (paper §IV-B: "the read set of some
 	// functors comprises only the key to which the functor was written, in
 	// which case the read set is omitted").
-	self, err := s.getLocal(k, rec.Version.Prev())
+	self, err := s.getLocal(ctx, k, rec.Version.Prev())
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +273,7 @@ func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution
 			continue
 		}
 		if s.owner(rk) == s.id {
-			r, err := s.localRead(rk, rec.Version.Prev())
+			r, err := s.localRead(ctx, rk, rec.Version.Prev())
 			if err != nil {
 				return nil, err
 			}
@@ -268,7 +285,7 @@ func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution
 	switch len(remote) {
 	case 0:
 	case 1:
-		r, err := s.read(remote[0], rec.Version.Prev())
+		r, err := s.read(ctx, remote[0], rec.Version.Prev())
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +299,7 @@ func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution
 		results := make(chan fetched, len(remote))
 		for _, rk := range remote {
 			go func(rk kv.Key) {
-				r, err := s.read(rk, rec.Version.Prev())
+				r, err := s.read(ctx, rk, rec.Version.Prev())
 				results <- fetched{key: rk, r: r, err: err}
 			}(rk)
 		}
@@ -314,9 +331,12 @@ func (s *Server) computeUser(k kv.Key, rec *mvstore.Record) (*functor.Resolution
 
 // ensureComputed forces the functor at (k, version) — a determinate key —
 // to its final state and returns its resolution, locally or via MsgEnsure.
-func (s *Server) ensureComputed(k kv.Key, version tstamp.Timestamp) (*functor.Resolution, error) {
+func (s *Server) ensureComputed(ctx context.Context, k kv.Key, version tstamp.Timestamp) (*functor.Resolution, error) {
 	if owner := s.owner(k); owner != s.id {
-		resp, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), MsgEnsure{Key: k, Version: version})
+		rctx, span := s.tr.Start(ctx, "functor.ensure")
+		span.SetAttr("key", string(k))
+		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgEnsure{Key: k, Version: version})
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: ensure %q@%v: %w", k, version, err)
 		}
@@ -330,7 +350,7 @@ func (s *Server) ensureComputed(k kv.Key, version tstamp.Timestamp) (*functor.Re
 	if !ok {
 		return nil, fmt.Errorf("core: determinate functor %q@%v not found", k, version)
 	}
-	return s.resolveRecord(k, rec)
+	return s.resolveRecord(ctx, k, rec)
 }
 
 // markerResolution derives a dependent-key marker's resolution from its
@@ -367,7 +387,9 @@ func deferredResolution(w functor.DependentWrite) *functor.Resolution {
 // Distribution is synchronous: the determinate key's watermark only
 // advances after this returns, which is exactly the promise the
 // DependencyRule relies on. All applications are idempotent CAS installs.
-func (s *Server) distributeDeferred(fn *functor.Functor, version tstamp.Timestamp, res *functor.Resolution) {
+func (s *Server) distributeDeferred(ctx context.Context, fn *functor.Functor, version tstamp.Timestamp, res *functor.Resolution) {
+	ctx, span := s.tr.Start(ctx, "deferred.apply")
+	defer span.End()
 	byOwner := make(map[int]*MsgApplyDeferred)
 	msgFor := func(owner int) *MsgApplyDeferred {
 		m := byOwner[owner]
@@ -393,10 +415,10 @@ func (s *Server) distributeDeferred(fn *functor.Functor, version tstamp.Timestam
 	}
 	for owner, m := range byOwner {
 		if owner == s.id {
-			s.handleApplyDeferred(*m)
+			s.handleApplyDeferred(ctx, *m)
 			continue
 		}
-		if _, err := s.conn.Call(s.baseCtx(), transport.NodeID(owner), *m); err != nil {
+		if _, err := s.conn.Call(ctx, transport.NodeID(owner), *m); err != nil {
 			// The partition is unreachable (shutdown or crash). Readers of
 			// statically-declared markers still resolve on demand via
 			// MsgEnsure; dynamically-named rows are re-created when the

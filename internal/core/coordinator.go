@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -58,6 +60,15 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		return nil, nil, nil
 	}
 	start := time.Now()
+	// The transaction's trace root: it covers the write-only phase (fan-out
+	// installs plus any second-round aborts). Asynchronous children —
+	// visibility wait, functor processing, deferred writes — attach to the
+	// same trace through the contexts and work items derived from it, and
+	// the slow-capture policy keys off this span's duration.
+	ctx, root := s.tr.StartRoot(ctx, "txn.submit")
+	root.SetAttr("txns", strconv.Itoa(len(txns)))
+	defer root.End()
+	rootSC := trace.FromContext(ctx)
 	_, done, err := s.beginTxn(len(txns))
 	if err != nil {
 		return nil, nil, err
@@ -110,7 +121,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		for _, os := range owners {
 			perOwner[os.owner] = append(perOwner[os.owner], slice{txnIdx: i, inst: os.inst})
 		}
-		handles[i] = &TxnHandle{s: s, version: ts, writes: withMarkers}
+		handles[i] = &TxnHandle{s: s, version: ts, writes: withMarkers, sc: rootSC}
 	}
 
 	// One install call per partition, in parallel.
@@ -127,6 +138,9 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		wg.Add(1)
 		go func(owner int, slices []slice) {
 			defer wg.Done()
+			ictx, span := s.tr.Start(ctx, "txn.install")
+			span.SetAttr("owner", strconv.Itoa(owner))
+			defer span.End()
 			msg := MsgInstall{Txns: make([]InstallTxn, len(slices))}
 			for i, sl := range slices {
 				msg.Txns[i] = sl.inst
@@ -134,9 +148,9 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			var resp MsgInstallResp
 			var callErr error
 			if owner == s.id {
-				resp = s.handleInstall(msg)
+				resp = s.handleInstall(ictx, msg)
 			} else {
-				raw, err := s.conn.Call(ctx, transport.NodeID(owner), msg)
+				raw, err := s.conn.Call(ictx, transport.NodeID(owner), msg)
 				if err != nil {
 					callErr = err
 				} else if r, ok := raw.(MsgInstallResp); ok {
@@ -193,6 +207,8 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 				s.handleAbort(abort)
 				continue
 			}
+			// ctx here is the root-bearing context, so the abort round's
+			// RPCs stay inside the transaction's trace.
 			// Synchronous: the in-flight slot must outlive the rollback so
 			// the epoch cannot commit with the transaction half-installed.
 			if _, err := s.conn.Call(ctx, transport.NodeID(owner), abort); err != nil {
@@ -249,6 +265,9 @@ type TxnHandle struct {
 	writes         []Write
 	abortedInstall bool
 	reason         string
+	// sc is the submit root's trace context; Await parents its span here
+	// so the whole lifecycle shares one trace.
+	sc trace.SpanContext
 }
 
 // Version returns the transaction's timestamp.
@@ -270,6 +289,8 @@ func (h *TxnHandle) Await(ctx context.Context) (committed bool, reason string, e
 	if len(h.writes) == 0 {
 		return true, "", nil
 	}
+	ctx, span := h.s.tr.StartAt(ctx, h.sc, "txn.await")
+	defer span.End()
 	if err := h.s.waitVisible(ctx, h.version); err != nil {
 		return false, "", err
 	}
@@ -277,7 +298,7 @@ func (h *TxnHandle) Await(ctx context.Context) (committed bool, reason string, e
 	wait := MsgWaitComputed{Key: k, Version: h.version}
 	var resp MsgWaitComputedResp
 	if owner := h.s.owner(k); owner == h.s.id {
-		resp, err = h.s.handleWaitComputed(wait)
+		resp, err = h.s.handleWaitComputed(ctx, wait)
 	} else {
 		var raw any
 		raw, err = h.s.conn.Call(ctx, transport.NodeID(owner), wait)
@@ -352,13 +373,19 @@ func (s *Server) ReadMany(ctx context.Context, keys []kv.Key) (map[kv.Key]kv.Val
 }
 
 func (s *Server) getAtSnapshot(ctx context.Context, key kv.Key, ts tstamp.Timestamp) (kv.Value, bool, error) {
+	// Read-only transactions root their own trace: under unified epochs
+	// they carry a write-epoch timestamp and can block in visibility.wait
+	// just like writers (§III-B), which is exactly the stage worth seeing.
+	ctx, root := s.tr.StartRoot(ctx, "txn.read")
+	root.SetAttr("key", string(key))
+	defer root.End()
 	if err := s.waitVisible(ctx, ts); err != nil {
 		return nil, false, err
 	}
 	var r funcRead
 	var err error
 	if owner := s.owner(key); owner == s.id {
-		r, err = s.localRead(key, ts)
+		r, err = s.localRead(ctx, key, ts)
 	} else {
 		var raw any
 		raw, err = s.conn.Call(ctx, transport.NodeID(owner), MsgRead{Key: key, Version: ts})

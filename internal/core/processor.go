@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -25,6 +27,10 @@ type workItem struct {
 	// for processing" stage spans installed → dequeue.
 	installed time.Time
 	ready     time.Time
+	// sc is the install span's trace context, carried across the queue so
+	// the asynchronous computation stays attached to the transaction's
+	// trace (zero when the transaction is untraced).
+	sc trace.SpanContext
 }
 
 // processor is the back-end's thread-pool functor computing engine
@@ -158,11 +164,20 @@ func (p *processor) worker(sh *procShard) {
 // key up to the queued version, and advance the value watermark.
 func (p *processor) process(item workItem) {
 	s := p.s
-	s.stats.recordWait(time.Since(item.installed))
+	wait := time.Since(item.installed)
+	s.stats.recordWait(wait)
+	// The parent install span ended an epoch ago; StartAt re-attaches the
+	// asynchronous computation to the transaction's trace, and the wait
+	// attribute records the Figure-10 queueing stage the span's own start
+	// time cannot show.
+	ctx, span := s.tr.StartAt(s.ctx, item.sc, "functor.process")
+	span.SetAttr("key", string(item.key))
+	span.SetAttr("wait", wait.String())
+	defer span.End()
 
 	fn := item.rec.Functor
 	if len(fn.Recipients) > 0 {
-		p.pushToRecipients(item, fn)
+		p.pushToRecipients(ctx, item, fn)
 	}
 	// Dependent-key markers are resolved by their determinate functor's
 	// computation (directly when local, via MsgApplyDeferred when remote).
@@ -178,7 +193,7 @@ func (p *processor) process(item workItem) {
 	if item.rec.Final() && s.store.Watermark(item.key) >= item.version {
 		return
 	}
-	if _, err := s.resolveRecord(item.key, item.rec); err != nil {
+	if _, err := s.resolveRecord(ctx, item.key, item.rec); err != nil {
 		// A failed remote read (e.g. during shutdown) leaves the functor
 		// for on-demand computation at read time.
 		return
@@ -189,9 +204,9 @@ func (p *processor) process(item workItem) {
 // pushToRecipients sends the latest value of the functor's key strictly
 // below its version to each recipient's partition (paper §IV-B). Purely an
 // optimization: compute falls back to remote reads when a push is missing.
-func (p *processor) pushToRecipients(item workItem, fn *functor.Functor) {
+func (p *processor) pushToRecipients(ctx context.Context, item workItem, fn *functor.Functor) {
 	s := p.s
-	prev, err := s.getLocal(item.key, item.version.Prev())
+	prev, err := s.getLocal(ctx, item.key, item.version.Prev())
 	if err != nil {
 		return
 	}
@@ -203,7 +218,7 @@ func (p *processor) pushToRecipients(item workItem, fn *functor.Functor) {
 		}
 		sent[owner] = true
 		s.stats.pushesSent.Add(1)
-		_ = s.conn.Send(transport.NodeID(owner), MsgPush{
+		_ = s.conn.Send(ctx, transport.NodeID(owner), MsgPush{
 			Version:      item.version,
 			Key:          item.key,
 			Value:        prev.Value,

@@ -53,7 +53,7 @@ func (s *Server) VisibleBound() tstamp.Timestamp { return s.visibleBound() }
 func (s *Server) SettleUpTo(bound tstamp.Timestamp) error {
 	var err error
 	s.store.RangeKeys(func(k kv.Key) bool {
-		if e := s.computeKeyUpTo(k, bound); e != nil {
+		if e := s.computeKeyUpTo(s.ctx, k, bound); e != nil {
 			err = e
 			return false
 		}
@@ -83,7 +83,7 @@ func (s *Server) ScanPrefix(ctx context.Context, prefix kv.Key, snapshot tstamp.
 		var resp MsgScanResp
 		if owner == s.id {
 			var err error
-			resp, err = s.handleScan(MsgScan{Prefix: prefix, Snapshot: snapshot})
+			resp, err = s.handleScan(ctx, MsgScan{Prefix: prefix, Snapshot: snapshot})
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +105,7 @@ func (s *Server) ScanPrefix(ctx context.Context, prefix kv.Key, snapshot tstamp.
 }
 
 // handleScan serves one partition's slice of a prefix scan.
-func (s *Server) handleScan(m MsgScan) (MsgScanResp, error) {
+func (s *Server) handleScan(ctx context.Context, m MsgScan) (MsgScanResp, error) {
 	var (
 		resp    MsgScanResp
 		scanErr error
@@ -117,7 +117,7 @@ func (s *Server) handleScan(m MsgScan) (MsgScanResp, error) {
 		if len(k) < len(m.Prefix) || k[:len(m.Prefix)] != m.Prefix {
 			return true
 		}
-		r, err := s.localRead(k, m.Snapshot)
+		r, err := s.localRead(ctx, k, m.Snapshot)
 		if err != nil {
 			scanErr = err
 			return false

@@ -12,6 +12,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -51,6 +52,9 @@ type ServerConfig struct {
 	// order/new-order/order-line rows to their district's next-order-id
 	// key this way. Nil disables the mechanism.
 	DependencyRule func(k kv.Key) (kv.Key, bool)
+	// Tracer, when set, records per-transaction lifecycle spans. Nil (the
+	// default) disables tracing at zero per-operation cost.
+	Tracer *trace.Tracer
 }
 
 // DurabilityHook receives one server's durable-state stream. Installs and
@@ -63,8 +67,11 @@ type DurabilityHook interface {
 	// LogAbort records a second-round abort of the given keys.
 	LogAbort(version tstamp.Timestamp, keys []kv.Key) error
 	// LogEpochCommitted records that epoch e is fully committed; the hook
-	// should make everything up to e durable (fsync, ship to backup).
-	LogEpochCommitted(e tstamp.Epoch) error
+	// should make everything up to e durable (fsync, ship to backup). ctx
+	// is the server's lifetime context carrying the epoch-commit trace:
+	// shutdown cancels in-flight shipping, and the fsync/ship cost shows up
+	// as a span under the server's epoch.commit trace.
+	LogEpochCommitted(ctx context.Context, e tstamp.Epoch) error
 }
 
 // Server is one ALOHA-DB node: a front-end (transaction coordinator) and a
@@ -82,6 +89,7 @@ type Server struct {
 	stats      serverStats
 	durability DurabilityHook
 	depRule    func(k kv.Key) (kv.Key, bool)
+	tr         *trace.NodeTracer // nil when tracing is disabled
 
 	// Epoch state. authEpoch is the epoch this FE may start transactions
 	// in; authorized distinguishes holding the authorization from the
@@ -160,6 +168,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		computedCh: make(chan struct{}),
 		durability: cfg.Durability,
 		depRule:    cfg.DependencyRule,
+		tr:         cfg.Tracer.ForNode(cfg.ID),
 	}
 	s.stats.init()
 	s.ctx, s.cancel = context.WithCancel(context.Background())
@@ -215,6 +224,14 @@ func (s *Server) Close() error {
 // baseCtx returns the server's lifetime context, used for internal remote
 // calls and waits so Close unblocks them.
 func (s *Server) baseCtx() context.Context { return s.ctx }
+
+// engineCtx returns the context for engine-internal remote calls and waits
+// reached from ctx: the server's lifetime context (so Close, not the
+// original caller, unblocks them) carrying ctx's trace. Untraced contexts
+// return s.ctx unchanged — no allocation.
+func (s *Server) engineCtx(ctx context.Context) context.Context {
+	return trace.Detach(s.ctx, ctx)
+}
 
 // owner returns the server index owning key k.
 func (s *Server) owner(k kv.Key) int { return s.part(k, s.n) }
@@ -278,6 +295,13 @@ func (s *Server) Committed(e tstamp.Epoch) {
 	if sawRevoke {
 		s.stats.recordEpoch(txns, time.Since(revoked))
 	}
+	// Each server's commit work is its own trace root: the manager-side
+	// epoch.switch span cannot parent it without widening the Participant
+	// interface, and the commit path (durability flush + seal + enqueue) is
+	// interesting in isolation.
+	ctx, commitSpan := s.tr.StartRoot(s.ctx, "epoch.commit")
+	commitSpan.SetAttr("epoch", strconv.FormatUint(uint64(e), 10))
+	defer commitSpan.End()
 	// Advance visibility to Start(e+1).
 	bound := uint64(tstamp.End(e))
 	for {
@@ -294,12 +318,14 @@ func (s *Server) Committed(e tstamp.Epoch) {
 		}
 	}
 	if s.durability != nil {
-		if err := s.durability.LogEpochCommitted(e); err != nil {
+		dctx, dspan := s.tr.Start(ctx, "wal.commit")
+		if err := s.durability.LogEpochCommitted(dctx, e); err != nil {
 			// Durability of the boundary marker failed; the epoch's data
 			// entries are still logged, and recovery treats the epoch as
 			// uncommitted, which is the correct conservative outcome.
 			_ = err
 		}
+		dspan.End()
 	}
 	// Seal the epoch's versions (in-epoch -> out-epoch, Figure 4): they
 	// become readable, then their functor metadata flows to the processor.
@@ -330,6 +356,14 @@ func (s *Server) visibleBound() tstamp.Timestamp {
 
 // waitVisible blocks until version ts is readable (its epoch committed).
 func (s *Server) waitVisible(ctx context.Context, ts tstamp.Timestamp) error {
+	if ts < s.visibleBound() {
+		return nil
+	}
+	// Only an actual block opens a span, so already-visible reads stay free
+	// and traces show the true visibility-wait stage (§III-B: transactions
+	// of epoch e become readable once e commits).
+	_, span := s.tr.Start(ctx, "visibility.wait")
+	defer span.End()
 	for {
 		if ts < s.visibleBound() {
 			return nil

@@ -14,11 +14,14 @@
 package epoch
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"alohadb/internal/metrics"
+	"alohadb/internal/trace"
 	"alohadb/internal/tstamp"
 )
 
@@ -80,7 +83,16 @@ type Manager struct {
 	// (revoke broadcast through the Committed+Grant broadcast), the
 	// manager-side view of epoch-switch jitter.
 	switchHist *metrics.Histogram
+
+	// tr, when set, records each Advance as an epoch.switch trace root with
+	// the ack-wait broken out. The Participant interface carries no context,
+	// so each server's commit work traces as its own epoch.commit root
+	// rather than as a child of this span.
+	tr *trace.NodeTracer
 }
+
+// SetTracer attaches a tracer handle; call before Start. Nil disables.
+func (m *Manager) SetTracer(tr *trace.NodeTracer) { m.tr = tr }
 
 // New returns a manager with the given configuration. A zero Duration
 // defaults to DefaultDuration for Run; Advance ignores it.
@@ -161,11 +173,15 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 	m.mu.Unlock()
 
 	begin := time.Now()
+	ctx, span := m.tr.StartRoot(context.Background(), "epoch.switch")
+	span.SetAttr("epoch", strconv.FormatUint(uint64(e), 10))
+	defer span.End()
 	var wg sync.WaitGroup
 	wg.Add(len(parts))
 	for _, p := range parts {
 		p.Revoke(e, wg.Done)
 	}
+	_, ackSpan := m.tr.Start(ctx, "epoch.ackwait")
 	if !m.waitAcks(&wg) {
 		// Timed out waiting for a straggler's ack. The straggler
 		// optimization (§III-C) means FEs already moved on to no-auth
@@ -174,6 +190,7 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 		// Fall through.
 		_ = parts
 	}
+	ackSpan.End()
 	next := e + 1
 	for _, p := range parts {
 		p.Committed(e)

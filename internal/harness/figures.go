@@ -8,6 +8,7 @@ import (
 	"alohadb/internal/calvin"
 	"alohadb/internal/core"
 	"alohadb/internal/metrics"
+	"alohadb/internal/trace"
 	"alohadb/internal/workload/tpcc"
 	"alohadb/internal/workload/ycsb"
 )
@@ -29,6 +30,9 @@ type Options struct {
 	Workers int
 	// Out receives the printed rows (nil discards).
 	Out io.Writer
+	// Tracer, when non-nil, traces the ALOHA-DB clusters under benchmark
+	// (aloha-bench -trace-sample / -trace-slowest).
+	Tracer *trace.Tracer
 }
 
 // WithDefaults fills the option defaults for the selected mode.
@@ -139,7 +143,7 @@ func calvinPaymentStream(cfg tpcc.Config, seedBase int64) func(client int) func(
 // mode used for peak-throughput figures.
 func runAlohaTPCC(o Options, cfg tpcc.Config, label string, clients int, sample bool,
 	stream func(tpcc.Config, int64) func(int) func() core.Txn) (Result, error) {
-	c, err := NewAlohaTPCC(cfg, 0, o.Workers)
+	c, err := NewAlohaTPCC(cfg, 0, o.Workers, o.Tracer)
 	if err != nil {
 		return Result{}, err
 	}
@@ -352,7 +356,7 @@ func runYCSBPoint(o Options, ci float64, clients int, epochAloha, epochCalvin ti
 // arrival-jitter control.
 func runYCSBPointOpt(o Options, ci float64, clients int, epochAloha, epochCalvin time.Duration, sample bool, jitter time.Duration) (Result, Result, error) {
 	cfg := o.ycsbConfig(ci)
-	ac, err := NewAlohaYCSB(cfg, epochAloha, o.Workers)
+	ac, err := NewAlohaYCSB(cfg, epochAloha, o.Workers, o.Tracer)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -443,7 +447,7 @@ func Figure10(o Options) ([]StageBreakdown, error) {
 	fmt.Fprintf(o.Out, "# Figure 10: latency breakdown by stage, light load\n")
 	for _, ci := range []float64{0.0001, 0.1} {
 		cfg := o.ycsbConfig(ci)
-		ac, err := NewAlohaYCSB(cfg, 0, o.Workers)
+		ac, err := NewAlohaYCSB(cfg, 0, o.Workers, o.Tracer)
 		if err != nil {
 			return out, err
 		}

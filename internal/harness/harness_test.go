@@ -55,7 +55,7 @@ func TestLatencyMerge(t *testing.T) {
 
 func TestRunAlohaYCSBSmoke(t *testing.T) {
 	cfg := ycsb.Config{Partitions: 2, KeysPerPartition: 1000, ContentionIndex: 0.1, Distributed: true}
-	c, err := NewAlohaYCSB(cfg, 5*time.Millisecond, 2)
+	c, err := NewAlohaYCSB(cfg, 5*time.Millisecond, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRunCalvinYCSBSmoke(t *testing.T) {
 
 func TestTPCCSetupsServeTransactions(t *testing.T) {
 	cfg := tpcc.Config{Servers: 2, Items: 100, CustomersPerDistrict: 5, AbortRate: 0.01}
-	a, err := NewAlohaTPCC(cfg, 5*time.Millisecond, 2)
+	a, err := NewAlohaTPCC(cfg, 5*time.Millisecond, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func TestPaceJitterSpreadsArrivals(t *testing.T) {
 	const epochDur = 20 * time.Millisecond
 	cfg := ycsb.Config{Partitions: 2, KeysPerPartition: 10_000, ContentionIndex: 0.01, Distributed: true}
 	measure := func(jitter time.Duration) time.Duration {
-		c, err := NewAlohaYCSB(cfg, epochDur, 2)
+		c, err := NewAlohaYCSB(cfg, epochDur, 2, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func TestPaceJitterSpreadsArrivals(t *testing.T) {
 // not report throughput until installed functors are fully computed.
 func TestSaturationModeDrains(t *testing.T) {
 	cfg := ycsb.Config{Partitions: 2, KeysPerPartition: 5000, ContentionIndex: 0.01, Distributed: true}
-	c, err := NewAlohaYCSB(cfg, 5*time.Millisecond, 2)
+	c, err := NewAlohaYCSB(cfg, 5*time.Millisecond, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/workload/tpcc"
 	"alohadb/internal/workload/ycsb"
@@ -36,8 +37,8 @@ func simNetwork() transport.Network {
 }
 
 // NewAlohaTPCC assembles a started ALOHA-DB cluster loaded with the TPC-C
-// database for the configuration.
-func NewAlohaTPCC(cfg tpcc.Config, epochDur time.Duration, workers int) (*core.Cluster, error) {
+// database for the configuration. tracer may be nil (tracing off).
+func NewAlohaTPCC(cfg tpcc.Config, epochDur time.Duration, workers int, tracer *trace.Tracer) (*core.Cluster, error) {
 	reg := functor.NewRegistry()
 	tpcc.RegisterAlohaHandlers(reg)
 	if epochDur <= 0 {
@@ -51,6 +52,7 @@ func NewAlohaTPCC(cfg tpcc.Config, epochDur time.Duration, workers int) (*core.C
 		Partitioner:    core.Partitioner(cfg.Partitioner()),
 		DependencyRule: cfg.DependencyRule(),
 		Network:        simNetwork(),
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -101,8 +103,8 @@ func NewCalvinTPCC(cfg tpcc.Config, epochDur time.Duration, workers int) (*calvi
 // NewAlohaYCSB assembles a started ALOHA-DB cluster for the
 // microbenchmark. No preload is needed: ADD functors treat an absent key
 // as a zero counter, so untouched keys cost nothing (the paper's 1M-key
-// partitions are realized lazily).
-func NewAlohaYCSB(cfg ycsb.Config, epochDur time.Duration, workers int) (*core.Cluster, error) {
+// partitions are realized lazily). tracer may be nil (tracing off).
+func NewAlohaYCSB(cfg ycsb.Config, epochDur time.Duration, workers int, tracer *trace.Tracer) (*core.Cluster, error) {
 	if epochDur <= 0 {
 		epochDur = AlohaEpoch
 	}
@@ -112,6 +114,7 @@ func NewAlohaYCSB(cfg ycsb.Config, epochDur time.Duration, workers int) (*core.C
 		Workers:       workers,
 		Partitioner:   ycsb.Partitioner,
 		Network:       simNetwork(),
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return nil, err

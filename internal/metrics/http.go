@@ -1,32 +1,75 @@
 package metrics
 
 import (
+	"log"
 	"net/http"
 	"net/http/pprof"
 )
 
+// OpsOption customizes the operator HTTP surface built by OpsHandler.
+type OpsOption func(*opsConfig)
+
+type opsConfig struct {
+	traces http.Handler
+	logf   func(format string, args ...any)
+}
+
+// WithTraces mounts a trace viewer (see alohadb/internal/trace.Handler)
+// under /debug/traces. The handler receives paths relative to that prefix,
+// so its "/" route serves /debug/traces and "/chrome" serves
+// /debug/traces/chrome.
+func WithTraces(h http.Handler) OpsOption {
+	return func(c *opsConfig) { c.traces = h }
+}
+
+// WithLogf redirects write-failure logging (default log.Printf).
+func WithLogf(logf func(format string, args ...any)) OpsOption {
+	return func(c *opsConfig) { c.logf = logf }
+}
+
 // OpsHandler builds the operator HTTP surface served by -metrics-addr:
 //
-//	/metrics       Prometheus text exposition of gather()
-//	/healthz       liveness probe (200 "ok")
-//	/debug/pprof/  the standard Go profiler endpoints
+//	/metrics              Prometheus text exposition of gather()
+//	/healthz              liveness probe (200 "ok")
+//	/debug/pprof/         the standard Go profiler endpoints
+//	/debug/traces         recent/slow traces (only with WithTraces)
+//	/debug/traces/chrome  Chrome trace-event export (only with WithTraces)
 //
 // gather is invoked per scrape; it should return a fresh snapshot (see
 // Cluster.Metrics / Server.MetricFamilies).
-func OpsHandler(gather func() []Family) http.Handler {
+func OpsHandler(gather func() []Family, opts ...OpsOption) http.Handler {
+	cfg := opsConfig{logf: log.Printf}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WriteText(w, gather())
+		if err := WriteText(w, gather()); err != nil {
+			// Headers are gone; all we can do is note the broken scrape.
+			cfg.logf("metrics: /metrics write: %v", err)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			cfg.logf("metrics: /healthz write: %v", err)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.traces != nil {
+		mux.Handle("/debug/traces/", http.StripPrefix("/debug/traces", cfg.traces))
+		// The bare path strips to "", which a ServeMux would redirect to
+		// the server root; rewrite it to the handler's "/" route instead.
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			r2 := r.Clone(r.Context())
+			r2.URL.Path = "/"
+			cfg.traces.ServeHTTP(w, r2)
+		})
+	}
 	return mux
 }

@@ -20,9 +20,12 @@ import (
 	"alohadb/internal/wal"
 )
 
-// Sink receives one committed epoch's entries, in commit order.
+// Sink receives one committed epoch's entries, in commit order. The
+// context is the primary's epoch-commit context: it carries the commit
+// trace and is cancelled when the primary shuts down, so an in-flight
+// shipment to a dead backup cannot wedge Close.
 type Sink interface {
-	ShipEpoch(e tstamp.Epoch, entries []wal.Entry) error
+	ShipEpoch(ctx context.Context, e tstamp.Epoch, entries []wal.Entry) error
 }
 
 // Shipper buffers a primary's durable-state stream per epoch and ships
@@ -61,7 +64,7 @@ func (s *Shipper) LogAbort(version tstamp.Timestamp, keys []kv.Key) error {
 // LogEpochCommitted implements core.DurabilityHook: ship every buffered
 // entry belonging to epochs <= e. Entries of later epochs (straggler-mode
 // installs that raced the switch) stay buffered for their own commit.
-func (s *Shipper) LogEpochCommitted(e tstamp.Epoch) error {
+func (s *Shipper) LogEpochCommitted(ctx context.Context, e tstamp.Epoch) error {
 	s.mu.Lock()
 	var ship, keep []wal.Entry
 	for _, entry := range s.buf {
@@ -73,7 +76,7 @@ func (s *Shipper) LogEpochCommitted(e tstamp.Epoch) error {
 	}
 	s.buf = keep
 	s.mu.Unlock()
-	return s.sink.ShipEpoch(e, ship)
+	return s.sink.ShipEpoch(ctx, e, ship)
 }
 
 // Backup maintains a shadow copy of one primary's partition, applied one
@@ -95,7 +98,7 @@ func NewBackup() *Backup {
 // ShipEpoch implements Sink: apply the epoch's installs and aborts.
 // Application is idempotent (duplicate installs are ignored, abort
 // resolution is a CAS), so a retried shipment is harmless.
-func (b *Backup) ShipEpoch(e tstamp.Epoch, entries []wal.Entry) error {
+func (b *Backup) ShipEpoch(_ context.Context, e tstamp.Epoch, entries []wal.Entry) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e < b.last {
@@ -166,9 +169,11 @@ func NewRemoteSink(conn transport.Conn, node transport.NodeID) *RemoteSink {
 	return &RemoteSink{conn: conn, node: node}
 }
 
-// ShipEpoch implements Sink.
-func (s *RemoteSink) ShipEpoch(e tstamp.Epoch, entries []wal.Entry) error {
-	_, err := s.conn.Call(context.Background(), s.node, MsgShipEpoch{E: e, Entries: entries})
+// ShipEpoch implements Sink. The call runs on the primary's epoch-commit
+// context, so server shutdown cancels a shipment stuck on a dead backup
+// and the epoch-commit trace (if sampled) extends across the shipment.
+func (s *RemoteSink) ShipEpoch(ctx context.Context, e tstamp.Epoch, entries []wal.Entry) error {
+	_, err := s.conn.Call(ctx, s.node, MsgShipEpoch{E: e, Entries: entries})
 	if err != nil {
 		return fmt.Errorf("replica: ship epoch %d: %w", e, err)
 	}
@@ -192,12 +197,12 @@ func NewBackupNode(net transport.Network, nodeID transport.NodeID) (*BackupNode,
 	return n, nil
 }
 
-func (n *BackupNode) handle(from transport.NodeID, msg any) (any, error) {
+func (n *BackupNode) handle(ctx context.Context, from transport.NodeID, msg any) (any, error) {
 	m, ok := msg.(MsgShipEpoch)
 	if !ok {
 		return nil, fmt.Errorf("replica: backup: unexpected message %T", msg)
 	}
-	return nil, n.Backup.ShipEpoch(m.E, m.Entries)
+	return nil, n.Backup.ShipEpoch(ctx, m.E, m.Entries)
 }
 
 // Close detaches the backup node.

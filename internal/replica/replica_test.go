@@ -3,6 +3,7 @@ package replica
 import (
 	"context"
 	"testing"
+	"time"
 
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
@@ -24,7 +25,7 @@ func TestShipperBuffersUntilCommit(t *testing.T) {
 	if b.LastEpoch() != 0 {
 		t.Error("backup received data before commit")
 	}
-	if err := s.LogEpochCommitted(1); err != nil {
+	if err := s.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if b.LastEpoch() != 1 {
@@ -46,7 +47,7 @@ func TestShipperKeepsLaterEpochEntries(t *testing.T) {
 	if err := s.LogInstall(ts(2, 1), "b", functor.Value(nil)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.LogEpochCommitted(1); err != nil {
+	if err := s.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	store, _ := b.Promote()
@@ -56,7 +57,7 @@ func TestShipperKeepsLaterEpochEntries(t *testing.T) {
 	if _, ok := store.At("b", ts(2, 1)); ok {
 		t.Error("epoch-2 entry shipped with epoch 1")
 	}
-	if err := s.LogEpochCommitted(2); err != nil {
+	if err := s.LogEpochCommitted(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.At("b", ts(2, 1)); !ok {
@@ -70,10 +71,10 @@ func TestBackupAppliesAbortsAndIsIdempotent(t *testing.T) {
 		{Kind: wal.KindInstall, Version: ts(1, 1), Key: "x", Functor: functor.Value(kv.Value("v"))},
 		{Kind: wal.KindAbort, Version: ts(1, 1), Keys: []kv.Key{"x"}},
 	}
-	if err := b.ShipEpoch(1, entries); err != nil {
+	if err := b.ShipEpoch(context.Background(), 1, entries); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ShipEpoch(1, entries); err != nil { // duplicate delivery
+	if err := b.ShipEpoch(context.Background(), 1, entries); err != nil { // duplicate delivery
 		t.Fatal(err)
 	}
 	store, last := b.Promote()
@@ -177,7 +178,7 @@ func TestRemoteShippingOverTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer backup.Close()
-	conn, err := net.Node(0, func(transport.NodeID, any) (any, error) { return nil, nil })
+	conn, err := net.Node(0, func(context.Context, transport.NodeID, any) (any, error) { return nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestRemoteShippingOverTransport(t *testing.T) {
 	if err := shipper.LogInstall(ts(1, 1), "k", functor.Value(kv.Value("remote"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := shipper.LogEpochCommitted(1); err != nil {
+	if err := shipper.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	store, last := backup.Backup.Promote()
@@ -196,5 +197,49 @@ func TestRemoteShippingOverTransport(t *testing.T) {
 	rec, ok := store.At("k", ts(1, 1))
 	if !ok || string(rec.Functor.Arg) != "remote" {
 		t.Error("remote shipment not applied")
+	}
+}
+
+// TestShipEpochCancellation pins the shutdown contract: the context handed
+// to LogEpochCommitted (the primary's lifetime context in production)
+// cancels an in-flight shipment to an unresponsive backup instead of
+// wedging the epoch commit forever.
+func TestShipEpochCancellation(t *testing.T) {
+	RegisterMessages()
+	net := transport.NewTCPNetwork(map[transport.NodeID]string{
+		0: "127.0.0.1:0", 100: "127.0.0.1:0",
+	})
+	defer net.Close()
+	block := make(chan struct{})
+	defer close(block)
+	// A backup that never answers, standing in for a hung or dead node.
+	if _, err := net.Node(100, func(context.Context, transport.NodeID, any) (any, error) {
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Node(0, func(context.Context, transport.NodeID, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	shipper := NewShipper(NewRemoteSink(conn, 100))
+	if err := shipper.LogInstall(ts(1, 1), "k", functor.Value(kv.Value("v"))); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- shipper.LogEpochCommitted(ctx, 1) }()
+	time.Sleep(20 * time.Millisecond) // let the call get in flight
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled shipment reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shipment ignored context cancellation")
 	}
 }

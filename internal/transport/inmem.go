@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"alohadb/internal/trace"
 )
 
 // MemNetwork is an in-process mesh. Messages are passed by reference
@@ -125,7 +127,7 @@ func (c *memConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	c.net.metrics.recordSend()
 	c.net.delay()
 	c.net.metrics.recordRecv()
-	resp, err := dst.handler(c.id, req)
+	resp, err := dst.handler(ctx, c.id, req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrRemote, err)
 	}
@@ -134,11 +136,15 @@ func (c *memConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	return resp, nil
 }
 
-func (c *memConn) Send(to NodeID, req any) error {
+func (c *memConn) Send(ctx context.Context, to NodeID, req any) error {
 	dst, err := c.net.lookup(to)
 	if err != nil {
 		return err
 	}
+	// One-way handling must not die with the sender's deadline, so only the
+	// trace context crosses; an untraced ctx detaches to Background for
+	// free.
+	hctx := trace.Detach(context.Background(), ctx)
 	c.net.metrics.recordSend()
 	if c.net.latency == 0 && c.net.jitter == 0 {
 		// Preserve one-way semantics (the caller does not wait for the
@@ -146,14 +152,14 @@ func (c *memConn) Send(to NodeID, req any) error {
 		// zero-latency fast path used by throughput benchmarks.
 		go func() {
 			c.net.metrics.recordRecv()
-			_, _ = dst.handler(c.id, req)
+			_, _ = dst.handler(hctx, c.id, req)
 		}()
 		return nil
 	}
 	go func() {
 		c.net.delay()
 		c.net.metrics.recordRecv()
-		_, _ = dst.handler(c.id, req)
+		_, _ = dst.handler(hctx, c.id, req)
 	}()
 	return nil
 }

@@ -18,7 +18,7 @@ func init() { RegisterType(blob{}) }
 func TestLargePayloadOverTCP(t *testing.T) {
 	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
 	defer n.Close()
-	if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+	if _, err := n.Node(1, func(_ context.Context, from NodeID, msg any) (any, error) {
 		b := msg.(blob)
 		return blob{Data: b.Data}, nil // echo
 	}); err != nil {
@@ -110,7 +110,7 @@ func TestSendFloodDoesNotDrop(t *testing.T) {
 			var mu sync.Mutex
 			got := make(map[int]bool, msgs)
 			done := make(chan struct{})
-			if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+			if _, err := n.Node(1, func(_ context.Context, from NodeID, msg any) (any, error) {
 				mu.Lock()
 				got[msg.(ping).N] = true
 				complete := len(got) == msgs
@@ -127,7 +127,7 @@ func TestSendFloodDoesNotDrop(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 0; i < msgs; i++ {
-				if err := c0.Send(1, ping{N: i}); err != nil {
+				if err := c0.Send(context.Background(), 1, ping{N: i}); err != nil {
 					t.Fatal(err)
 				}
 			}

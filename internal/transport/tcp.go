@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"alohadb/internal/trace"
 )
 
 // RegisterType makes a concrete message type encodable on the TCP
@@ -28,6 +30,10 @@ type envelope struct {
 	From    NodeID
 	Kind    uint8
 	ErrText string
+	// Trace is the sender's trace context; the zero value (untraced) costs
+	// three zero fields on the wire. Being a concrete struct it needs no
+	// gob registration.
+	Trace   trace.SpanContext
 	Payload any
 }
 
@@ -218,14 +224,14 @@ func (c *tcpConn) serveInbound(conn net.Conn) {
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				_, _ = c.handler(env.From, env.Payload)
+				_, _ = c.handler(trace.ContextWith(context.Background(), env.Trace), env.From, env.Payload)
 			}()
 		case kindRequest:
 			env := env
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				resp, err := c.handler(env.From, env.Payload)
+				resp, err := c.handler(trace.ContextWith(context.Background(), env.Trace), env.From, env.Payload)
 				reply := envelope{ID: env.ID, From: c.id, Kind: kindResponse, Payload: resp}
 				if err != nil {
 					reply.ErrText = err.Error()
@@ -324,7 +330,7 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 		c.pending.Delete(id)
 		return nil, ErrClosed
 	}
-	env := envelope{ID: id, From: c.id, Kind: kindRequest, Payload: req}
+	env := envelope{ID: id, From: c.id, Kind: kindRequest, Trace: trace.FromContext(ctx), Payload: req}
 	c.net.metrics.recordSend()
 	if err := p.write(&env); err != nil {
 		c.pending.Delete(id)
@@ -343,7 +349,7 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 	}
 }
 
-func (c *tcpConn) Send(to NodeID, req any) error {
+func (c *tcpConn) Send(ctx context.Context, to NodeID, req any) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
@@ -351,7 +357,7 @@ func (c *tcpConn) Send(to NodeID, req any) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{From: c.id, Kind: kindOneway, Payload: req}
+	env := envelope{From: c.id, Kind: kindOneway, Trace: trace.FromContext(ctx), Payload: req}
 	c.net.metrics.recordSend()
 	if err := p.write(&env); err != nil {
 		c.dropPeer(to, err)

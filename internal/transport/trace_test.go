@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alohadb/internal/trace"
+)
+
+// TestTracePropagation drives a chained A -> B -> C call across both
+// transports and asserts the three nodes' spans land in ONE connected
+// trace with correct parent links.
+func TestTracePropagation(t *testing.T) {
+	for name, mk := range map[string]func() Network{
+		"mem": func() Network { return NewMemNetwork() },
+		"tcp": func() Network {
+			return NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0"})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := trace.New(trace.Config{SampleRate: 1})
+			n := mk()
+			defer n.Close()
+
+			// C: leaf handler, records one span.
+			if _, err := n.Node(2, func(ctx context.Context, from NodeID, msg any) (any, error) {
+				_, span := tr.ForNode(2).Start(ctx, "leaf")
+				defer span.End()
+				return pong{N: msg.(ping).N + 1}, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// B: relays to C inside its own span.
+			var c1 Conn
+			relay := func(ctx context.Context, from NodeID, msg any) (any, error) {
+				rctx, span := tr.ForNode(1).Start(ctx, "relay")
+				defer span.End()
+				return c1.Call(rctx, 2, msg)
+			}
+			var err error
+			if c1, err = n.Node(1, relay); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, root := tr.ForNode(0).StartRoot(context.Background(), "root")
+			resp, err := c0.Call(ctx, 1, ping{N: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.(pong).N != 2 {
+				t.Fatalf("resp = %v", resp)
+			}
+			root.End()
+
+			traces := tr.Traces()
+			if len(traces) != 1 {
+				t.Fatalf("got %d traces, want 1 connected trace", len(traces))
+			}
+			byName := map[string]trace.SpanData{}
+			for _, sd := range traces[0].Spans {
+				byName[sd.Name] = sd
+			}
+			if len(byName) != 3 {
+				t.Fatalf("got spans %v, want root/relay/leaf", byName)
+			}
+			if byName["relay"].Parent != byName["root"].Span {
+				t.Error("relay span not parented to root across the wire")
+			}
+			if byName["leaf"].Parent != byName["relay"].Span {
+				t.Error("leaf span not parented to relay across the wire")
+			}
+			for want, name := range map[int]string{0: "root", 1: "relay", 2: "leaf"} {
+				if got := byName[name].Node; got != want {
+					t.Errorf("%s recorded on node %d, want %d", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTracePropagationOneWay asserts Send carries the trace context to the
+// receiving handler on both transports.
+func TestTracePropagationOneWay(t *testing.T) {
+	for name, mk := range map[string]func() Network{
+		"mem": func() Network { return NewMemNetwork() },
+		"tcp": func() Network {
+			return NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			got := make(chan trace.SpanContext, 1)
+			if _, err := n.Node(1, func(ctx context.Context, from NodeID, msg any) (any, error) {
+				got <- trace.FromContext(ctx)
+				return nil, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			c0, err := n.Node(0, echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := trace.New(trace.Config{SampleRate: 1})
+			ctx, root := tr.ForNode(0).StartRoot(context.Background(), "root")
+			if err := c0.Send(ctx, 1, ping{N: 1}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case sc := <-got:
+				if !sc.Valid() || !sc.Sampled {
+					t.Errorf("handler context = %+v, want sampled trace", sc)
+				}
+				if sc.Span != root.Context().Span {
+					t.Error("handler sees a different parent span than the sender's")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("one-way message never arrived")
+			}
+			root.End()
+		})
+	}
+}
+
+// TestSendContextIsValuesOnly pins the Send contract: the receiving
+// handler must not inherit the sender's cancellation, only its trace.
+func TestSendContextIsValuesOnly(t *testing.T) {
+	n := NewMemNetwork()
+	defer n.Close()
+	got := make(chan error, 1)
+	if _, err := n.Node(1, func(ctx context.Context, from NodeID, msg any) (any, error) {
+		got <- ctx.Err()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // sender's context is already dead
+	if err := c0.Send(ctx, 1, ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Errorf("handler ctx.Err() = %v, want nil (values-only delivery)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("one-way message never arrived")
+	}
+}
+
+// TestUnsampledTraceNotPropagated: head-based sampling means a dropped
+// root's children must see no trace context anywhere in the cluster.
+func TestUnsampledTraceNotPropagated(t *testing.T) {
+	n := NewMemNetwork()
+	defer n.Close()
+	got := make(chan trace.SpanContext, 1)
+	if _, err := n.Node(1, func(ctx context.Context, from NodeID, msg any) (any, error) {
+		got <- trace.FromContext(ctx)
+		return pong{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{SampleRate: 0, SlowThreshold: time.Hour})
+	ctx, root := tr.ForNode(0).StartRoot(context.Background(), "unsampled")
+	if _, err := c0.Call(ctx, 1, ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if sc := <-got; sc.Valid() {
+		t.Errorf("unsampled trace leaked to the remote handler: %+v", sc)
+	}
+}

@@ -8,6 +8,11 @@
 // The model is a symmetric node mesh: every node registers one handler and
 // obtains a Conn through which it can Call (request/response) or Send
 // (one-way) any other node by ID.
+//
+// Both implementations propagate trace context (internal/trace) from the
+// caller's context to the handler's: the in-memory mesh passes it as a
+// context value, the TCP mesh serializes it as an envelope field. Handlers
+// therefore see the sending transaction's trace and can attach child spans.
 package transport
 
 import (
@@ -22,7 +27,13 @@ type NodeID int
 // Handler processes one inbound message. For Call traffic the returned
 // value travels back to the caller; for Send traffic it is discarded. A
 // handler may be invoked from many goroutines concurrently.
-type Handler func(from NodeID, msg any) (any, error)
+//
+// ctx carries the sender's trace context when the sender was traced. Its
+// lifetime differs by traffic kind: for a Call over the in-memory mesh it
+// is the caller's context (cancellation included); for Send and all TCP
+// traffic it carries values only — one-way and cross-process handling must
+// not be cancelled by the sender's local deadline.
+type Handler func(ctx context.Context, from NodeID, msg any) (any, error)
 
 // Conn is a node's endpoint into the mesh.
 type Conn interface {
@@ -30,7 +41,8 @@ type Conn interface {
 	// its response.
 	Call(ctx context.Context, to NodeID, req any) (any, error)
 	// Send delivers req one-way, without waiting for handling to finish.
-	Send(to NodeID, req any) error
+	// ctx contributes trace context only; Send never blocks on it.
+	Send(ctx context.Context, to NodeID, req any) error
 	// Local returns this endpoint's node ID.
 	Local() NodeID
 	// Close detaches the node from the mesh.

@@ -18,7 +18,7 @@ func init() {
 }
 
 // echoHandler responds to ping{N} with pong{N+1} and errors on N < 0.
-func echoHandler(from NodeID, msg any) (any, error) {
+func echoHandler(_ context.Context, from NodeID, msg any) (any, error) {
 	p, ok := msg.(ping)
 	if !ok {
 		return nil, fmt.Errorf("unexpected message %T", msg)
@@ -97,7 +97,7 @@ func TestSendOneWay(t *testing.T) {
 			n := mk()
 			defer n.Close()
 			got := make(chan int, 1)
-			if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+			if _, err := n.Node(1, func(_ context.Context, from NodeID, msg any) (any, error) {
 				got <- msg.(ping).N
 				return nil, nil
 			}); err != nil {
@@ -107,7 +107,7 @@ func TestSendOneWay(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := c0.Send(1, ping{N: 7}); err != nil {
+			if err := c0.Send(context.Background(), 1, ping{N: 7}); err != nil {
 				t.Fatal(err)
 			}
 			select {
@@ -134,7 +134,7 @@ func TestUnknownNode(t *testing.T) {
 			if _, err := c0.Call(context.Background(), 99, ping{}); err == nil {
 				t.Error("Call to unknown node should fail")
 			}
-			if err := c0.Send(99, ping{}); err == nil {
+			if err := c0.Send(context.Background(), 99, ping{}); err == nil {
 				t.Error("Send to unknown node should fail")
 			}
 		})
@@ -217,7 +217,7 @@ func TestCallContextCancel(t *testing.T) {
 	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
 	defer n.Close()
 	block := make(chan struct{})
-	if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+	if _, err := n.Node(1, func(context.Context, NodeID, any) (any, error) {
 		<-block
 		return pong{}, nil
 	}); err != nil {
@@ -240,7 +240,7 @@ func TestCloseFailsPending(t *testing.T) {
 	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
 	block := make(chan struct{})
 	defer close(block)
-	if _, err := n.Node(1, func(from NodeID, msg any) (any, error) {
+	if _, err := n.Node(1, func(context.Context, NodeID, any) (any, error) {
 		<-block
 		return pong{}, nil
 	}); err != nil {

@@ -62,7 +62,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 	}
 
 	// A remote client joins the mesh and drives the client protocol.
-	cli, err := net.Node(clientID, func(transport.NodeID, any) (any, error) { return nil, nil })
+	cli, err := net.Node(clientID, func(context.Context, transport.NodeID, any) (any, error) { return nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,7 +26,7 @@ func FuzzReplay(f *testing.F) {
 	}
 	_ = l.LogInstall(ts(1, 1), "k", functor.User("h", []byte("a"), []kv.Key{"r"}))
 	_ = l.LogAbort(ts(1, 1), []kv.Key{"k"})
-	_ = l.LogEpochCommitted(1)
+	_ = l.LogEpochCommitted(context.Background(), 1)
 	l.Close()
 	seed, err := os.ReadFile(seedPath)
 	if err != nil {

@@ -9,6 +9,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -130,8 +131,9 @@ func (l *Log) LogAbort(version tstamp.Timestamp, keys []kv.Key) error {
 
 // LogEpochCommitted implements core.DurabilityHook: append the marker and
 // fsync, making the whole epoch durable in one synchronous write per epoch
-// (the amortization that lets ECC log at memory speed).
-func (l *Log) LogEpochCommitted(e tstamp.Epoch) error {
+// (the amortization that lets ECC log at memory speed). The context carries
+// the epoch-commit trace; the fsync itself is not cancellable mid-call.
+func (l *Log) LogEpochCommitted(ctx context.Context, e tstamp.Epoch) error {
 	var payload [4]byte
 	binary.BigEndian.PutUint32(payload[:], uint32(e))
 	if err := l.append(KindEpochCommitted, payload[:]); err != nil {

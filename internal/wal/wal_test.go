@@ -31,7 +31,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if err := l.LogAbort(ts(1, 2), []kv.Key{"k2", "k3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.LogEpochCommitted(1); err != nil {
+	if err := l.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -133,7 +133,7 @@ func TestRecoverDiscardsUncommittedEpoch(t *testing.T) {
 	if err := l.LogInstall(ts(1, 1), "a", functor.Value(kv.EncodeInt64(10))); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.LogEpochCommitted(1); err != nil {
+	if err := l.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	// Epoch 2: crash before the marker.
@@ -169,7 +169,7 @@ func TestRecoverAppliesAborts(t *testing.T) {
 	if err := l.LogAbort(ts(1, 1), []kv.Key{"x"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.LogEpochCommitted(1); err != nil {
+	if err := l.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -358,7 +358,7 @@ func TestRecoverFullWithCheckpoint(t *testing.T) {
 	if err := l.LogInstall(ts(1, 1), "k", functor.Value(kv.EncodeInt64(1))); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.LogEpochCommitted(1); err != nil {
+	if err := l.LogEpochCommitted(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	ckptStore := mvstore.New()
@@ -375,7 +375,7 @@ func TestRecoverFullWithCheckpoint(t *testing.T) {
 	if err := l.LogInstall(ts(2, 1), "k", functor.Value(kv.EncodeInt64(2))); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.LogEpochCommitted(2); err != nil {
+	if err := l.LogEpochCommitted(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.LogInstall(ts(3, 1), "k", functor.Value(kv.EncodeInt64(3))); err != nil {
