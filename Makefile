@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench figures figures-full examples clean
+.PHONY: all build fmt-check vet test race bench bench-net figures figures-full examples clean
 
 all: build test
 
@@ -24,6 +24,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Transport/combiner hot-path benchmarks; writes BENCH_transport.json.
+bench-net:
+	$(GO) run ./cmd/aloha-bench -netbench -netbench-label current -duration 2s
 
 # Quick regeneration of every figure of the paper's evaluation.
 figures:

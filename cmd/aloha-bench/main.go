@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,8 +38,21 @@ func run() error {
 
 		traceSample  = flag.Float64("trace-sample", 0, "trace sample rate in [0,1] for the ALOHA-DB clusters under benchmark")
 		traceSlowest = flag.Int("trace-slowest", 0, "after the sweep, dump the N slowest captured traces (needs -trace-sample)")
+
+		netbench      = flag.Bool("netbench", false, "run the network-path benchmark suite (transport coalescing, remote reads, 2-server NewOrder over TCP) instead of the figures")
+		netbenchOut   = flag.String("netbench-out", "BENCH_transport.json", "netbench report path (baseline rows in the file are preserved)")
+		netbenchLabel = flag.String("netbench-label", "current", "which report section the run's rows replace: current or baseline")
 	)
 	flag.Parse()
+
+	if *netbench {
+		return runNetBench(harness.Options{
+			Quick:    !*full,
+			Duration: *duration,
+			Items:    *items,
+			Out:      os.Stdout,
+		}, *netbenchOut, *netbenchLabel)
+	}
 
 	var tracer *trace.Tracer
 	if *traceSample > 0 {
@@ -113,5 +127,38 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runNetBench executes the network-path suite and merges its rows into the
+// JSON report, preserving the other section (committed baseline rows
+// survive `make bench-net` regenerating the current rows, and vice versa).
+func runNetBench(o harness.Options, path, label string) error {
+	if label != "current" && label != "baseline" {
+		return fmt.Errorf("aloha-bench: -netbench-label must be current or baseline, got %q", label)
+	}
+	rows, err := harness.NetBench(o)
+	if err != nil {
+		return err
+	}
+	var report harness.NetBenchReport
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("aloha-bench: parse %s: %w", path, err)
+		}
+	}
+	if label == "baseline" {
+		report.Baseline = rows
+	} else {
+		report.Current = rows
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %d %s rows to %s\n", len(rows), label, path)
 	return nil
 }

@@ -48,6 +48,10 @@ func run() error {
 		traceSample = flag.Float64("trace-sample", 0, "trace sample rate in [0,1] (0 disables sampling)")
 		traceSlow   = flag.Duration("trace-slow", 0, "always capture transactions slower than this (0 disables)")
 		traceRing   = flag.Int("trace-ring", 0, "trace span ring size (0 = default)")
+
+		flushBytes    = flag.Int("net-flush-bytes", 0, "transport per-peer buffered-write flush threshold in bytes (0 = default 64KiB)")
+		flushInterval = flag.Duration("net-flush-interval", 0, "transport flusher linger after the send queue drains (0 = flush immediately)")
+		batchWindow   = flag.Duration("read-batch-window", 0, "remote read/ensure combiner linger between batch dispatches (0 = combine without sleeping)")
 	)
 	flag.Parse()
 
@@ -61,7 +65,9 @@ func run() error {
 	}
 
 	core.RegisterMessages()
-	net := transport.NewTCPNetwork(addrs)
+	net := transport.NewTCPNetwork(addrs,
+		transport.WithFlushBytes(*flushBytes),
+		transport.WithFlushInterval(*flushInterval))
 	defer net.Close()
 
 	tracer := trace.New(trace.Config{
@@ -70,11 +76,12 @@ func run() error {
 		RingSize:      *traceRing,
 	})
 	cfg := core.ServerConfig{
-		ID:         *id,
-		NumServers: emID,
-		Registry:   functor.NewRegistry(),
-		Workers:    *workers,
-		Tracer:     tracer,
+		ID:              *id,
+		NumServers:      emID,
+		Registry:        functor.NewRegistry(),
+		Workers:         *workers,
+		Tracer:          tracer,
+		ReadBatchWindow: *batchWindow,
 	}
 	if *walPath != "" {
 		log, err := wal.Open(*walPath)

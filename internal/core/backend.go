@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"alohadb/internal/functor"
@@ -26,6 +27,15 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 		return nil, nil
 	case MsgRead:
 		return s.handleRead(ctx, m)
+	case MsgReadBatch:
+		return s.handleReadBatch(ctx, m)
+	case MsgEnsureBatch:
+		return s.handleEnsureBatch(ctx, m)
+	case MsgAbortBatch:
+		for _, a := range m.Aborts {
+			s.handleAbort(a)
+		}
+		return nil, nil
 	case MsgPush:
 		s.pushValue(m.Version, m.Key, readFromPush(m))
 		return nil, nil
@@ -79,7 +89,8 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 	defer span.End()
 	sc := trace.FromContext(ctx)
 	resp := MsgInstallResp{Results: make([]InstallResult, len(m.Txns))}
-	var items []workItem
+	itemsp := workItemsPool.Get().(*[]workItem)
+	items := (*itemsp)[:0]
 	now := time.Now()
 	for i, txn := range m.Txns {
 		if reason := s.checkRequires(txn.Requires); reason != "" {
@@ -111,8 +122,22 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 	if len(items) > 0 {
 		s.bufferWork(items)
 	}
+	// bufferWork copies every item into the per-epoch buffer (or the
+	// processor queue), so the scratch slice can go back to the pool.
+	clear(items)
+	*itemsp = items[:0]
+	workItemsPool.Put(itemsp)
 	return resp
 }
+
+// workItemsPool recycles workItem slices across the install → epoch-buffer →
+// processor hand-offs. Every stage copies items forward by value, so the
+// backing arrays are reusable the moment the call returns; recycling them
+// keeps the install hot path from re-growing a fresh array per batch.
+var workItemsPool = sync.Pool{New: func() any {
+	s := make([]workItem, 0, 64)
+	return &s
+}}
 
 // checkRequires verifies the phase-1 existence constraints. The referenced
 // keys live in tables loaded at epoch 0 (e.g. the TPC-C item table), so a
@@ -139,7 +164,13 @@ func (s *Server) bufferWork(items []workItem) {
 			direct = append(direct, it)
 			continue
 		}
-		s.pending[e] = append(s.pending[e], it)
+		cur, ok := s.pending[e]
+		if !ok {
+			// Start each epoch's buffer from the pool: Committed recycles
+			// drained buffers, so steady state re-grows nothing.
+			cur = *workItemsPool.Get().(*[]workItem)
+		}
+		s.pending[e] = append(cur, it)
 	}
 	s.pendingMu.Unlock()
 	if len(direct) > 0 {
@@ -182,6 +213,84 @@ func (s *Server) handleRead(ctx context.Context, m MsgRead) (MsgReadResp, error)
 		return MsgReadResp{}, err
 	}
 	return MsgReadResp{Value: r.Value, Found: r.Found, Version: r.Version}, nil
+}
+
+// handleReadBatch serves a combined batch of remote Gets. Items run in
+// parallel: each read may trigger on-demand functor computation with its
+// own remote fan-out, so serializing them would stack those latencies.
+func (s *Server) handleReadBatch(ctx context.Context, m MsgReadBatch) (MsgReadBatchResp, error) {
+	ctx, span := s.tr.Start(ctx, "be.read.batch")
+	span.SetAttr("batch", fmt.Sprintf("%d", len(m.Reads)))
+	defer span.End()
+	s.stats.readsServed.Add(uint64(len(m.Reads)))
+	ectx := s.engineCtx(ctx)
+	resp := MsgReadBatchResp{Results: make([]ReadResult, len(m.Reads))}
+	if len(m.Reads) == 1 {
+		r, err := s.localRead(ectx, m.Reads[0].Key, m.Reads[0].Version)
+		resp.Results[0] = readResult(r, err)
+		return resp, nil
+	}
+	var wg sync.WaitGroup
+	for i := range m.Reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.localRead(ectx, m.Reads[i].Key, m.Reads[i].Version)
+			resp.Results[i] = readResult(r, err)
+		}(i)
+	}
+	wg.Wait()
+	return resp, nil
+}
+
+func readResult(r funcRead, err error) ReadResult {
+	if err != nil {
+		return ReadResult{Err: err.Error()}
+	}
+	return ReadResult{Resp: MsgReadResp{Value: r.Value, Found: r.Found, Version: r.Version}}
+}
+
+// handleEnsureBatch serves a combined batch of ensures, mixing the
+// MsgEnsure (resolution wanted) and MsgEnsureUpTo (watermark advance)
+// flavors. Items run in parallel like handleReadBatch.
+func (s *Server) handleEnsureBatch(ctx context.Context, m MsgEnsureBatch) (MsgEnsureBatchResp, error) {
+	ctx, span := s.tr.Start(ctx, "be.ensure.batch")
+	span.SetAttr("batch", fmt.Sprintf("%d", len(m.Reqs)))
+	defer span.End()
+	ectx := s.engineCtx(ctx)
+	resp := MsgEnsureBatchResp{Results: make([]EnsureResult, len(m.Reqs))}
+	one := func(i int) EnsureResult {
+		req := m.Reqs[i]
+		if req.UpTo {
+			if err := s.computeKeyUpTo(ectx, req.Key, req.Version); err != nil {
+				return EnsureResult{Err: err.Error()}
+			}
+			return EnsureResult{}
+		}
+		rec, ok := s.store.At(req.Key, req.Version)
+		if !ok {
+			return EnsureResult{Err: fmt.Sprintf("core: server %d: determinate functor %q@%v not found", s.id, req.Key, req.Version)}
+		}
+		res, err := s.resolveRecord(ectx, req.Key, rec)
+		if err != nil {
+			return EnsureResult{Err: err.Error()}
+		}
+		return EnsureResult{Resolution: res}
+	}
+	if len(m.Reqs) == 1 {
+		resp.Results[0] = one(0)
+		return resp, nil
+	}
+	var wg sync.WaitGroup
+	for i := range m.Reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Results[i] = one(i)
+		}(i)
+	}
+	wg.Wait()
+	return resp, nil
 }
 
 // handleEnsure computes the determinate functor at (Key, Version) and

@@ -54,6 +54,9 @@ type ClusterConfig struct {
 	// spans carry the originating node so one cluster-wide snapshot shows
 	// cross-server traces whole. Nil disables tracing.
 	Tracer *trace.Tracer
+	// ReadBatchWindow configures each server's remote read/ensure combiner
+	// linger; see ServerConfig.ReadBatchWindow.
+	ReadBatchWindow time.Duration
 }
 
 // Cluster is an embedded multi-server ALOHA-DB instance. It is the unit the
@@ -99,14 +102,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 		srv, err := NewServer(ServerConfig{
-			ID:             i,
-			NumServers:     cfg.Servers,
-			Partitioner:    cfg.Partitioner,
-			Registry:       cfg.Registry,
-			Workers:        cfg.Workers,
-			Durability:     hook,
-			DependencyRule: cfg.DependencyRule,
-			Tracer:         cfg.Tracer,
+			ID:              i,
+			NumServers:      cfg.Servers,
+			Partitioner:     cfg.Partitioner,
+			Registry:        cfg.Registry,
+			Workers:         cfg.Workers,
+			Durability:      hook,
+			DependencyRule:  cfg.DependencyRule,
+			Tracer:          cfg.Tracer,
+			ReadBatchWindow: cfg.ReadBatchWindow,
 		}, c.net)
 		if err != nil {
 			c.Close()

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// combiner merges concurrent remote reads and ensures destined for the
+// same owner into batch RPCs (MsgReadBatch / MsgEnsureBatch), extending the
+// paper's install convention — one message per involved partition (§V) —
+// to the functor hot path: under load, many functor computations read
+// single keys of the same remote partition at once, and each such read is
+// otherwise a full RPC.
+//
+// Per owner, one former goroutine drains the op queue: the first op of an
+// idle owner dispatches immediately (the single-request fast path sends
+// the original MsgRead/MsgEnsure/MsgEnsureUpTo, so isolated requests keep
+// their latency and wire format), and ops that accumulate while the former
+// is active leave as one batch. Dispatches are asynchronous — the former
+// never waits for a response. Holding the owner slot across the RPC would
+// be the textbook combining window, but compute paths recurse across
+// partitions (a served read can trigger computations that read back), and
+// two owners waiting on each other's held slots would deadlock; forming
+// batches without bounding RPC concurrency keeps the merge and cannot
+// create a wait cycle.
+type combiner struct {
+	s *Server
+	// window, when positive, is how long the former lingers between
+	// consecutive dispatches to accumulate a larger batch. It never delays
+	// an isolated request: the first dispatch of an idle owner is always
+	// immediate.
+	window time.Duration
+
+	mu     sync.Mutex
+	owners map[int]*ownerQueue
+}
+
+// maxCombine bounds ops per batch message so a deep queue becomes several
+// reasonably-sized RPCs instead of one giant envelope.
+const maxCombine = 128
+
+type ownerQueue struct {
+	mu      sync.Mutex
+	ops     []*combOp
+	forming bool
+}
+
+type combKind uint8
+
+const (
+	combRead combKind = iota
+	combEnsure
+	combEnsureUpTo
+)
+
+type combOp struct {
+	kind    combKind
+	key     kv.Key
+	version tstamp.Timestamp
+	// ctx is the caller's context: its trace labels the dispatch and its
+	// cancellation releases only this caller's wait, never the shared RPC.
+	ctx  context.Context
+	done chan combResult
+}
+
+type combResult struct {
+	read funcRead
+	res  *functor.Resolution
+	err  error
+}
+
+func newCombiner(s *Server, window time.Duration) *combiner {
+	return &combiner{s: s, window: window, owners: make(map[int]*ownerQueue)}
+}
+
+// read performs a remote read through the combiner.
+func (c *combiner) read(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+	r := c.do(ctx, owner, &combOp{kind: combRead, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	return r.read, r.err
+}
+
+// ensure performs a remote MsgEnsure through the combiner.
+func (c *combiner) ensure(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) (*functor.Resolution, error) {
+	r := c.do(ctx, owner, &combOp{kind: combEnsure, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	return r.res, r.err
+}
+
+// ensureUpTo performs a remote MsgEnsureUpTo through the combiner.
+func (c *combiner) ensureUpTo(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) error {
+	r := c.do(ctx, owner, &combOp{kind: combEnsureUpTo, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	return r.err
+}
+
+func (c *combiner) queue(owner int) *ownerQueue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.owners[owner]
+	if q == nil {
+		q = &ownerQueue{}
+		c.owners[owner] = q
+	}
+	return q
+}
+
+func (c *combiner) do(ctx context.Context, owner int, op *combOp) combResult {
+	q := c.queue(owner)
+	q.mu.Lock()
+	q.ops = append(q.ops, op)
+	start := !q.forming
+	q.forming = true
+	q.mu.Unlock()
+	if start {
+		go c.formLoop(owner, q)
+	}
+	select {
+	case r := <-op.done:
+		return r
+	case <-ctx.Done():
+		// The shared dispatch proceeds for the other waiters; only this
+		// caller gives up (done is buffered, so the late send never blocks).
+		return combResult{err: ctx.Err()}
+	}
+}
+
+// formLoop drains one owner's queue: grab whatever is queued, dispatch it
+// asynchronously, briefly yield (or linger for the configured window) so
+// concurrent producers can publish the next batch, and exit once the queue
+// stays empty.
+func (c *combiner) formLoop(owner int, q *ownerQueue) {
+	yields := 0
+	for {
+		q.mu.Lock()
+		n := len(q.ops)
+		if n == 0 {
+			if yields < 2 {
+				q.mu.Unlock()
+				yields++
+				runtime.Gosched()
+				continue
+			}
+			q.forming = false
+			q.mu.Unlock()
+			return
+		}
+		if n > maxCombine {
+			n = maxCombine
+		}
+		ops := q.ops[:n:n]
+		q.ops = q.ops[n:]
+		q.mu.Unlock()
+		yields = 0
+		go c.dispatch(owner, ops)
+		if c.window > 0 {
+			time.Sleep(c.window)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// dispatch sends one formed batch. A single op keeps the original wire
+// message and span; a real batch splits into at most one MsgReadBatch and
+// one MsgEnsureBatch, sent concurrently.
+func (c *combiner) dispatch(owner int, ops []*combOp) {
+	if len(ops) == 1 {
+		c.dispatchSingle(owner, ops[0])
+		return
+	}
+	var reads, ensures []*combOp
+	for _, op := range ops {
+		if op.kind == combRead {
+			reads = append(reads, op)
+		} else {
+			ensures = append(ensures, op)
+		}
+	}
+	if len(reads) > 0 && len(ensures) > 0 {
+		go c.dispatchEnsures(owner, ensures)
+		c.dispatchReads(owner, reads)
+		return
+	}
+	if len(reads) > 0 {
+		c.dispatchReads(owner, reads)
+	}
+	if len(ensures) > 0 {
+		c.dispatchEnsures(owner, ensures)
+	}
+}
+
+func (c *combiner) dispatchSingle(owner int, op *combOp) {
+	s := c.s
+	ctx := s.engineCtx(op.ctx)
+	switch op.kind {
+	case combRead:
+		s.stats.recordReadBatch(1)
+		rctx, span := s.tr.Start(ctx, "read.remote")
+		span.SetAttr("key", string(op.key))
+		span.SetAttr("owner", strconv.Itoa(owner))
+		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgRead{Key: op.key, Version: op.version})
+		span.End()
+		if err != nil {
+			op.done <- combResult{err: fmt.Errorf("core: remote read %q@%v: %w", op.key, op.version, err)}
+			return
+		}
+		r, ok := resp.(MsgReadResp)
+		if !ok {
+			op.done <- combResult{err: fmt.Errorf("core: remote read %q: unexpected response %T", op.key, resp)}
+			return
+		}
+		op.done <- combResult{read: funcRead{Value: r.Value, Found: r.Found, Version: r.Version}}
+
+	case combEnsure:
+		s.stats.recordEnsureBatch(1)
+		rctx, span := s.tr.Start(ctx, "functor.ensure")
+		span.SetAttr("key", string(op.key))
+		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgEnsure{Key: op.key, Version: op.version})
+		span.End()
+		if err != nil {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q@%v: %w", op.key, op.version, err)}
+			return
+		}
+		r, ok := resp.(MsgEnsureResp)
+		if !ok {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q: unexpected response %T", op.key, resp)}
+			return
+		}
+		op.done <- combResult{res: r.Resolution}
+
+	case combEnsureUpTo:
+		s.stats.recordEnsureBatch(1)
+		if _, err := s.conn.Call(ctx, transport.NodeID(owner), MsgEnsureUpTo{Key: op.key, Version: op.version}); err != nil {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q up to %v: %w", op.key, op.version, err)}
+			return
+		}
+		op.done <- combResult{}
+	}
+}
+
+func (c *combiner) dispatchReads(owner int, ops []*combOp) {
+	s := c.s
+	s.stats.recordReadBatch(len(ops))
+	ctx, span := s.tr.Start(s.engineCtx(ops[0].ctx), "read.remote.batch")
+	span.SetAttr("owner", strconv.Itoa(owner))
+	span.SetAttr("batch", strconv.Itoa(len(ops)))
+	msg := MsgReadBatch{Reads: make([]MsgRead, len(ops))}
+	for i, op := range ops {
+		msg.Reads[i] = MsgRead{Key: op.key, Version: op.version}
+	}
+	raw, err := s.conn.Call(ctx, transport.NodeID(owner), msg)
+	span.End()
+	if err != nil {
+		for _, op := range ops {
+			op.done <- combResult{err: fmt.Errorf("core: remote read %q@%v: %w", op.key, op.version, err)}
+		}
+		return
+	}
+	resp, ok := raw.(MsgReadBatchResp)
+	if !ok || len(resp.Results) != len(ops) {
+		for _, op := range ops {
+			op.done <- combResult{err: fmt.Errorf("core: remote read %q: malformed batch response %T", op.key, raw)}
+		}
+		return
+	}
+	for i, op := range ops {
+		r := resp.Results[i]
+		if r.Err != "" {
+			op.done <- combResult{err: fmt.Errorf("core: remote read %q@%v: %s", op.key, op.version, r.Err)}
+			continue
+		}
+		op.done <- combResult{read: funcRead{Value: r.Resp.Value, Found: r.Resp.Found, Version: r.Resp.Version}}
+	}
+}
+
+func (c *combiner) dispatchEnsures(owner int, ops []*combOp) {
+	s := c.s
+	s.stats.recordEnsureBatch(len(ops))
+	ctx, span := s.tr.Start(s.engineCtx(ops[0].ctx), "ensure.remote.batch")
+	span.SetAttr("owner", strconv.Itoa(owner))
+	span.SetAttr("batch", strconv.Itoa(len(ops)))
+	msg := MsgEnsureBatch{Reqs: make([]EnsureReq, len(ops))}
+	for i, op := range ops {
+		msg.Reqs[i] = EnsureReq{Key: op.key, Version: op.version, UpTo: op.kind == combEnsureUpTo}
+	}
+	raw, err := s.conn.Call(ctx, transport.NodeID(owner), msg)
+	span.End()
+	if err != nil {
+		for _, op := range ops {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q@%v: %w", op.key, op.version, err)}
+		}
+		return
+	}
+	resp, ok := raw.(MsgEnsureBatchResp)
+	if !ok || len(resp.Results) != len(ops) {
+		for _, op := range ops {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q: malformed batch response %T", op.key, raw)}
+		}
+		return
+	}
+	for i, op := range ops {
+		r := resp.Results[i]
+		if r.Err != "" {
+			op.done <- combResult{err: fmt.Errorf("core: ensure %q@%v: %s", op.key, op.version, r.Err)}
+			continue
+		}
+		op.done <- combResult{res: r.Resolution}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+)
+
+// captureNetwork wraps another transport and counts outbound Call messages
+// by concrete type, so tests can assert which wire messages the combiner
+// actually sends.
+type captureNetwork struct {
+	inner transport.Network
+
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func newCaptureNetwork(inner transport.Network) *captureNetwork {
+	return &captureNetwork{inner: inner, calls: make(map[string]int)}
+}
+
+func (n *captureNetwork) Node(id transport.NodeID, h transport.Handler) (transport.Conn, error) {
+	c, err := n.inner.Node(id, h)
+	if err != nil {
+		return nil, err
+	}
+	return &captureConn{Conn: c, net: n}, nil
+}
+
+func (n *captureNetwork) Close() error { return n.inner.Close() }
+
+func (n *captureNetwork) record(req any) {
+	n.mu.Lock()
+	n.calls[fmt.Sprintf("%T", req)]++
+	n.mu.Unlock()
+}
+
+// count returns how many Calls carried the given message type.
+func (n *captureNetwork) count(sample any) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls[fmt.Sprintf("%T", sample)]
+}
+
+type captureConn struct {
+	transport.Conn
+	net *captureNetwork
+}
+
+func (c *captureConn) Call(ctx context.Context, to transport.NodeID, req any) (any, error) {
+	c.net.record(req)
+	return c.Conn.Call(ctx, to, req)
+}
+
+// newCombinerCluster builds a two-server manual-epoch cluster over a
+// capture network; keys starting with "a" live on server 0, everything
+// else on server 1.
+func newCombinerCluster(t *testing.T, window time.Duration) (*Cluster, *captureNetwork) {
+	t.Helper()
+	capture := newCaptureNetwork(transport.NewMemNetwork())
+	c, err := NewCluster(ClusterConfig{
+		Servers:      2,
+		ManualEpochs: true,
+		Registry:     testRegistry(t),
+		Network:      capture,
+		Partitioner: func(k kv.Key, n int) int {
+			if len(k) > 0 && k[0] == 'a' {
+				return 0
+			}
+			return 1
+		},
+		ReadBatchWindow: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); capture.inner.Close() })
+	return c, capture
+}
+
+// TestCombinerSingleReadFastPath proves an isolated remote read keeps the
+// original single-request wire protocol: one MsgRead, no batch envelope,
+// so single-key latency cannot regress through the combiner.
+func TestCombinerSingleReadFastPath(t *testing.T) {
+	c, capture := newCombinerCluster(t, 0)
+	if err := c.Load([]kv.Pair{{Key: "remote-key", Value: kv.Value("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Server(0).GetCommitted(context.Background(), "remote-key")
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("remote read = %q found=%v err=%v", v, found, err)
+	}
+	if got := capture.count(MsgRead{}); got != 1 {
+		t.Errorf("MsgRead calls = %d, want 1", got)
+	}
+	if got := capture.count(MsgReadBatch{}); got != 0 {
+		t.Errorf("isolated read sent MsgReadBatch (%d), want the single-request fast path", got)
+	}
+}
+
+// TestCombinerBatchesConcurrentReads proves concurrent remote reads to one
+// owner share RPCs: N reads arrive in far fewer than N read Calls, with at
+// least one multi-op MsgReadBatch on the wire.
+func TestCombinerBatchesConcurrentReads(t *testing.T) {
+	c, capture := newCombinerCluster(t, 2*time.Millisecond)
+	const n = 32
+	pairs := make([]kv.Pair, n)
+	for i := range pairs {
+		pairs[i] = kv.Pair{Key: kv.Key(fmt.Sprintf("rk%02d", i)), Value: kv.Value("v")}
+	}
+	if err := c.Load(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := make(chan struct{})
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, found, err := c.Server(0).GetCommitted(context.Background(), pairs[i].Key)
+			if err == nil && !found {
+				err = fmt.Errorf("key %q not found", pairs[i].Key)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	reads := capture.count(MsgRead{})
+	batches := capture.count(MsgReadBatch{})
+	if batches == 0 {
+		t.Errorf("no MsgReadBatch sent for %d concurrent remote reads", n)
+	}
+	if total := reads + batches; total >= n {
+		t.Errorf("read RPCs = %d (singles=%d batches=%d), want fewer than %d reads", total, reads, batches, n)
+	}
+	// The combiner stats must account for every read exactly once: the
+	// dispatch-size histogram records fast-path singles as size-1 batches.
+	st := c.Server(0).Stats()
+	if st.BatchedReads != n {
+		t.Errorf("stats: batched reads = %d, want %d", st.BatchedReads, n)
+	}
+	if st.ReadBatches != uint64(reads+batches) {
+		t.Errorf("stats: dispatches = %d, want %d singles + %d batches", st.ReadBatches, reads, batches)
+	}
+}
+
+// TestCombinerAbortBatch proves the coordinator's second round merges all
+// failed transactions' aborts toward one owner into a single MsgAbortBatch,
+// and that the batched aborts still roll the installs back.
+func TestCombinerAbortBatch(t *testing.T) {
+	c, capture := newCombinerCluster(t, 0)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Every transaction requires a missing key, so all fail the first
+	// round; each installed a write on server 1 that round two must abort.
+	txns := []Txn{
+		{Writes: []Write{{Key: "b1", Functor: functor.Value(kv.Value("1"))}}, Requires: []kv.Key{"a-nope"}},
+		{Writes: []Write{{Key: "b2", Functor: functor.Value(kv.Value("2"))}}, Requires: []kv.Key{"a-nope"}},
+		{Writes: []Write{{Key: "b3", Functor: functor.Value(kv.Value("3"))}}, Requires: []kv.Key{"a-nope"}},
+	}
+	results, _, err := c.Server(0).SubmitBatch(context.Background(), txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Aborted {
+			t.Fatalf("txn %d did not abort: %+v", i, r)
+		}
+	}
+	if got := capture.count(MsgAbortBatch{}); got != 1 {
+		t.Errorf("MsgAbortBatch calls = %d, want 1", got)
+	}
+	if got := capture.count(MsgAbort{}); got != 0 {
+		t.Errorf("MsgAbort calls = %d, want 0 (all aborts batched)", got)
+	}
+	mustAdvance(t, c)
+	ctx := context.Background()
+	for _, k := range []kv.Key{"b1", "b2", "b3"} {
+		if _, found, _ := c.Server(0).GetCommitted(ctx, k); found {
+			t.Errorf("aborted write %q visible", k)
+		}
+	}
+}
+
+// TestCombinerSingleAbortFastPath proves one failed transaction still
+// aborts with the original single MsgAbort message.
+func TestCombinerSingleAbortFastPath(t *testing.T) {
+	c, capture := newCombinerCluster(t, 0)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := c.Server(0).SubmitBatch(context.Background(), []Txn{{
+		Writes:   []Write{{Key: "b-only", Functor: functor.Value(kv.Value("1"))}},
+		Requires: []kv.Key{"a-nope"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Aborted {
+		t.Fatal("transaction with missing requirement did not abort")
+	}
+	if got := capture.count(MsgAbort{}); got != 1 {
+		t.Errorf("MsgAbort calls = %d, want 1", got)
+	}
+	if got := capture.count(MsgAbortBatch{}); got != 0 {
+		t.Errorf("MsgAbortBatch calls = %d, want 0 for a lone abort", got)
+	}
+}

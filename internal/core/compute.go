@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"alohadb/internal/functor"
@@ -58,23 +59,12 @@ func (s *Server) getLocal(ctx context.Context, k kv.Key, v tstamp.Timestamp) (fu
 }
 
 // read returns the value of k at snapshot v, routing to the owning
-// partition (local call or remote MsgRead).
+// partition (local call, or a remote MsgRead through the per-owner
+// combiner, which merges concurrent reads into MsgReadBatch RPCs).
 func (s *Server) read(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
 	if owner := s.owner(k); owner != s.id {
 		s.stats.remoteReads.Add(1)
-		rctx, span := s.tr.Start(ctx, "read.remote")
-		span.SetAttr("key", string(k))
-		span.SetAttr("owner", fmt.Sprintf("%d", owner))
-		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgRead{Key: k, Version: v})
-		span.End()
-		if err != nil {
-			return funcRead{}, fmt.Errorf("core: remote read %q@%v: %w", k, v, err)
-		}
-		r, ok := resp.(MsgReadResp)
-		if !ok {
-			return funcRead{}, fmt.Errorf("core: remote read %q: unexpected response %T", k, resp)
-		}
-		return funcRead{Value: r.Value, Found: r.Found, Version: r.Version}, nil
+		return s.comb.read(ctx, owner, k, v)
 	}
 	return s.localRead(ctx, k, v)
 }
@@ -100,10 +90,7 @@ func (s *Server) localRead(ctx context.Context, k kv.Key, v tstamp.Timestamp) (f
 // value watermark to v, locally or via MsgEnsureUpTo.
 func (s *Server) ensureUpTo(ctx context.Context, k kv.Key, v tstamp.Timestamp) error {
 	if owner := s.owner(k); owner != s.id {
-		if _, err := s.conn.Call(ctx, transport.NodeID(owner), MsgEnsureUpTo{Key: k, Version: v}); err != nil {
-			return fmt.Errorf("core: ensure %q up to %v: %w", k, v, err)
-		}
-		return nil
+		return s.comb.ensureUpTo(ctx, owner, k, v)
 	}
 	return s.computeKeyUpTo(ctx, k, v)
 }
@@ -240,6 +227,14 @@ func (s *Server) computeOne(ctx context.Context, k kv.Key, rec *mvstore.Record) 
 	return nil
 }
 
+// readsPool recycles the read-set maps passed to user handlers: one map
+// per computed functor is the engine's hottest allocation, and the Handler
+// contract (the Context is valid only for the duration of the call) makes
+// reuse safe.
+var readsPool = sync.Pool{
+	New: func() any { return make(map[kv.Key]funcRead, 8) },
+}
+
 // computeUser gathers the read set and invokes the user handler.
 func (s *Server) computeUser(ctx context.Context, k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
 	fn := rec.Functor
@@ -247,7 +242,11 @@ func (s *Server) computeUser(ctx context.Context, k kv.Key, rec *mvstore.Record)
 	if !ok {
 		return functor.AbortResolution(fmt.Sprintf("unknown handler %q", fn.Handler)), nil
 	}
-	reads := make(map[kv.Key]funcRead, len(fn.ReadSet)+1)
+	reads := readsPool.Get().(map[kv.Key]funcRead)
+	defer func() {
+		clear(reads)
+		readsPool.Put(reads)
+	}()
 	// Implicit self-read: the functor's own key at the previous version is
 	// always available to the handler (paper §IV-B: "the read set of some
 	// functors comprises only the key to which the functor was written, in
@@ -333,18 +332,7 @@ func (s *Server) computeUser(ctx context.Context, k kv.Key, rec *mvstore.Record)
 // to its final state and returns its resolution, locally or via MsgEnsure.
 func (s *Server) ensureComputed(ctx context.Context, k kv.Key, version tstamp.Timestamp) (*functor.Resolution, error) {
 	if owner := s.owner(k); owner != s.id {
-		rctx, span := s.tr.Start(ctx, "functor.ensure")
-		span.SetAttr("key", string(k))
-		resp, err := s.conn.Call(rctx, transport.NodeID(owner), MsgEnsure{Key: k, Version: version})
-		span.End()
-		if err != nil {
-			return nil, fmt.Errorf("core: ensure %q@%v: %w", k, version, err)
-		}
-		r, ok := resp.(MsgEnsureResp)
-		if !ok {
-			return nil, fmt.Errorf("core: ensure %q: unexpected response %T", k, resp)
-		}
-		return r.Resolution, nil
+		return s.comb.ensure(ctx, owner, k, version)
 	}
 	rec, ok := s.store.At(k, version)
 	if !ok {
@@ -390,30 +378,52 @@ func deferredResolution(w functor.DependentWrite) *functor.Resolution {
 func (s *Server) distributeDeferred(ctx context.Context, fn *functor.Functor, version tstamp.Timestamp, res *functor.Resolution) {
 	ctx, span := s.tr.Start(ctx, "deferred.apply")
 	defer span.End()
-	byOwner := make(map[int]*MsgApplyDeferred)
+	// A determinate functor touches a handful of owners and a dozen-odd
+	// dependent keys; small slices with linear scans beat per-computation
+	// map allocations on this hot path.
+	type ownerMsg struct {
+		owner int
+		msg   *MsgApplyDeferred
+	}
+	var byOwner []ownerMsg
 	msgFor := func(owner int) *MsgApplyDeferred {
-		m := byOwner[owner]
-		if m == nil {
-			m = &MsgApplyDeferred{Version: version, Aborted: res.Kind == functor.ResolvedAborted}
-			byOwner[owner] = m
+		for i := range byOwner {
+			if byOwner[i].owner == owner {
+				return byOwner[i].msg
+			}
 		}
+		m := &MsgApplyDeferred{Version: version, Aborted: res.Kind == functor.ResolvedAborted}
+		byOwner = append(byOwner, ownerMsg{owner: owner, msg: m})
 		return m
 	}
-	written := make(map[kv.Key]bool, len(res.DependentWrites))
-	if res.Kind != functor.ResolvedAborted {
+	aborted := res.Kind == functor.ResolvedAborted
+	if !aborted {
 		for _, w := range res.DependentWrites {
-			written[w.Key] = true
-			msgFor(s.owner(w.Key)).Writes = append(msgFor(s.owner(w.Key)).Writes, w)
+			m := msgFor(s.owner(w.Key))
+			if m.Writes == nil {
+				m.Writes = make([]functor.DependentWrite, 0, len(res.DependentWrites))
+			}
+			m.Writes = append(m.Writes, w)
 		}
 	}
 	for _, dk := range fn.DependentKeys {
-		if written[dk] {
-			continue
+		if !aborted {
+			written := false
+			for _, w := range res.DependentWrites {
+				if w.Key == dk {
+					written = true
+					break
+				}
+			}
+			if written {
+				continue
+			}
 		}
 		m := msgFor(s.owner(dk))
 		m.Dissolve = append(m.Dissolve, dk)
 	}
-	for owner, m := range byOwner {
+	for _, om := range byOwner {
+		owner, m := om.owner, om.msg
 		if owner == s.id {
 			s.handleApplyDeferred(ctx, *m)
 			continue

@@ -78,12 +78,28 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	results := make([]TxnResult, len(txns))
 	handles := make([]*TxnHandle, len(txns))
 
-	// Assign timestamps and fan writes out by partition.
+	// Assign timestamps and fan writes out by partition. A batch involves a
+	// handful of partitions, so the per-owner grouping is a linear-scan slice
+	// rather than a map — same reasoning as the per-transaction grouping
+	// below, and it saves a map allocation per batch on the hot path.
 	type slice struct {
 		txnIdx int
 		inst   InstallTxn
 	}
-	perOwner := make(map[int][]slice)
+	type ownerBatch struct {
+		owner  int
+		slices []slice
+	}
+	var perOwner []ownerBatch
+	batchFor := func(o int) *ownerBatch {
+		for j := range perOwner {
+			if perOwner[j].owner == o {
+				return &perOwner[j]
+			}
+		}
+		perOwner = append(perOwner, ownerBatch{owner: o})
+		return &perOwner[len(perOwner)-1]
+	}
 	versions := make([]tstamp.Timestamp, len(txns))
 	for i := range txns {
 		ts, err := s.gen.Next()
@@ -119,7 +135,8 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			it.Requires = append(it.Requires, rk)
 		}
 		for _, os := range owners {
-			perOwner[os.owner] = append(perOwner[os.owner], slice{txnIdx: i, inst: os.inst})
+			b := batchFor(os.owner)
+			b.slices = append(b.slices, slice{txnIdx: i, inst: os.inst})
 		}
 		handles[i] = &TxnHandle{s: s, version: ts, writes: withMarkers, sc: rootSC}
 	}
@@ -134,7 +151,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	outcomes := make([]ownerOutcome, 0, len(perOwner))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for owner, slices := range perOwner {
+	for _, ob := range perOwner {
 		wg.Add(1)
 		go func(owner int, slices []slice) {
 			defer wg.Done()
@@ -162,15 +179,19 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			mu.Lock()
 			outcomes = append(outcomes, ownerOutcome{owner: owner, slices: slices, resp: resp, callErr: callErr})
 			mu.Unlock()
-		}(owner, slices)
+		}(ob.owner, ob.slices)
 	}
 	wg.Wait()
 
 	// Determine per-transaction outcomes and which partitions succeeded.
-	succeededOwners := make([]map[int][]kv.Key, len(txns)) // txn -> owner -> installed keys
-	for i := range succeededOwners {
-		succeededOwners[i] = make(map[int][]kv.Key)
+	// Aborts are the rare path, so the successful installs record only the
+	// write slice they landed with; the key list for the second-round abort
+	// message is extracted lazily, instead of allocating one per install.
+	type installedAt struct {
+		owner  int
+		writes []Write
 	}
+	succeeded := make([][]installedAt, len(txns))
 	for _, oc := range outcomes {
 		for j, sl := range oc.slices {
 			i := sl.txnIdx
@@ -182,17 +203,16 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 				results[i].Aborted = true
 				results[i].Reason = oc.resp.Results[j].Err
 			default:
-				keys := make([]kv.Key, len(sl.inst.Writes))
-				for wi, w := range sl.inst.Writes {
-					keys[wi] = w.Key
-				}
-				succeededOwners[i][oc.owner] = keys
+				succeeded[i] = append(succeeded[i], installedAt{owner: oc.owner, writes: sl.inst.Writes})
 			}
 		}
 	}
 
 	// Second round: abort failed transactions on the partitions that
-	// installed them.
+	// installed them, one message per involved partition — a failed batch
+	// can abort many transactions on the same peer, so their per-txn
+	// aborts combine into one MsgAbortBatch.
+	var abortsByOwner map[int][]MsgAbort
 	for i := range txns {
 		if !results[i].Aborted {
 			s.stats.txnsCommitted.Add(1)
@@ -201,21 +221,37 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		s.stats.txnsAborted.Add(1)
 		handles[i].abortedInstall = true
 		handles[i].reason = results[i].Reason
-		for owner, keys := range succeededOwners[i] {
-			abort := MsgAbort{Version: versions[i], Keys: keys}
-			if owner == s.id {
-				s.handleAbort(abort)
-				continue
+		for _, ia := range succeeded[i] {
+			keys := make([]kv.Key, len(ia.writes))
+			for wi, w := range ia.writes {
+				keys[wi] = w.Key
 			}
-			// ctx here is the root-bearing context, so the abort round's
-			// RPCs stay inside the transaction's trace.
-			// Synchronous: the in-flight slot must outlive the rollback so
-			// the epoch cannot commit with the transaction half-installed.
-			if _, err := s.conn.Call(ctx, transport.NodeID(owner), abort); err != nil {
-				// The partition is unreachable; crash-recovery replays the
-				// abort from the coordinator's log (see internal/wal).
-				continue
+			if abortsByOwner == nil {
+				abortsByOwner = make(map[int][]MsgAbort)
 			}
+			abortsByOwner[ia.owner] = append(abortsByOwner[ia.owner], MsgAbort{Version: versions[i], Keys: keys})
+		}
+	}
+	for owner, aborts := range abortsByOwner {
+		if owner == s.id {
+			for _, a := range aborts {
+				s.handleAbort(a)
+			}
+			continue
+		}
+		// A single abort keeps the original wire message. Either way the
+		// call rides ctx — the root-bearing context, so the abort round's
+		// RPCs stay inside the transaction's trace — and is synchronous:
+		// the in-flight slot must outlive the rollback so the epoch cannot
+		// commit with the transaction half-installed.
+		var msg any = MsgAbortBatch{Aborts: aborts}
+		if len(aborts) == 1 {
+			msg = aborts[0]
+		}
+		if _, err := s.conn.Call(ctx, transport.NodeID(owner), msg); err != nil {
+			// The partition is unreachable; crash-recovery replays the
+			// abort from the coordinator's log (see internal/wal).
+			continue
 		}
 	}
 	s.stats.recordInstall(time.Since(start))
@@ -382,21 +418,9 @@ func (s *Server) getAtSnapshot(ctx context.Context, key kv.Key, ts tstamp.Timest
 	if err := s.waitVisible(ctx, ts); err != nil {
 		return nil, false, err
 	}
-	var r funcRead
-	var err error
-	if owner := s.owner(key); owner == s.id {
-		r, err = s.localRead(ctx, key, ts)
-	} else {
-		var raw any
-		raw, err = s.conn.Call(ctx, transport.NodeID(owner), MsgRead{Key: key, Version: ts})
-		if err == nil {
-			if resp, ok := raw.(MsgReadResp); ok {
-				r = funcRead{Value: resp.Value, Found: resp.Found}
-			} else {
-				err = fmt.Errorf("core: read: unexpected response %T", raw)
-			}
-		}
-	}
+	// Remote keys route through s.read and thus the per-owner combiner, so
+	// concurrent read-only transactions against one partition share RPCs.
+	r, err := s.read(ctx, key, ts)
 	if err != nil {
 		return nil, false, err
 	}

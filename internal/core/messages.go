@@ -73,6 +73,28 @@ type MsgReadResp struct {
 	Version tstamp.Timestamp
 }
 
+// MsgReadBatch carries several MsgRead requests for keys of one owner in a
+// single RPC. Front-ends combine concurrent functor computations' remote
+// reads per owner (the same batching convention §V applies to installs:
+// one message per involved partition), so a burst of single-key reads
+// costs one round trip instead of one per key.
+type MsgReadBatch struct {
+	Reads []MsgRead
+}
+
+// ReadResult is one read's outcome inside MsgReadBatchResp; Err is set
+// instead of failing the whole batch so one bad key cannot poison its
+// neighbors' reads.
+type ReadResult struct {
+	Resp MsgReadResp
+	Err  string
+}
+
+// MsgReadBatchResp answers MsgReadBatch, aligned index-wise with Reads.
+type MsgReadBatchResp struct {
+	Results []ReadResult
+}
+
 // MsgPush proactively delivers the latest value of Key strictly below
 // Version to a partition whose functor(s) of the same transaction read
 // Key (paper §IV-B recipient sets).
@@ -112,6 +134,41 @@ type MsgEnsureUpTo struct {
 
 // MsgEnsureUpToResp acknowledges MsgEnsureUpTo.
 type MsgEnsureUpToResp struct{}
+
+// EnsureReq is one ensure inside MsgEnsureBatch: UpTo selects the
+// MsgEnsureUpTo semantics (compute everything at or below Version and
+// advance the watermark, ack only), otherwise the MsgEnsure semantics
+// (compute the functor at exactly Version and return its resolution).
+type EnsureReq struct {
+	Key     kv.Key
+	Version tstamp.Timestamp
+	UpTo    bool
+}
+
+// MsgEnsureBatch combines several ensure requests for one owner in a
+// single RPC, mirroring MsgReadBatch for the dependent-key paths (§IV-E).
+type MsgEnsureBatch struct {
+	Reqs []EnsureReq
+}
+
+// EnsureResult is one ensure's outcome inside MsgEnsureBatchResp.
+// Resolution is nil for UpTo requests (they only acknowledge).
+type EnsureResult struct {
+	Resolution *functor.Resolution
+	Err        string
+}
+
+// MsgEnsureBatchResp answers MsgEnsureBatch, aligned index-wise with Reqs.
+type MsgEnsureBatchResp struct {
+	Results []EnsureResult
+}
+
+// MsgAbortBatch carries the second-round aborts of several transactions to
+// one partition in a single RPC (a failed batch can abort many
+// transactions on the same peer at once).
+type MsgAbortBatch struct {
+	Aborts []MsgAbort
+}
 
 // MsgApplyDeferred delivers deferred writes (or the lack thereof) from a
 // computed determinate functor to the partitions owning its dependent keys.
@@ -202,9 +259,10 @@ type (
 // gob codec. Call once at startup when using the TCP transport.
 func RegisterMessages() {
 	for _, m := range []any{
-		MsgInstall{}, MsgInstallResp{}, MsgAbort{},
-		MsgRead{}, MsgReadResp{}, MsgPush{},
+		MsgInstall{}, MsgInstallResp{}, MsgAbort{}, MsgAbortBatch{},
+		MsgRead{}, MsgReadResp{}, MsgReadBatch{}, MsgReadBatchResp{}, MsgPush{},
 		MsgEnsure{}, MsgEnsureResp{}, MsgEnsureUpTo{}, MsgEnsureUpToResp{},
+		MsgEnsureBatch{}, MsgEnsureBatchResp{},
 		MsgApplyDeferred{}, MsgWaitComputed{}, MsgWaitComputedResp{},
 		MsgScan{}, MsgScanResp{},
 		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},

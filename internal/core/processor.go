@@ -131,6 +131,11 @@ const _workerBatch = 64
 
 func (p *processor) worker(sh *procShard) {
 	defer p.wg.Done()
+	// buf receives each batch so the queue's backing array can be reused:
+	// slicing the front off (queue = queue[n:]) strands the consumed prefix
+	// and forces append to grow a fresh array every few batches, a steady
+	// allocation stream this copy-and-shift avoids.
+	var buf [_workerBatch]workItem
 	for {
 		sh.mu.Lock()
 		for len(sh.queue) == 0 && !p.stopped.Load() {
@@ -144,13 +149,15 @@ func (p *processor) worker(sh *procShard) {
 		if n > _workerBatch {
 			n = _workerBatch
 		}
-		items := sh.queue[:n]
-		sh.queue = sh.queue[n:]
+		copy(buf[:n], sh.queue)
+		rest := copy(sh.queue, sh.queue[n:])
+		clear(sh.queue[rest:])
+		sh.queue = sh.queue[:rest]
 		sh.active = true
 		sh.mu.Unlock()
 
-		for _, item := range items {
-			p.process(item)
+		for i := range buf[:n] {
+			p.process(buf[i])
 		}
 
 		sh.mu.Lock()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"alohadb/internal/kv"
 	"alohadb/internal/transport"
@@ -78,26 +79,40 @@ func (s *Server) ScanPrefix(ctx context.Context, prefix kv.Key, snapshot tstamp.
 	if err := s.waitVisible(ctx, snapshot); err != nil {
 		return nil, err
 	}
-	out := make(map[kv.Key]kv.Value)
+	// One scan RPC per partition, in parallel: a scan's cost is dominated
+	// by the slowest partition (each reads through the full Algorithm-1
+	// path), so fanning out sequentially would sum those latencies.
+	resps := make([]MsgScanResp, s.n)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
 	for owner := 0; owner < s.n; owner++ {
-		var resp MsgScanResp
-		if owner == s.id {
-			var err error
-			resp, err = s.handleScan(ctx, MsgScan{Prefix: prefix, Snapshot: snapshot})
-			if err != nil {
-				return nil, err
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			if owner == s.id {
+				resps[owner], errs[owner] = s.handleScan(ctx, MsgScan{Prefix: prefix, Snapshot: snapshot})
+				return
 			}
-		} else {
 			raw, err := s.conn.Call(ctx, transport.NodeID(owner), MsgScan{Prefix: prefix, Snapshot: snapshot})
 			if err != nil {
-				return nil, fmt.Errorf("core: scan partition %d: %w", owner, err)
+				errs[owner] = fmt.Errorf("core: scan partition %d: %w", owner, err)
+				return
 			}
-			var ok bool
-			if resp, ok = raw.(MsgScanResp); !ok {
-				return nil, fmt.Errorf("core: scan: unexpected response %T", raw)
+			resp, ok := raw.(MsgScanResp)
+			if !ok {
+				errs[owner] = fmt.Errorf("core: scan: unexpected response %T", raw)
+				return
 			}
+			resps[owner] = resp
+		}(owner)
+	}
+	wg.Wait()
+	out := make(map[kv.Key]kv.Value)
+	for owner := 0; owner < s.n; owner++ {
+		if errs[owner] != nil {
+			return nil, errs[owner]
 		}
-		for _, p := range resp.Pairs {
+		for _, p := range resps[owner].Pairs {
 			out[p.Key] = p.Value
 		}
 	}

@@ -55,6 +55,12 @@ type ServerConfig struct {
 	// Tracer, when set, records per-transaction lifecycle spans. Nil (the
 	// default) disables tracing at zero per-operation cost.
 	Tracer *trace.Tracer
+	// ReadBatchWindow is how long the per-owner request combiner lingers
+	// between consecutive batch dispatches to accumulate more remote
+	// reads/ensures. Zero (the default) still combines — ops queued while a
+	// dispatch forms leave as one batch — but never sleeps. An isolated
+	// request is never delayed either way.
+	ReadBatchWindow time.Duration
 }
 
 // DurabilityHook receives one server's durable-state stream. Installs and
@@ -90,6 +96,7 @@ type Server struct {
 	durability DurabilityHook
 	depRule    func(k kv.Key) (kv.Key, bool)
 	tr         *trace.NodeTracer // nil when tracing is disabled
+	comb       *combiner         // per-owner remote read/ensure batcher
 
 	// Epoch state. authEpoch is the epoch this FE may start transactions
 	// in; authorized distinguishes holding the authorization from the
@@ -114,9 +121,11 @@ type Server struct {
 	pushCache map[pushKey]functor.Read
 
 	// computedMu/computedCh broadcast "some functor finished computing",
-	// waking WaitComputed waiters.
-	computedMu sync.Mutex
-	computedCh chan struct{}
+	// waking WaitComputed waiters; computedWaiters gates the broadcast so
+	// the hot compute path pays nothing when nobody waits.
+	computedMu      sync.Mutex
+	computedCh      chan struct{}
+	computedWaiters atomic.Int32
 
 	// retention is the history horizon in epochs (0 = keep everything).
 	retention atomic.Uint32
@@ -171,6 +180,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		tr:         cfg.Tracer.ForNode(cfg.ID),
 	}
 	s.stats.init()
+	s.comb = newCombiner(s, cfg.ReadBatchWindow)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	conn, err := net.Node(transport.NodeID(cfg.ID), s.handleMessage)
 	if err != nil {
@@ -333,18 +343,22 @@ func (s *Server) Committed(e tstamp.Epoch) {
 	items := s.pending[e]
 	delete(s.pending, e)
 	s.pendingMu.Unlock()
-	sealed := make(map[kv.Key]bool, len(items))
-	for i := range items {
-		if !sealed[items[i].key] {
-			sealed[items[i].key] = true
-			s.store.Seal(items[i].key, tstamp.End(e))
-		}
-	}
+	// Seal is idempotent and cheap once a chain's staging is empty, so
+	// duplicate keys in the batch don't warrant a dedup map here — the map
+	// cost the allocation the duplicates were supposed to save.
 	now := time.Now()
 	for i := range items {
+		s.store.Seal(items[i].key, tstamp.End(e))
 		items[i].ready = now
 	}
 	s.proc.enqueue(items)
+	if items != nil {
+		// enqueue copied the items into the shard queues; recycle the
+		// epoch buffer for bufferWork's next epoch.
+		clear(items)
+		items = items[:0]
+		workItemsPool.Put(&items)
+	}
 	s.evictPushCache(e)
 	s.maybeCompact(e)
 }
@@ -451,8 +465,14 @@ func (s *Server) evictPushCache(committed tstamp.Epoch) {
 }
 
 // notifyComputed wakes WaitComputed waiters after functors reach final
-// states.
+// states. The broadcast rotates the channel, one allocation per event, so
+// it only fires when someone is registered: a waiter that registers after
+// the zero-waiters check re-reads the resolution before blocking and finds
+// it installed (both sides use sequentially consistent atomics).
 func (s *Server) notifyComputed() {
+	if s.computedWaiters.Load() == 0 {
+		return
+	}
 	s.computedMu.Lock()
 	close(s.computedCh)
 	s.computedCh = make(chan struct{})
@@ -461,6 +481,11 @@ func (s *Server) notifyComputed() {
 
 // waitRecordFinal blocks until the record reaches a final state.
 func (s *Server) waitRecordFinal(ctx context.Context, rec *mvstore.Record) (*functor.Resolution, error) {
+	if res := rec.Resolution(); res != nil {
+		return res, nil
+	}
+	s.computedWaiters.Add(1)
+	defer s.computedWaiters.Add(-1)
 	for {
 		if res := rec.Resolution(); res != nil {
 			return res, nil

@@ -34,6 +34,12 @@ type serverStats struct {
 
 	epochTxns   *metrics.Histogram // transactions begun per committed epoch
 	epochSwitch *metrics.Histogram // revoke -> committed span, as seen by this server
+
+	// Combiner dispatch sizes: how many remote reads/ensures each outbound
+	// RPC carried (size 1 = the single-request fast path). Sum/Count give
+	// the combining factor.
+	readBatchHist   *metrics.Histogram
+	ensureBatchHist *metrics.Histogram
 }
 
 // init builds the histograms; called once from NewServer.
@@ -43,11 +49,15 @@ func (s *serverStats) init() {
 	s.computeHist = metrics.NewHistogram(metrics.LatencyBounds())
 	s.epochTxns = metrics.NewHistogram(metrics.CountBounds())
 	s.epochSwitch = metrics.NewHistogram(metrics.LatencyBounds())
+	s.readBatchHist = metrics.NewHistogram(metrics.CountBounds())
+	s.ensureBatchHist = metrics.NewHistogram(metrics.CountBounds())
 }
 
 func (s *serverStats) recordInstall(d time.Duration) { s.installHist.ObserveDuration(d) }
 func (s *serverStats) recordWait(d time.Duration)    { s.waitHist.ObserveDuration(d) }
 func (s *serverStats) recordCompute(d time.Duration) { s.computeHist.ObserveDuration(d) }
+func (s *serverStats) recordReadBatch(n int)         { s.readBatchHist.Observe(int64(n)) }
+func (s *serverStats) recordEnsureBatch(n int)       { s.ensureBatchHist.Observe(int64(n)) }
 
 // recordEpoch records one committed epoch: how many transactions this
 // server began in it and how long the revoke→committed window lasted.
@@ -81,6 +91,14 @@ type Stats struct {
 	WaitCount    uint64
 	ComputeTime  time.Duration
 	ComputeCount uint64
+
+	// Combiner effectiveness: outbound read/ensure RPC dispatches and the
+	// ops they carried. BatchedReads/ReadBatches is the read combining
+	// factor (1.0 = nothing combined).
+	ReadBatches    uint64
+	BatchedReads   uint64
+	EnsureBatches  uint64
+	BatchedEnsures uint64
 }
 
 // Add accumulates another snapshot into s, for cluster-wide aggregation.
@@ -101,6 +119,10 @@ func (s *Stats) Add(o Stats) {
 	s.WaitCount += o.WaitCount
 	s.ComputeTime += o.ComputeTime
 	s.ComputeCount += o.ComputeCount
+	s.ReadBatches += o.ReadBatches
+	s.BatchedReads += o.BatchedReads
+	s.EnsureBatches += o.EnsureBatches
+	s.BatchedEnsures += o.BatchedEnsures
 }
 
 // String renders a compact operator-facing summary.
@@ -116,6 +138,8 @@ func (s *serverStats) snapshot() Stats {
 	install := s.installHist.Snapshot()
 	wait := s.waitHist.Snapshot()
 	compute := s.computeHist.Snapshot()
+	readBatch := s.readBatchHist.Snapshot()
+	ensureBatch := s.ensureBatchHist.Snapshot()
 	return Stats{
 		TxnsCommitted:     s.txnsCommitted.Load(),
 		TxnsAborted:       s.txnsAborted.Load(),
@@ -133,6 +157,10 @@ func (s *serverStats) snapshot() Stats {
 		WaitCount:         wait.Count,
 		ComputeTime:       time.Duration(compute.Sum),
 		ComputeCount:      compute.Count,
+		ReadBatches:       readBatch.Count,
+		BatchedReads:      uint64(readBatch.Sum),
+		EnsureBatches:     ensureBatch.Count,
+		BatchedEnsures:    uint64(ensureBatch.Sum),
 	}
 }
 
@@ -154,6 +182,8 @@ const (
 	FamStageCompute      = "aloha_stage_compute_seconds"
 	FamEpochTxns         = "aloha_epoch_txns"
 	FamEpochSwitch       = "aloha_epoch_switch_seconds"
+	FamReadBatchSize     = "aloha_read_batch_size"
+	FamEnsureBatchSize   = "aloha_ensure_batch_size"
 )
 
 // families builds the unlabeled family list; the server tags each series
@@ -187,5 +217,7 @@ func (s *serverStats) families() []metrics.Family {
 		hist(FamStageCompute, "Functor handler run time (Figure 10 stage 3).", metrics.UnitSeconds, s.computeHist),
 		hist(FamEpochTxns, "Transactions this server began per committed epoch.", metrics.UnitNone, s.epochTxns),
 		hist(FamEpochSwitch, "Epoch revoke to committed span observed by this server.", metrics.UnitSeconds, s.epochSwitch),
+		hist(FamReadBatchSize, "Remote reads carried per combiner dispatch (1 = uncombined).", metrics.UnitNone, s.readBatchHist),
+		hist(FamEnsureBatchSize, "Remote ensures carried per combiner dispatch (1 = uncombined).", metrics.UnitNone, s.ensureBatchHist),
 	}
 }

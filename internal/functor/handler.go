@@ -38,6 +38,11 @@ type Context struct {
 // multiple threads and installs whichever identical result wins the
 // compare-and-swap. A returned error aborts the transaction at this version
 // (logic error), which is legal in ECC, unlike in deterministic systems.
+//
+// The Context (including its Reads map) is only valid for the duration of
+// the call — the engine recycles it. Handlers that need an input beyond
+// their return must copy it; returning a Read's value bytes in a
+// Resolution is fine (values are immutable), retaining the map is not.
 type Handler func(ctx *Context) (*Resolution, error)
 
 // Registry maps handler names to handlers. A registry is fixed at server

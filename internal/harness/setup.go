@@ -39,6 +39,13 @@ func simNetwork() transport.Network {
 // NewAlohaTPCC assembles a started ALOHA-DB cluster loaded with the TPC-C
 // database for the configuration. tracer may be nil (tracing off).
 func NewAlohaTPCC(cfg tpcc.Config, epochDur time.Duration, workers int, tracer *trace.Tracer) (*core.Cluster, error) {
+	return NewAlohaTPCCOn(simNetwork(), cfg, epochDur, workers, tracer)
+}
+
+// NewAlohaTPCCOn is NewAlohaTPCC over a caller-supplied network; the
+// network-path benchmarks use it to wire the same workload over TCP
+// loopback instead of the simulated mesh.
+func NewAlohaTPCCOn(net transport.Network, cfg tpcc.Config, epochDur time.Duration, workers int, tracer *trace.Tracer) (*core.Cluster, error) {
 	reg := functor.NewRegistry()
 	tpcc.RegisterAlohaHandlers(reg)
 	if epochDur <= 0 {
@@ -51,7 +58,7 @@ func NewAlohaTPCC(cfg tpcc.Config, epochDur time.Duration, workers int, tracer *
 		Workers:        workers,
 		Partitioner:    core.Partitioner(cfg.Partitioner()),
 		DependencyRule: cfg.DependencyRule(),
-		Network:        simNetwork(),
+		Network:        net,
 		Tracer:         tracer,
 	})
 	if err != nil {

@@ -25,17 +25,26 @@ import (
 type Chain struct {
 	mu   sync.Mutex // guards staged and structural view changes
 	view atomic.Pointer[[]*Record]
-	// staged holds in-epoch records by version; nil until first used.
-	staged map[tstamp.Timestamp]*Record
+	// staged holds in-epoch records, unsorted; nil when empty. A small
+	// slice beats a map here: the set lives for one epoch, holds a handful
+	// of records for all but the hottest keys, and a map's buckets cost
+	// far more live heap per key than a compact pointer array. Duplicate
+	// checks scan linearly — duplicates only arise from retransmitted
+	// installs, and the scan is a pointer-array sweep.
+	staged []*Record
 	// watermark is the value watermark: every version at or below it is a
 	// final value (paper §III-D). Monotonically non-decreasing.
 	watermark atomic.Uint64
 }
 
+// emptyView is the shared zero-length view every fresh chain publishes.
+// Seal never appends in place to a zero-capacity backing array, so the
+// shared slice is immutable and one allocation serves every key.
+var emptyView = make([]*Record, 0)
+
 func newChain() *Chain {
 	c := &Chain{}
-	empty := make([]*Record, 0)
-	c.view.Store(&empty)
+	c.view.Store(&emptyView)
 	return c
 }
 
@@ -68,16 +77,10 @@ func (c *Chain) AdvanceWatermark(v tstamp.Timestamp) {
 func (c *Chain) insert(r *Record) (*Record, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if existing, ok := c.staged[r.Version]; ok {
-		return existing, false
-	}
 	if rec := c.at(r.Version); rec != nil {
 		return rec, false
 	}
-	if c.staged == nil {
-		c.staged = make(map[tstamp.Timestamp]*Record, 4)
-	}
-	c.staged[r.Version] = r
+	c.staged = append(c.staged, r)
 	return r, true
 }
 
@@ -90,12 +93,26 @@ func (c *Chain) seal(bound tstamp.Timestamp) {
 	if len(c.staged) == 0 {
 		return
 	}
+	// Partition in place: records below the bound form the batch, the
+	// rest (stragglers from still-open epochs) stay staged.
 	var batch []*Record
-	for v, r := range c.staged {
-		if v < bound {
+	keep := 0
+	for _, r := range c.staged {
+		if r.Version < bound {
 			batch = append(batch, r)
-			delete(c.staged, v)
+		} else {
+			c.staged[keep] = r
+			keep++
 		}
+	}
+	if keep == 0 {
+		// Release the staging array: a store holds one chain per key it
+		// has ever seen, and retained empty staging per cold key is pure
+		// live-heap (and GC mark) overhead.
+		c.staged = nil
+	} else {
+		clear(c.staged[keep:])
+		c.staged = c.staged[:keep]
 	}
 	if len(batch) == 0 {
 		return
@@ -112,9 +129,13 @@ func (c *Chain) seal(bound tstamp.Timestamp) {
 		if cap(old)-n >= len(batch) {
 			neu = old[:n+len(batch)]
 		} else {
-			grow := 2 * (n + len(batch))
-			if grow < 8 {
-				grow = 8
+			// First seal sizes exactly: most keys are written once and
+			// never again, and slack capacity on millions of cold chains
+			// is pure live-heap overhead. Hot keys hit the doubling branch
+			// from their second seal on.
+			grow := n + len(batch)
+			if n > 0 {
+				grow *= 2
 			}
 			neu = make([]*Record, n+len(batch), grow)
 			copy(neu, old)
@@ -170,7 +191,12 @@ func (c *Chain) at(v tstamp.Timestamp) *Record {
 	if i < len(view) && view[i].Version == v {
 		return view[i]
 	}
-	return c.staged[v]
+	for _, r := range c.staged {
+		if r.Version == v {
+			return r
+		}
+	}
+	return nil
 }
 
 // between returns the sealed records with versions in [from, to],

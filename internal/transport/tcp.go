@@ -1,12 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,11 +38,77 @@ type envelope struct {
 	Payload any
 }
 
+// Write-path defaults. The flush threshold matches bufio's sweet spot for
+// loopback and data-center MTU trains; the queue bound provides
+// backpressure well before memory pressure.
+const (
+	defaultFlushBytes     = 64 << 10
+	defaultSendQueue      = 512
+	defaultInboundWorkers = 16
+)
+
+// tcpConfig holds the tunable knobs of the TCP mesh.
+type tcpConfig struct {
+	flushBytes     int
+	flushInterval  time.Duration
+	sendQueue      int
+	inboundWorkers int
+}
+
+// TCPOption configures a TCPNetwork.
+type TCPOption func(*tcpConfig)
+
+// WithFlushBytes sets the per-peer buffered-writer threshold: the flusher
+// writes to the socket once this many encoded bytes accumulate (or the
+// send queue drains, whichever comes first).
+func WithFlushBytes(n int) TCPOption {
+	return func(c *tcpConfig) {
+		if n > 0 {
+			c.flushBytes = n
+		}
+	}
+}
+
+// WithFlushInterval sets how long the flusher lingers for more envelopes
+// after the send queue momentarily drains, trading up to that much latency
+// for larger trains. Zero (the default) flushes as soon as the queue is
+// empty.
+func WithFlushInterval(d time.Duration) TCPOption {
+	return func(c *tcpConfig) {
+		if d > 0 {
+			c.flushInterval = d
+		}
+	}
+}
+
+// WithSendQueue sets the per-peer send-queue bound; senders block (
+// backpressure) when it fills.
+func WithSendQueue(n int) TCPOption {
+	return func(c *tcpConfig) {
+		if n > 0 {
+			c.sendQueue = n
+		}
+	}
+}
+
+// WithInboundWorkers sets the per-node worker-pool size for inbound
+// requests. Zero disables the pool (goroutine per request).
+func WithInboundWorkers(n int) TCPOption {
+	return func(c *tcpConfig) {
+		if n >= 0 {
+			c.inboundWorkers = n
+		}
+	}
+}
+
 // TCPNetwork is a mesh over TCP with a static address book. Each attached
 // node listens on its own address; peers dial lazily and keep one
-// connection per direction. Messages are gob-encoded envelopes.
+// connection per direction. Messages are gob-encoded envelopes, coalesced
+// per peer: senders enqueue onto a bounded per-peer queue and a dedicated
+// flusher drains many envelopes per socket write.
 type TCPNetwork struct {
 	addrs   map[NodeID]string
+	cfg     tcpConfig
 	metrics *Metrics
 
 	mu     sync.Mutex
@@ -50,18 +117,26 @@ type TCPNetwork struct {
 }
 
 // NewTCPNetwork returns a mesh using the given node address book.
-func NewTCPNetwork(addrs map[NodeID]string) *TCPNetwork {
+func NewTCPNetwork(addrs map[NodeID]string, opts ...TCPOption) *TCPNetwork {
 	book := make(map[NodeID]string, len(addrs))
 	for id, a := range addrs {
 		book[id] = a
 	}
-	return &TCPNetwork{addrs: book, metrics: NewMetrics()}
+	cfg := tcpConfig{
+		flushBytes:     defaultFlushBytes,
+		sendQueue:      defaultSendQueue,
+		inboundWorkers: defaultInboundWorkers,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &TCPNetwork{addrs: book, cfg: cfg, metrics: NewMetrics()}
 }
 
 // NetMetrics implements Instrumented.
 func (n *TCPNetwork) NetMetrics() *Metrics { return n.metrics }
 
-// countingWriter tallies bytes written to a peer connection.
+// countingWriter tallies bytes and Write calls issued to a peer socket.
 type countingWriter struct {
 	w io.Writer
 	m *Metrics
@@ -70,6 +145,7 @@ type countingWriter struct {
 func (cw countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.m.bytesSent.Add(uint64(n))
+	cw.m.socketWrites.Inc()
 	return n, err
 }
 
@@ -109,6 +185,8 @@ func (n *TCPNetwork) Node(id NodeID, h Handler) (Conn, error) {
 		handler: h,
 		ln:      ln,
 		peers:   make(map[NodeID]*tcpPeer),
+		work:    make(chan inboundReq), // unbuffered: hand-off to idle workers only
+		stop:    make(chan struct{}),
 	}
 	// If the address book used port 0, record the actual port so peers on
 	// this process can reach the node (test convenience).
@@ -116,6 +194,12 @@ func (n *TCPNetwork) Node(id NodeID, h Handler) (Conn, error) {
 	n.nodes = append(n.nodes, c)
 	c.wg.Add(1)
 	go c.acceptLoop()
+	// The bounded pool absorbs the steady-state request load; dispatch
+	// spills past it (see dispatchInbound) so it can never deadlock.
+	c.wg.Add(n.cfg.inboundWorkers)
+	for i := 0; i < n.cfg.inboundWorkers; i++ {
+		go c.inboundWorker()
+	}
 	return c, nil
 }
 
@@ -142,17 +226,48 @@ func (n *TCPNetwork) Close() error {
 	return firstErr
 }
 
-// tcpPeer is one established outbound connection.
+// tcpPeer is one direction of traffic to one connection: a bounded send
+// queue drained by a dedicated flusher goroutine (see flushLoop). Both
+// outbound (dialed) connections and the reply path of inbound connections
+// are tcpPeers.
 type tcpPeer struct {
-	mu   sync.Mutex // guards enc writes
-	conn net.Conn
-	enc  *gob.Encoder
+	conn  net.Conn
+	sendq chan *envelope
+	dead  chan struct{}
+	once  sync.Once
 }
 
-func (p *tcpPeer) write(env *envelope) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.enc.Encode(env)
+func newTCPPeer(conn net.Conn, queue int) *tcpPeer {
+	return &tcpPeer{
+		conn:  conn,
+		sendq: make(chan *envelope, queue),
+		dead:  make(chan struct{}),
+	}
+}
+
+// kill closes the connection and releases blocked senders and the flusher.
+func (p *tcpPeer) kill() {
+	p.once.Do(func() {
+		close(p.dead)
+		p.conn.Close()
+	})
+}
+
+// enqueue hands one envelope to the flusher, blocking for queue space
+// (backpressure) and failing once the peer is dead.
+func (p *tcpPeer) enqueue(env *envelope, m *Metrics) error {
+	select {
+	case p.sendq <- env:
+		m.recordEnqueue(len(p.sendq))
+		return nil
+	case <-p.dead:
+		return fmt.Errorf("transport: peer connection down")
+	}
+}
+
+type inboundReq struct {
+	env envelope
+	out *tcpPeer // reply path; nil for one-way messages
 }
 
 type tcpConn struct {
@@ -160,12 +275,14 @@ type tcpConn struct {
 	id      NodeID
 	handler Handler
 	ln      net.Listener
+	work    chan inboundReq
+	stop    chan struct{}
 
 	peersMu sync.Mutex
 	peers   map[NodeID]*tcpPeer
 
 	inboundMu sync.Mutex
-	inbound   map[net.Conn]struct{}
+	inbound   map[net.Conn]*tcpPeer
 
 	pending sync.Map // uint64 -> chan callResult
 	nextID  atomic.Uint64
@@ -189,29 +306,31 @@ func (c *tcpConn) acceptLoop() {
 		if err != nil {
 			return
 		}
+		out := newTCPPeer(conn, c.net.cfg.sendQueue)
 		c.inboundMu.Lock()
 		if c.inbound == nil {
-			c.inbound = make(map[net.Conn]struct{})
+			c.inbound = make(map[net.Conn]*tcpPeer)
 		}
-		c.inbound[conn] = struct{}{}
+		c.inbound[conn] = out
 		c.inboundMu.Unlock()
-		c.wg.Add(1)
-		go c.serveInbound(conn)
+		c.wg.Add(2)
+		go c.serveInbound(conn, out)
+		go c.flushLoop(out, nil)
 	}
 }
 
-// serveInbound reads requests from one accepted connection and writes
-// responses back on the same connection.
-func (c *tcpConn) serveInbound(conn net.Conn) {
+// serveInbound reads requests from one accepted connection and dispatches
+// them to the worker pool; responses ride the same connection through the
+// peer's flusher.
+func (c *tcpConn) serveInbound(conn net.Conn, out *tcpPeer) {
 	defer c.wg.Done()
 	defer func() {
-		conn.Close()
+		out.kill()
 		c.inboundMu.Lock()
 		delete(c.inbound, conn)
 		c.inboundMu.Unlock()
 	}()
 	dec := gob.NewDecoder(countingReader{r: conn, m: c.net.metrics})
-	out := &tcpPeer{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, m: c.net.metrics})}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -220,30 +339,147 @@ func (c *tcpConn) serveInbound(conn net.Conn) {
 		c.net.metrics.recordRecv()
 		switch env.Kind {
 		case kindOneway:
-			env := env
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				_, _ = c.handler(trace.ContextWith(context.Background(), env.Trace), env.From, env.Payload)
-			}()
+			c.dispatchInbound(inboundReq{env: env})
 		case kindRequest:
-			env := env
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				resp, err := c.handler(trace.ContextWith(context.Background(), env.Trace), env.From, env.Payload)
-				reply := envelope{ID: env.ID, From: c.id, Kind: kindResponse, Payload: resp}
-				if err != nil {
-					reply.ErrText = err.Error()
-					reply.Payload = nil
-				}
-				c.net.metrics.recordSend()
-				_ = out.write(&reply)
-			}()
+			c.dispatchInbound(inboundReq{env: env, out: out})
 		default:
 			// A response on an inbound connection is a protocol violation;
 			// drop it.
 		}
+	}
+}
+
+// dispatchInbound hands one request to an idle pool worker, or spills to a
+// fresh goroutine when the pool is saturated. The spill is what keeps the
+// pool bound safe: handlers may block indefinitely (MsgWaitComputed waits
+// for a functor whose inputs can arrive as further inbound messages), so
+// parking requests behind busy workers could deadlock the cluster.
+func (c *tcpConn) dispatchInbound(req inboundReq) {
+	select {
+	case c.work <- req:
+		return
+	default:
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.handleInbound(req)
+	}()
+}
+
+func (c *tcpConn) inboundWorker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case req := <-c.work:
+			c.handleInbound(req)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *tcpConn) handleInbound(req inboundReq) {
+	env := &req.env
+	ctx := trace.ContextWith(context.Background(), env.Trace)
+	if req.out == nil {
+		_, _ = c.handler(ctx, env.From, env.Payload)
+		return
+	}
+	resp, err := c.handler(ctx, env.From, env.Payload)
+	reply := &envelope{ID: env.ID, From: c.id, Kind: kindResponse, Payload: resp}
+	if err != nil {
+		reply.ErrText = err.Error()
+		reply.Payload = nil
+	}
+	_ = req.out.enqueue(reply, c.net.metrics)
+}
+
+// flushLoop is the peer's dedicated writer: it drains the send queue into
+// a buffered gob stream and flushes many envelopes per socket write. A
+// flush happens when the queue momentarily drains (plus an optional linger
+// window) or when flushBytes of encoded data accumulate. onErr, when
+// non-nil, reports a write failure (outbound peers drop the link and fail
+// pending calls); inbound reply paths just close the connection, which
+// terminates the serve loop too.
+func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
+	defer c.wg.Done()
+	cfg := c.net.cfg
+	bw := bufio.NewWriterSize(countingWriter{w: p.conn, m: c.net.metrics}, cfg.flushBytes)
+	enc := gob.NewEncoder(bw)
+	for {
+		var env *envelope
+		select {
+		case env = <-p.sendq:
+		case <-p.dead:
+			return
+		}
+		var err error
+		batch := 0
+		encode := func(e *envelope) {
+			if err == nil {
+				if err = enc.Encode(e); err == nil {
+					batch++
+				}
+			}
+		}
+		encode(env)
+		var linger *time.Timer
+		yields := 0
+	drain:
+		for err == nil && bw.Buffered() < cfg.flushBytes {
+			select {
+			case e := <-p.sendq:
+				encode(e)
+				yields = 0
+				continue
+			case <-p.dead:
+				return
+			default:
+			}
+			if cfg.flushInterval > 0 {
+				if linger == nil {
+					linger = time.NewTimer(cfg.flushInterval)
+				}
+				select {
+				case e := <-p.sendq:
+					encode(e)
+				case <-linger.C:
+					break drain
+				case <-p.dead:
+					linger.Stop()
+					return
+				}
+				continue
+			}
+			// The queue looks empty, but producers that will enqueue next
+			// are often already runnable (a burst of concurrent senders).
+			// Yielding the processor once or twice before paying the flush
+			// syscall lets them publish, multiplying envelopes per write at
+			// no cost when the transport is genuinely idle.
+			if yields < 2 {
+				yields++
+				runtime.Gosched()
+				continue
+			}
+			break drain
+		}
+		if linger != nil {
+			linger.Stop()
+		}
+		buffered := int64(bw.Buffered())
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			p.kill()
+			if onErr != nil {
+				onErr(err)
+			}
+			return
+		}
+		c.net.metrics.recordFlush(batch, buffered)
+		c.net.metrics.recordSendN(batch)
 	}
 }
 
@@ -277,19 +513,22 @@ func (c *tcpConn) dropPeer(to NodeID, cause error) {
 	delete(c.peers, to)
 	c.peersMu.Unlock()
 	if p != nil {
-		p.conn.Close()
+		p.kill()
 	}
-	// Fail outstanding calls so callers do not hang. Pending entries are
-	// not segregated per peer; failing all of them on a broken link is an
+	if cause == nil {
+		cause = io.ErrUnexpectedEOF
+	}
+	// Fail outstanding calls so callers do not hang. Responses ride the
+	// dropped connection, so even a clean io.EOF dooms every call in
+	// flight — the cause makes no difference. Pending entries are not
+	// segregated per peer; failing all of them on a broken link is an
 	// acceptable simplification for a crash-stop model (callers retry).
-	if cause != nil && !errors.Is(cause, io.EOF) || c.closed.Load() {
-		c.pending.Range(func(k, v any) bool {
-			if _, loaded := c.pending.LoadAndDelete(k); loaded {
-				v.(chan callResult) <- callResult{err: fmt.Errorf("transport: link to %d lost: %w", to, cause)}
-			}
-			return true
-		})
-	}
+	c.pending.Range(func(k, v any) bool {
+		if _, loaded := c.pending.LoadAndDelete(k); loaded {
+			v.(chan callResult) <- callResult{err: fmt.Errorf("transport: link to %d lost: %w", to, cause)}
+		}
+		return true
+	})
 }
 
 func (c *tcpConn) peerFor(to NodeID) (*tcpPeer, error) {
@@ -306,10 +545,11 @@ func (c *tcpConn) peerFor(to NodeID) (*tcpPeer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
 	}
-	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, m: c.net.metrics})}
+	p := newTCPPeer(conn, c.net.cfg.sendQueue)
 	c.peers[to] = p
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go c.readResponses(to, conn)
+	go c.flushLoop(p, func(err error) { c.dropPeer(to, err) })
 	return p, nil
 }
 
@@ -331,10 +571,8 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 		return nil, ErrClosed
 	}
 	env := envelope{ID: id, From: c.id, Kind: kindRequest, Trace: trace.FromContext(ctx), Payload: req}
-	c.net.metrics.recordSend()
-	if err := p.write(&env); err != nil {
+	if err := p.enqueue(&env, c.net.metrics); err != nil {
 		c.pending.Delete(id)
-		c.dropPeer(to, err)
 		return nil, fmt.Errorf("transport: send to node %d: %w", to, err)
 	}
 	select {
@@ -358,9 +596,7 @@ func (c *tcpConn) Send(ctx context.Context, to NodeID, req any) error {
 		return err
 	}
 	env := envelope{From: c.id, Kind: kindOneway, Trace: trace.FromContext(ctx), Payload: req}
-	c.net.metrics.recordSend()
-	if err := p.write(&env); err != nil {
-		c.dropPeer(to, err)
+	if err := p.enqueue(&env, c.net.metrics); err != nil {
 		return fmt.Errorf("transport: send to node %d: %w", to, err)
 	}
 	return nil
@@ -373,15 +609,17 @@ func (c *tcpConn) Close() error {
 	err := c.ln.Close()
 	c.peersMu.Lock()
 	for id, p := range c.peers {
-		p.conn.Close()
+		p.kill()
 		delete(c.peers, id)
 	}
 	c.peersMu.Unlock()
 	c.inboundMu.Lock()
-	for conn := range c.inbound {
-		conn.Close()
+	for conn, p := range c.inbound {
+		p.kill()
+		delete(c.inbound, conn)
 	}
 	c.inboundMu.Unlock()
+	close(c.stop)
 	// Fail outstanding calls.
 	c.pending.Range(func(k, v any) bool {
 		if _, loaded := c.pending.LoadAndDelete(k); loaded {
