@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-net figures figures-full examples clean
+.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples clean
 
 all: build test
 
@@ -28,6 +28,18 @@ bench:
 # Transport/combiner hot-path benchmarks; writes BENCH_transport.json.
 bench-net:
 	$(GO) run ./cmd/aloha-bench -netbench -netbench-label current -duration 2s
+
+# Oracle-checked chaos smoke: a handful of seeds, exits non-zero on any
+# violation and prints the replay command.
+chaos:
+	$(GO) run ./cmd/aloha-bench -chaos -chaos-seeds 4
+	$(GO) run ./cmd/aloha-bench -chaos -chaos-seeds 1 -chaos-crash
+	$(GO) run ./cmd/aloha-bench -chaos -chaos-seeds 1 -chaos-tcp
+
+# Nightly-scale chaos sweep under the race detector (20+ seeds rotating
+# link chaos, crash recovery, and TCP).
+chaos-long:
+	$(GO) test -race -timeout 40m ./internal/chaos/ -run TestChaosLong -v -count=1 -args -chaos.long
 
 # Quick regeneration of every figure of the paper's evaluation.
 figures:

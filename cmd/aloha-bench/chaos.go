@@ -1,0 +1,87 @@
+package main
+
+// The -chaos mode runs seed-driven fault-injection scenarios against a
+// real cluster and checks every run with the history oracle — the CLI
+// face of internal/chaos, used by the CI smoke job and for replaying
+// failing seeds from nightly runs.
+
+import (
+	"fmt"
+	"os"
+
+	"alohadb/internal/chaos"
+)
+
+type chaosOptions struct {
+	seeds int   // number of consecutive seeds to run
+	seed  int64 // when non-zero, replay exactly this seed
+	base  int64 // first seed of the sweep
+	ops   int   // transactions per writer
+	crash bool  // include a mid-run crash + WAL recovery in every scenario
+	tcp   bool  // run over real TCP sockets
+}
+
+// runChaos executes the configured scenarios and returns an error (→
+// non-zero exit) if any seed's oracle run fails, printing the exact
+// replay invocation for each failure.
+func runChaos(o chaosOptions) error {
+	seeds := make([]int64, 0, o.seeds)
+	if o.seed != 0 {
+		seeds = append(seeds, o.seed)
+	} else {
+		for i := 0; i < o.seeds; i++ {
+			seeds = append(seeds, o.base+int64(i))
+		}
+	}
+	var failed []int64
+	for _, seed := range seeds {
+		cfg := chaos.ScenarioConfig{
+			Seed:         seed,
+			LinkChaos:    !o.tcp,
+			OpsPerWriter: o.ops,
+			Crash:        o.crash,
+			TCP:          o.tcp,
+		}
+		if o.tcp {
+			// TCP RPCs are slower; the in-memory fault mix would mostly
+			// measure retry latency (same tuning as TestChaosOverTCP).
+			probs := chaos.DefaultProbabilities()
+			probs.DropCall, probs.DropSend = 0.01, 0.03
+			cfg.Probabilities = &probs
+		}
+		if o.crash {
+			dir, err := os.MkdirTemp("", "aloha-chaos-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cfg.Dir = dir
+		}
+		rep, err := chaos.RunScenario(cfg)
+		if err != nil {
+			fmt.Printf("seed %d: scenario error: %v\n", seed, err)
+			failed = append(failed, seed)
+			continue
+		}
+		fmt.Println(rep)
+		if !rep.OK() {
+			failed = append(failed, seed)
+		}
+	}
+	if len(failed) > 0 {
+		for _, seed := range failed {
+			fmt.Printf("replay: go run ./cmd/aloha-bench -chaos -chaos-seed %d%s%s\n",
+				seed, boolFlag(" -chaos-crash", o.crash), boolFlag(" -chaos-tcp", o.tcp))
+		}
+		return fmt.Errorf("aloha-bench: %d/%d chaos seeds failed the oracle", len(failed), len(seeds))
+	}
+	fmt.Printf("# chaos: %d seeds, oracle PASS\n", len(seeds))
+	return nil
+}
+
+func boolFlag(s string, set bool) string {
+	if set {
+		return s
+	}
+	return ""
+}

@@ -42,8 +42,27 @@ func run() error {
 		netbench      = flag.Bool("netbench", false, "run the network-path benchmark suite (transport coalescing, remote reads, 2-server NewOrder over TCP) instead of the figures")
 		netbenchOut   = flag.String("netbench-out", "BENCH_transport.json", "netbench report path (baseline rows in the file are preserved)")
 		netbenchLabel = flag.String("netbench-label", "current", "which report section the run's rows replace: current or baseline")
+
+		chaosMode  = flag.Bool("chaos", false, "run oracle-checked chaos scenarios instead of the figures; exits non-zero on any oracle violation")
+		chaosSeeds = flag.Int("chaos-seeds", 4, "number of consecutive chaos seeds to run")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "replay exactly this chaos seed (overrides -chaos-seeds)")
+		chaosBase  = flag.Int64("chaos-base", 1, "first seed of the chaos sweep")
+		chaosOps   = flag.Int("chaos-ops", 60, "transactions per chaos writer")
+		chaosCrash = flag.Bool("chaos-crash", false, "crash the cluster mid-run and recover from the WAL in every chaos scenario")
+		chaosTCP   = flag.Bool("chaos-tcp", false, "run chaos scenarios over real TCP sockets")
 	)
 	flag.Parse()
+
+	if *chaosMode {
+		return runChaos(chaosOptions{
+			seeds: *chaosSeeds,
+			seed:  *chaosSeed,
+			base:  *chaosBase,
+			ops:   *chaosOps,
+			crash: *chaosCrash,
+			tcp:   *chaosTCP,
+		})
+	}
 
 	if *netbench {
 		return runNetBench(harness.Options{

@@ -1,0 +1,224 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+func ts(e tstamp.Epoch, seq uint32) tstamp.Timestamp { return tstamp.Make(e, seq, 0) }
+
+func val(tags ...string) kv.Value {
+	if len(tags) == 0 {
+		return kv.Value{}
+	}
+	return kv.Value(strings.Join(tags, ";") + ";")
+}
+
+// cleanHistory builds a consistent two-key history: t1 writes a, t2 writes
+// a+b (multi-key), t3 writes b, t4 aborts cleanly.
+func cleanHistory() *History {
+	h := New()
+	h.Begin("t1", []kv.Key{"a"})
+	h.Finish("t1", ts(1, 1), StatusCommitted)
+	h.Begin("t2", []kv.Key{"a", "b"})
+	h.Finish("t2", ts(1, 2), StatusCommitted)
+	h.Begin("t3", []kv.Key{"b"})
+	h.Finish("t3", ts(2, 1), StatusCommitted)
+	h.Begin("t4", []kv.Key{"a"})
+	h.Finish("t4", ts(2, 2), StatusAborted)
+	// A mid-history read at the end of epoch 1 and a later full read.
+	h.Observe(7, tstamp.End(1), []kv.Key{"a", "b"}, map[kv.Key]kv.Value{
+		"a": val("t1", "t2"), "b": val("t2"),
+	})
+	h.Observe(7, tstamp.End(2), []kv.Key{"a", "b"}, map[kv.Key]kv.Value{
+		"a": val("t1", "t2"), "b": val("t2", "t3"),
+	})
+	h.ObserveFinal("a", val("t1", "t2"), true)
+	h.ObserveFinal("b", val("t2", "t3"), true)
+	return h
+}
+
+func kinds(vs []Violation) map[string]int {
+	m := make(map[string]int)
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	if vs := cleanHistory().Check(); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+// TestDetectsLostWrite is the acceptance-criterion self-test: deliberately
+// drop a committed write from the final value and the oracle must notice.
+func TestDetectsLostWrite(t *testing.T) {
+	h := cleanHistory()
+	h.ObserveFinal("a", val("t1"), true) // t2's write to a mutated away
+	vs := h.Check()
+	if kinds(vs)["lost-write"] == 0 {
+		t.Fatalf("injected lost write not detected; violations: %v", vs)
+	}
+}
+
+func TestDetectsAbortedVisible(t *testing.T) {
+	h := cleanHistory()
+	h.ObserveFinal("a", val("t1", "t2", "t4"), true)
+	if kinds(h.Check())["aborted-visible"] == 0 {
+		t.Fatal("aborted txn in final value not detected")
+	}
+}
+
+func TestDetectsDuplicateApplication(t *testing.T) {
+	h := cleanHistory()
+	h.ObserveFinal("a", val("t1", "t2", "t2"), true)
+	if kinds(h.Check())["duplicate-tag"] == 0 {
+		t.Fatal("duplicate functor application not detected")
+	}
+}
+
+func TestDetectsOrderViolation(t *testing.T) {
+	h := cleanHistory()
+	h.ObserveFinal("a", val("t2", "t1"), true)
+	if kinds(h.Check())["order"] == 0 {
+		t.Fatal("out-of-timestamp-order application not detected")
+	}
+}
+
+func TestDetectsFutureRead(t *testing.T) {
+	h := cleanHistory()
+	// Snapshot inside epoch 1 must not see epoch-2 writes.
+	h.Observe(9, tstamp.End(1), []kv.Key{"b"}, map[kv.Key]kv.Value{"b": val("t2", "t3")})
+	if kinds(h.Check())["future-read"] == 0 {
+		t.Fatal("read above snapshot not detected")
+	}
+}
+
+func TestDetectsTornTxn(t *testing.T) {
+	h := cleanHistory()
+	// t2 wrote a and b in epoch 1; a snapshot above it seeing only the a
+	// half breaks epoch atomicity.
+	h.Observe(9, tstamp.End(1), []kv.Key{"a", "b"}, map[kv.Key]kv.Value{
+		"a": val("t1", "t2"), "b": val(),
+	})
+	ks := kinds(h.Check())
+	if ks["torn-txn"] == 0 {
+		t.Fatal("torn multi-key txn not detected")
+	}
+	if ks["lost-write"] == 0 {
+		t.Fatal("the missing half should also count as a lost write at that snapshot")
+	}
+}
+
+func TestDetectsNonMonotonicRead(t *testing.T) {
+	h := cleanHistory()
+	// Client 7's third read regresses key b to its pre-t3 state.
+	h.Observe(7, tstamp.End(2)+1, []kv.Key{"b"}, map[kv.Key]kv.Value{"b": val("t2")})
+	if kinds(h.Check())["non-monotonic-read"] == 0 {
+		t.Fatal("regressed read not detected")
+	}
+}
+
+func TestDetectsDiscardedVisible(t *testing.T) {
+	h := cleanHistory()
+	h.Begin("t5", []kv.Key{"a"})
+	h.Finish("t5", ts(3, 1), StatusCommitted)
+	// Crash recovery rolled back to epoch 2: t5's epoch never durably
+	// committed, yet its write survived — a resurrection bug.
+	h.DiscardEpochsAfter(2)
+	h.ObserveFinal("a", val("t1", "t2", "t5"), true)
+	if kinds(h.Check())["discarded-visible"] == 0 {
+		t.Fatal("write from a rolled-back epoch not detected")
+	}
+}
+
+func TestDiscardEpochsAfterStatusTransitions(t *testing.T) {
+	h := New()
+	h.Begin("c", []kv.Key{"a"})
+	h.Finish("c", ts(2, 1), StatusCommitted)
+	h.Begin("d", []kv.Key{"a"})
+	h.Finish("d", ts(3, 1), StatusCommitted)
+	h.Begin("p", []kv.Key{"a"}) // in-flight at the crash
+	h.DiscardEpochsAfter(2)
+	total, committed, _, indeterminate, discarded := h.Counts()
+	if total != 3 || committed != 1 || indeterminate != 1 || discarded != 1 {
+		t.Fatalf("counts = total %d committed %d indet %d discarded %d", total, committed, indeterminate, discarded)
+	}
+}
+
+func TestCrashRecoveredGrayBand(t *testing.T) {
+	h := New()
+	h.Begin("lo", []kv.Key{"a"})
+	h.Finish("lo", ts(2, 1), StatusCommitted)
+	h.Begin("mid", []kv.Key{"a"})
+	h.Finish("mid", ts(3, 1), StatusCommitted)
+	h.Begin("hi", []kv.Key{"a"})
+	h.Finish("hi", ts(4, 1), StatusCommitted)
+	// Markers reached epoch 2 on the slowest partition and epoch 3 on the
+	// fastest: epoch 3 is the gray band, epoch 4 is gone everywhere.
+	h.CrashRecovered(2, 3)
+	_, committed, _, indeterminate, discarded := h.Counts()
+	if committed != 1 || indeterminate != 1 || discarded != 1 {
+		t.Fatalf("committed %d indet %d discarded %d, want 1/1/1", committed, indeterminate, discarded)
+	}
+	// The gray-band txn may surface or not; both finals must pass.
+	h.ObserveFinal("a", val("lo", "mid"), true)
+	if vs := h.Check(); len(vs) != 0 {
+		t.Fatalf("gray txn present flagged: %v", vs)
+	}
+}
+
+func TestIndeterminateIsExempt(t *testing.T) {
+	h := New()
+	h.Begin("t1", []kv.Key{"a"})
+	h.Finish("t1", ts(1, 1), StatusCommitted)
+	h.Begin("x", []kv.Key{"a", "b"})
+	h.Finish("x", ts(1, 2), StatusIndeterminate)
+	// The indeterminate txn surfaced on a but not b: allowed.
+	h.ObserveFinal("a", val("t1", "x"), true)
+	h.ObserveFinal("b", val(), true)
+	if vs := h.Check(); len(vs) != 0 {
+		t.Fatalf("indeterminate txn flagged: %v", vs)
+	}
+	// But a duplicate application of it is still a violation.
+	h2 := New()
+	h2.Begin("x", []kv.Key{"a"})
+	h2.Finish("x", ts(1, 1), StatusIndeterminate)
+	h2.ObserveFinal("a", val("x", "x"), true)
+	if kinds(h2.Check())["duplicate-tag"] == 0 {
+		t.Fatal("duplicate application of indeterminate txn not detected")
+	}
+}
+
+func TestDetectsUnknownAndAbsentRegression(t *testing.T) {
+	h := cleanHistory()
+	h.ObserveFinal("a", val("t1", "t2", "ghost"), true)
+	if kinds(h.Check())["unknown-tag"] == 0 {
+		t.Fatal("unrecorded tag not detected")
+	}
+	// A key that vanishes after being observed non-empty.
+	h2 := New()
+	h2.Begin("t1", []kv.Key{"a"})
+	h2.Finish("t1", ts(1, 1), StatusCommitted)
+	h2.Observe(1, tstamp.End(1), []kv.Key{"a"}, map[kv.Key]kv.Value{"a": val("t1")})
+	h2.Observe(1, tstamp.End(2), []kv.Key{"a"}, map[kv.Key]kv.Value{})
+	ks := kinds(h2.Check())
+	if ks["non-monotonic-read"] == 0 {
+		t.Fatal("vanished key not detected")
+	}
+}
+
+func TestParseTags(t *testing.T) {
+	if got := ParseTags(nil); len(got) != 0 {
+		t.Fatalf("ParseTags(nil) = %v", got)
+	}
+	got := ParseTags(kv.Value("t1;t2;t3;"))
+	if len(got) != 3 || got[0] != "t1" || got[2] != "t3" {
+		t.Fatalf("ParseTags = %v", got)
+	}
+}

@@ -153,14 +153,17 @@ func (s *Server) checkRequires(keys []kv.Key) string {
 
 // bufferWork stashes functor metadata under its epoch until Committed.
 // A batch may straddle an epoch switch (straggler mode draws from the next
-// epoch), so items are grouped per epoch; work for an already-committed
-// epoch goes straight to the processor.
+// epoch), so items are grouped per epoch; work for an epoch whose buffer
+// Committed already drained goes straight to the processor. The drained
+// check happens under pendingMu — the same lock Committed drains under —
+// so a late install can never append to a buffer that was already handed
+// off (it would stay unsealed and unprocessed: a lost write).
 func (s *Server) bufferWork(items []workItem) {
 	var direct []workItem
 	s.pendingMu.Lock()
 	for _, it := range items {
 		e := it.version.Epoch()
-		if tstamp.End(e) <= s.visibleBound() {
+		if e <= s.drainedEpoch {
 			direct = append(direct, it)
 			continue
 		}
@@ -208,7 +211,16 @@ func (s *Server) handleRead(ctx context.Context, m MsgRead) (MsgReadResp, error)
 	span.SetAttr("key", string(m.Key))
 	defer span.End()
 	s.stats.readsServed.Add(1)
-	r, err := s.localRead(s.engineCtx(ctx), m.Key, m.Version)
+	ectx := s.engineCtx(ctx)
+	// The requesting server already waited for this snapshot's epoch to
+	// commit, but the Committed broadcast reaches participants one at a
+	// time: this partition may not have sealed the epoch yet, and Latest
+	// only sees sealed records. Serving early would silently miss this
+	// epoch's writes — a torn read. Wait for local visibility first.
+	if err := s.waitVisible(ectx, m.Version); err != nil {
+		return MsgReadResp{}, err
+	}
+	r, err := s.localRead(ectx, m.Key, m.Version)
 	if err != nil {
 		return MsgReadResp{}, err
 	}
@@ -224,6 +236,17 @@ func (s *Server) handleReadBatch(ctx context.Context, m MsgReadBatch) (MsgReadBa
 	defer span.End()
 	s.stats.readsServed.Add(uint64(len(m.Reads)))
 	ectx := s.engineCtx(ctx)
+	// As in handleRead: don't serve snapshots from an epoch this partition
+	// hasn't sealed yet. One wait on the batch maximum covers every item.
+	maxV := m.Reads[0].Version
+	for _, r := range m.Reads[1:] {
+		if r.Version > maxV {
+			maxV = r.Version
+		}
+	}
+	if err := s.waitVisible(ectx, maxV); err != nil {
+		return MsgReadBatchResp{}, err
+	}
 	resp := MsgReadBatchResp{Results: make([]ReadResult, len(m.Reads))}
 	if len(m.Reads) == 1 {
 		r, err := s.localRead(ectx, m.Reads[0].Key, m.Reads[0].Version)
@@ -258,6 +281,19 @@ func (s *Server) handleEnsureBatch(ctx context.Context, m MsgEnsureBatch) (MsgEn
 	span.SetAttr("batch", fmt.Sprintf("%d", len(m.Reqs)))
 	defer span.End()
 	ectx := s.engineCtx(ctx)
+	// Ensures resolve records through the sealed view (resolveRecord walks
+	// store.View, computeKeyUpTo walks Between): wait for local visibility
+	// of the highest requested version so the mid-broadcast window can't
+	// make them compute against a partial chain.
+	maxV := m.Reqs[0].Version
+	for _, r := range m.Reqs[1:] {
+		if r.Version > maxV {
+			maxV = r.Version
+		}
+	}
+	if err := s.waitVisible(ectx, maxV); err != nil {
+		return MsgEnsureBatchResp{}, err
+	}
 	resp := MsgEnsureBatchResp{Results: make([]EnsureResult, len(m.Reqs))}
 	one := func(i int) EnsureResult {
 		req := m.Reqs[i]
@@ -299,6 +335,9 @@ func (s *Server) handleEnsure(ctx context.Context, m MsgEnsure) (MsgEnsureResp, 
 	ctx, span := s.tr.Start(ctx, "be.ensure")
 	span.SetAttr("key", string(m.Key))
 	defer span.End()
+	if err := s.waitVisible(s.engineCtx(ctx), m.Version); err != nil {
+		return MsgEnsureResp{}, err
+	}
 	rec, ok := s.store.At(m.Key, m.Version)
 	if !ok {
 		return MsgEnsureResp{}, fmt.Errorf("core: server %d: determinate functor %q@%v not found", s.id, m.Key, m.Version)

@@ -57,6 +57,15 @@ type ClusterConfig struct {
 	// ReadBatchWindow configures each server's remote read/ensure combiner
 	// linger; see ServerConfig.ReadBatchWindow.
 	ReadBatchWindow time.Duration
+	// SwitchTimeout bounds how long the epoch manager waits for revoke
+	// acks before switching anyway (liveness escape hatch for crash-stop
+	// scenarios, §III-C); zero waits forever. Fault-injection tests set it
+	// so a wedged server cannot stall epochs for the whole cluster.
+	SwitchTimeout time.Duration
+	// AbortRetries / AbortRetryBackoff tune the second-round abort
+	// redelivery budget; see ServerConfig.
+	AbortRetries      int
+	AbortRetryBackoff time.Duration
 }
 
 // Cluster is an embedded multi-server ALOHA-DB instance. It is the unit the
@@ -102,15 +111,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 		srv, err := NewServer(ServerConfig{
-			ID:              i,
-			NumServers:      cfg.Servers,
-			Partitioner:     cfg.Partitioner,
-			Registry:        cfg.Registry,
-			Workers:         cfg.Workers,
-			Durability:      hook,
-			DependencyRule:  cfg.DependencyRule,
-			Tracer:          cfg.Tracer,
-			ReadBatchWindow: cfg.ReadBatchWindow,
+			ID:                i,
+			NumServers:        cfg.Servers,
+			Partitioner:       cfg.Partitioner,
+			Registry:          cfg.Registry,
+			Workers:           cfg.Workers,
+			Durability:        hook,
+			DependencyRule:    cfg.DependencyRule,
+			Tracer:            cfg.Tracer,
+			ReadBatchWindow:   cfg.ReadBatchWindow,
+			AbortRetries:      cfg.AbortRetries,
+			AbortRetryBackoff: cfg.AbortRetryBackoff,
 		}, c.net)
 		if err != nil {
 			c.Close()
@@ -121,7 +132,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.servers = append(c.servers, srv)
 	}
-	c.em = epoch.New(epoch.Config{Duration: cfg.EpochDuration, StartEpoch: cfg.StartEpoch})
+	c.em = epoch.New(epoch.Config{Duration: cfg.EpochDuration, SwitchTimeout: cfg.SwitchTimeout, StartEpoch: cfg.StartEpoch})
 	// The manager traces as node Servers, matching the TCP address-book
 	// convention that places the EM right after the server IDs.
 	c.em.SetTracer(cfg.Tracer.ForNode(cfg.Servers))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -204,6 +205,106 @@ func TestCombinerAbortBatch(t *testing.T) {
 		if _, found, _ := c.Server(0).GetCommitted(ctx, k); found {
 			t.Errorf("aborted write %q visible", k)
 		}
+	}
+}
+
+// TestCombinerCancellationReleasesCaller proves a caller whose context is
+// cancelled while its op sits in the batching window gets released
+// immediately with context.Canceled, while the shared dispatch proceeds
+// and the other waiters in the same window still get their values.
+func TestCombinerCancellationReleasesCaller(t *testing.T) {
+	const window = 60 * time.Millisecond
+	c, _ := newCombinerCluster(t, window)
+	if err := c.Load([]kv.Pair{
+		{Key: "b-warm", Value: kv.Value("w")},
+		{Key: "b-canceled", Value: kv.Value("x")},
+		{Key: "b-patient", Value: kv.Value("y")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm read: immediate dispatch, former now lingers for the window, so
+	// the two reads below are queued behind it.
+	if _, _, err := c.Server(0).GetCommitted(ctx, "b-warm"); err != nil {
+		t.Fatalf("warm read: %v", err)
+	}
+
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	aDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Server(0).GetCommitted(actx, "b-canceled")
+		aDone <- err
+	}()
+	bDone := make(chan error, 1)
+	go func() {
+		v, found, err := c.Server(0).GetCommitted(ctx, "b-patient")
+		if err == nil && (!found || string(v) != "y") {
+			err = fmt.Errorf("b-patient = %q found=%v", v, found)
+		}
+		bDone <- err
+	}()
+
+	// Cancel A while both ops are still queued; A must return well before
+	// the window would have dispatched it.
+	time.Sleep(5 * time.Millisecond)
+	cancelAt := time.Now()
+	acancel()
+	select {
+	case err := <-aDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled read returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(cancelAt); waited > window/2 {
+			t.Errorf("cancelled caller released after %v; cancellation should not wait out the window", waited)
+		}
+	case <-time.After(window / 2):
+		t.Error("cancelled caller still blocked at half the batching window")
+	}
+	// B rides the window out normally.
+	select {
+	case err := <-bDone:
+		if err != nil {
+			t.Errorf("co-batched read failed after peer cancellation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("co-batched read never completed")
+	}
+}
+
+// TestCombinerWindowSingleOpKeepsFastPath proves a positive batching
+// window never changes the wire format of isolated reads: ops that find
+// the owner idle dispatch immediately as the original MsgRead, and a
+// window that drains with one op collapses to the single-request message.
+func TestCombinerWindowSingleOpKeepsFastPath(t *testing.T) {
+	const window = 30 * time.Millisecond
+	c, capture := newCombinerCluster(t, window)
+	if err := c.Load([]kv.Pair{
+		{Key: "b-one", Value: kv.Value("1")},
+		{Key: "b-two", Value: kv.Value("2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, k := range []kv.Key{"b-one", "b-two"} {
+		if _, _, err := c.Server(0).GetCommitted(ctx, k); err != nil {
+			t.Fatalf("read %q: %v", k, err)
+		}
+		// Let the former's window lapse and the loop exit so the next read
+		// finds an idle owner again.
+		time.Sleep(3 * window)
+	}
+	if got := capture.count(MsgRead{}); got != 2 {
+		t.Errorf("MsgRead calls = %d, want 2", got)
+	}
+	if got := capture.count(MsgReadBatch{}); got != 0 {
+		t.Errorf("sequential isolated reads sent %d MsgReadBatch, want 0", got)
 	}
 }
 

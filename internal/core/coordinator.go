@@ -35,6 +35,13 @@ type TxnResult struct {
 	Aborted bool
 	// Reason explains an abort.
 	Reason string
+	// AbortIncomplete is set alongside Aborted when the second-round
+	// rollback could not be acknowledged by every partition that may hold
+	// the transaction's installs within the retry budget. The outcome is
+	// then indeterminate rather than cleanly aborted: an unreachable
+	// partition may expose the installs once its epoch commits, unless
+	// crash recovery replays the abort from the coordinator's log.
+	AbortIncomplete bool
 }
 
 // Submit runs one read-write transaction's write-only phase: assign a
@@ -183,18 +190,26 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	}
 	wg.Wait()
 
-	// Determine per-transaction outcomes and which partitions succeeded.
-	// Aborts are the rare path, so the successful installs record only the
-	// write slice they landed with; the key list for the second-round abort
-	// message is extracted lazily, instead of allocating one per install.
-	type installedAt struct {
+	// Determine per-transaction outcomes, remembering every partition a
+	// transaction wrote to. The second round must over-send rather than
+	// under-send: a partition whose install call errored may still have
+	// applied the request (only the response was lost), and a partition
+	// that rejected a batch item can have installed a prefix of its writes
+	// before the durability failure — while aborting a version that never
+	// landed is a harmless no-op. Aborts are the rare path, so only the
+	// write slices are recorded; the key lists for the abort messages are
+	// extracted lazily instead of allocating one per install.
+	type wroteAt struct {
 		owner  int
 		writes []Write
 	}
-	succeeded := make([][]installedAt, len(txns))
+	wrote := make([][]wroteAt, len(txns))
 	for _, oc := range outcomes {
 		for j, sl := range oc.slices {
 			i := sl.txnIdx
+			if len(sl.inst.Writes) > 0 {
+				wrote[i] = append(wrote[i], wroteAt{owner: oc.owner, writes: sl.inst.Writes})
+			}
 			switch {
 			case oc.callErr != nil:
 				results[i].Aborted = true
@@ -202,17 +217,16 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			case j < len(oc.resp.Results) && !oc.resp.Results[j].OK:
 				results[i].Aborted = true
 				results[i].Reason = oc.resp.Results[j].Err
-			default:
-				succeeded[i] = append(succeeded[i], installedAt{owner: oc.owner, writes: sl.inst.Writes})
 			}
 		}
 	}
 
-	// Second round: abort failed transactions on the partitions that
-	// installed them, one message per involved partition — a failed batch
-	// can abort many transactions on the same peer, so their per-txn
+	// Second round: abort failed transactions on every partition that may
+	// have installed them, one message per involved partition — a failed
+	// batch can abort many transactions on the same peer, so their per-txn
 	// aborts combine into one MsgAbortBatch.
 	var abortsByOwner map[int][]MsgAbort
+	var abortTxnsByOwner map[int][]int
 	for i := range txns {
 		if !results[i].Aborted {
 			s.stats.txnsCommitted.Add(1)
@@ -221,15 +235,17 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		s.stats.txnsAborted.Add(1)
 		handles[i].abortedInstall = true
 		handles[i].reason = results[i].Reason
-		for _, ia := range succeeded[i] {
-			keys := make([]kv.Key, len(ia.writes))
-			for wi, w := range ia.writes {
+		for _, wa := range wrote[i] {
+			keys := make([]kv.Key, len(wa.writes))
+			for wi, w := range wa.writes {
 				keys[wi] = w.Key
 			}
 			if abortsByOwner == nil {
 				abortsByOwner = make(map[int][]MsgAbort)
+				abortTxnsByOwner = make(map[int][]int)
 			}
-			abortsByOwner[ia.owner] = append(abortsByOwner[ia.owner], MsgAbort{Version: versions[i], Keys: keys})
+			abortsByOwner[wa.owner] = append(abortsByOwner[wa.owner], MsgAbort{Version: versions[i], Keys: keys})
+			abortTxnsByOwner[wa.owner] = append(abortTxnsByOwner[wa.owner], i)
 		}
 	}
 	for owner, aborts := range abortsByOwner {
@@ -241,21 +257,56 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		}
 		// A single abort keeps the original wire message. Either way the
 		// call rides ctx — the root-bearing context, so the abort round's
-		// RPCs stay inside the transaction's trace — and is synchronous:
-		// the in-flight slot must outlive the rollback so the epoch cannot
-		// commit with the transaction half-installed.
+		// RPCs stay inside the transaction's trace — and is synchronous and
+		// retried: the in-flight slot must outlive the rollback so the
+		// epoch cannot commit with the transaction half-installed, and a
+		// transiently unreachable partition (dropped request, healing
+		// partition) usually acknowledges within the retry budget.
 		var msg any = MsgAbortBatch{Aborts: aborts}
 		if len(aborts) == 1 {
 			msg = aborts[0]
 		}
-		if _, err := s.conn.Call(ctx, transport.NodeID(owner), msg); err != nil {
-			// The partition is unreachable; crash-recovery replays the
-			// abort from the coordinator's log (see internal/wal).
-			continue
+		if !s.callAbortRetry(ctx, owner, msg) {
+			// The partition stayed unreachable. Unless crash recovery
+			// replays the abort from its log, the installs may surface
+			// when the epoch commits; surface the uncertainty to the
+			// caller instead of pretending the rollback happened.
+			for _, i := range abortTxnsByOwner[owner] {
+				results[i].AbortIncomplete = true
+				handles[i].abortIncomplete = true
+			}
 		}
 	}
 	s.stats.recordInstall(time.Since(start))
 	return results, handles, nil
+}
+
+// callAbortRetry delivers one second-round abort message, retrying with
+// exponential backoff while the partition is unreachable. It returns false
+// when the budget is exhausted without an acknowledged delivery.
+func (s *Server) callAbortRetry(ctx context.Context, owner int, msg any) bool {
+	backoff := s.abortBackoff
+	for attempt := 0; attempt < s.abortRetries; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return false
+			case <-s.ctx.Done():
+				timer.Stop()
+				return false
+			}
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		if _, err := s.conn.Call(ctx, transport.NodeID(owner), msg); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // expandDependentMarkers adds a DEP-MARKER write for every dependent key
@@ -296,11 +347,12 @@ func expandDependentMarkers(writes []Write) []Write {
 // TxnHandle tracks one submitted transaction across the acknowledgment
 // options of §IV-A.
 type TxnHandle struct {
-	s              *Server
-	version        tstamp.Timestamp
-	writes         []Write
-	abortedInstall bool
-	reason         string
+	s               *Server
+	version         tstamp.Timestamp
+	writes          []Write
+	abortedInstall  bool
+	abortIncomplete bool
+	reason          string
 	// sc is the submit root's trace context; Await parents its span here
 	// so the whole lifecycle shares one trace.
 	sc trace.SpanContext
@@ -313,6 +365,10 @@ func (h *TxnHandle) Version() tstamp.Timestamp { return h.version }
 func (h *TxnHandle) Installed() (aborted bool, reason string) {
 	return h.abortedInstall, h.reason
 }
+
+// AbortIncomplete reports whether the second-round rollback exhausted its
+// retry budget on some partition; see TxnResult.AbortIncomplete.
+func (h *TxnHandle) AbortIncomplete() bool { return h.abortIncomplete }
 
 // Await blocks until the transaction's functors are fully computed and
 // returns the commit/abort decision (acknowledgment option 2). Any functor

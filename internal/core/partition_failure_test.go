@@ -2,11 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
 )
 
 // TestDeadPartitionFailsFast: when a partition dies, operations touching
@@ -81,5 +84,82 @@ func TestDeadPartitionFailsFast(t *testing.T) {
 	}
 	if !found || string(v) != "updated" {
 		t.Errorf("alive = %q found=%v", v, found)
+	}
+}
+
+// TestDeadPartitionFailsBatchedReadsFast: reads queued in the combiner's
+// batching window when their owner dies must all complete quickly with
+// errors — the batch dispatch fails once and fans the error to every
+// waiter, rather than each op hanging on its own timeout.
+func TestDeadPartitionFailsBatchedReadsFast(t *testing.T) {
+	const window = 50 * time.Millisecond
+	c, capture := newCombinerCluster(t, window)
+	const n = 8
+	pairs := make([]kv.Pair, n)
+	for i := range pairs {
+		pairs[i] = kv.Pair{Key: kv.Key(fmt.Sprintf("bk%d", i)), Value: kv.Value("v")}
+	}
+	if err := c.Load(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// A warm read dispatches immediately (idle owner) and leaves the former
+	// lingering for the window, so the reads below all queue mid-window
+	// instead of racing into the first dispatch.
+	if _, _, err := c.Server(0).GetCommitted(ctx, "bk0"); err != nil {
+		t.Fatalf("warm read: %v", err)
+	}
+	start := time.Now()
+	type outcome struct{ err error }
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := c.Server(0).GetCommitted(ctx, pairs[i].Key)
+			outcomes[i].err = err
+		}(i)
+	}
+	// Kill the owner mid-window, before the lingering batch dispatches.
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Server(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Fast: the batch fails at dispatch, so everything resolves in a couple
+	// of windows — nowhere near the 10 s caller budget.
+	if elapsed > 2*time.Second {
+		t.Errorf("queued reads took %v to resolve after owner death", elapsed)
+	}
+	// Every read was queued behind the lingering former when the owner
+	// died, so every one must have errored.
+	for i, o := range outcomes {
+		if o.err == nil {
+			t.Errorf("read %d queued at owner death returned nil error", i)
+		}
+	}
+	if got := capture.count(MsgReadBatch{}); got == 0 {
+		t.Error("no MsgReadBatch dispatched — the window never formed a batch, test tested nothing")
+	}
+
+	// Ensures bound for the dead owner fail fast through the same path.
+	es := time.Now()
+	v := tstamp.End(c.CurrentEpoch())
+	if _, err := c.Server(0).comb.ensure(ctx, 1, "bk0", v); err == nil {
+		t.Error("ensure against dead owner returned nil error")
+	}
+	if err := c.Server(0).comb.ensureUpTo(ctx, 1, "bk0", v); err == nil {
+		t.Error("ensureUpTo against dead owner returned nil error")
+	}
+	if d := time.Since(es); d > 2*time.Second {
+		t.Errorf("ensures against dead owner took %v", d)
 	}
 }

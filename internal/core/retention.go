@@ -125,6 +125,11 @@ func (s *Server) handleScan(ctx context.Context, m MsgScan) (MsgScanResp, error)
 		resp    MsgScanResp
 		scanErr error
 	)
+	// Remote scans arrive while the Committed broadcast may still be in
+	// flight toward this partition; serve only sealed snapshots.
+	if err := s.waitVisible(ctx, m.Snapshot); err != nil {
+		return MsgScanResp{}, err
+	}
 	// Range over keys; read each at the snapshot through the full
 	// Algorithm-1 path (computes functors on demand, honors dependency
 	// rules, skips aborted versions).

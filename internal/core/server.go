@@ -61,6 +61,16 @@ type ServerConfig struct {
 	// dispatch forms leave as one batch — but never sleeps. An isolated
 	// request is never delayed either way.
 	ReadBatchWindow time.Duration
+	// AbortRetries bounds how many times a second-round abort message is
+	// redelivered when its call fails (default 4). The coordinator holds
+	// the transaction's in-flight epoch slot across the retries, so a
+	// transiently unreachable partition usually acknowledges the rollback
+	// before the epoch commits; when the budget is exhausted the result is
+	// flagged AbortIncomplete instead of silently dropped.
+	AbortRetries int
+	// AbortRetryBackoff is the pause before the first abort redelivery
+	// (default 2 ms), doubling per attempt up to 50 ms.
+	AbortRetryBackoff time.Duration
 }
 
 // DurabilityHook receives one server's durable-state stream. Installs and
@@ -98,6 +108,10 @@ type Server struct {
 	tr         *trace.NodeTracer // nil when tracing is disabled
 	comb       *combiner         // per-owner remote read/ensure batcher
 
+	// Second-round abort redelivery budget (see ServerConfig.AbortRetries).
+	abortRetries int
+	abortBackoff time.Duration
+
 	// Epoch state. authEpoch is the epoch this FE may start transactions
 	// in; authorized distinguishes holding the authorization from the
 	// straggler window (§III-C) where transactions start without one.
@@ -109,6 +123,12 @@ type Server struct {
 	revokedAt  map[tstamp.Epoch]time.Time // revoke arrival, for the switch-span histogram
 	pendingMu  sync.Mutex
 	pending    map[tstamp.Epoch][]workItem // buffered functor metadata per epoch
+	// drainedEpoch is the highest epoch whose pending buffer Committed has
+	// extracted (guarded by pendingMu). bufferWork routes installs at or
+	// below it straight to seal+processor: deciding under the same lock as
+	// the drain means a straggler install can never land in a buffer that
+	// was already handed to the processor (which would orphan it unsealed).
+	drainedEpoch tstamp.Epoch
 
 	// visible is the exclusive upper bound of readable versions:
 	// Start(e+1) once epoch e committed.
@@ -161,6 +181,12 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 	case cfg.Workers < 0:
 		cfg.Workers = 0
 	}
+	if cfg.AbortRetries <= 0 {
+		cfg.AbortRetries = 4
+	}
+	if cfg.AbortRetryBackoff <= 0 {
+		cfg.AbortRetryBackoff = 2 * time.Millisecond
+	}
 	s := &Server{
 		id:         cfg.ID,
 		n:          cfg.NumServers,
@@ -178,6 +204,9 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		durability: cfg.Durability,
 		depRule:    cfg.DependencyRule,
 		tr:         cfg.Tracer.ForNode(cfg.ID),
+
+		abortRetries: cfg.AbortRetries,
+		abortBackoff: cfg.AbortRetryBackoff,
 	}
 	s.stats.init()
 	s.comb = newCombiner(s, cfg.ReadBatchWindow)
@@ -312,7 +341,43 @@ func (s *Server) Committed(e tstamp.Epoch) {
 	ctx, commitSpan := s.tr.StartRoot(s.ctx, "epoch.commit")
 	commitSpan.SetAttr("epoch", strconv.FormatUint(uint64(e), 10))
 	defer commitSpan.End()
-	// Advance visibility to Start(e+1).
+	// Drain the epoch's buffered functor metadata and record the drain under
+	// one lock: a straggler install racing this commit either appends to the
+	// buffer before the drain or observes drainedEpoch and seals directly in
+	// bufferWork — never a third option where it lands in a buffer nobody
+	// will ever hand to the processor.
+	s.pendingMu.Lock()
+	items := s.pending[e]
+	delete(s.pending, e)
+	if e > s.drainedEpoch {
+		s.drainedEpoch = e
+	}
+	s.pendingMu.Unlock()
+	// Seal the epoch's versions (in-epoch -> out-epoch, Figure 4) before
+	// advancing visibility: a reader that wakes on the visibility broadcast
+	// must find every version of the epoch already reachable. Seal is
+	// idempotent and cheap once a chain's staging is empty, so duplicate
+	// keys in the batch don't warrant a dedup map here — the map cost the
+	// allocation the duplicates were supposed to save.
+	now := time.Now()
+	for i := range items {
+		s.store.Seal(items[i].key, tstamp.End(e))
+		items[i].ready = now
+	}
+	if s.durability != nil {
+		dctx, dspan := s.tr.Start(ctx, "wal.commit")
+		if err := s.durability.LogEpochCommitted(dctx, e); err != nil {
+			// Durability of the boundary marker failed; the epoch's data
+			// entries are still logged, and recovery treats the epoch as
+			// uncommitted, which is the correct conservative outcome.
+			_ = err
+		}
+		dspan.End()
+	}
+	// Advance visibility to Start(e+1) — after the seal and after the
+	// durable marker, so observable implies recoverable: a crash right
+	// after a reader saw epoch e can never roll e back (§III-B's atomic
+	// visibility extended to the durability boundary).
 	bound := uint64(tstamp.End(e))
 	for {
 		cur := s.visible.Load()
@@ -326,30 +391,6 @@ func (s *Server) Committed(e tstamp.Epoch) {
 			s.visibleMu.Unlock()
 			break
 		}
-	}
-	if s.durability != nil {
-		dctx, dspan := s.tr.Start(ctx, "wal.commit")
-		if err := s.durability.LogEpochCommitted(dctx, e); err != nil {
-			// Durability of the boundary marker failed; the epoch's data
-			// entries are still logged, and recovery treats the epoch as
-			// uncommitted, which is the correct conservative outcome.
-			_ = err
-		}
-		dspan.End()
-	}
-	// Seal the epoch's versions (in-epoch -> out-epoch, Figure 4): they
-	// become readable, then their functor metadata flows to the processor.
-	s.pendingMu.Lock()
-	items := s.pending[e]
-	delete(s.pending, e)
-	s.pendingMu.Unlock()
-	// Seal is idempotent and cheap once a chain's staging is empty, so
-	// duplicate keys in the batch don't warrant a dedup map here — the map
-	// cost the allocation the duplicates were supposed to save.
-	now := time.Now()
-	for i := range items {
-		s.store.Seal(items[i].key, tstamp.End(e))
-		items[i].ready = now
 	}
 	s.proc.enqueue(items)
 	if items != nil {
