@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples clean
+.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke clean
 
 all: build test
 
@@ -48,6 +48,11 @@ figures:
 # Paper-scale parameters (slow).
 figures-full:
 	$(GO) run ./cmd/aloha-bench -figure all -full
+
+# Observability smoke: boot a 3-server sim cluster with the full obs stack,
+# aggregate it with aloha-top, and assert the cluster view is sane.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -50,8 +50,20 @@ func run() error {
 		chaosOps   = flag.Int("chaos-ops", 60, "transactions per chaos writer")
 		chaosCrash = flag.Bool("chaos-crash", false, "crash the cluster mid-run and recover from the WAL in every chaos scenario")
 		chaosTCP   = flag.Bool("chaos-tcp", false, "run chaos scenarios over real TCP sockets")
+
+		obsSim         = flag.Bool("obs-sim", false, "boot a live simulated cluster with the full observability stack (per-server ops listeners, epoch watchdogs, skew profiler) plus a light workload; the target for aloha-top and CI's obs smoke")
+		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
+		obsSimAddrFile = flag.String("obs-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
 	)
 	flag.Parse()
+
+	if *obsSim {
+		return runObsSim(obsSimOptions{
+			servers:  *obsSimServers,
+			duration: *duration,
+			addrFile: *obsSimAddrFile,
+		})
+	}
 
 	if *chaosMode {
 		return runChaos(chaosOptions{

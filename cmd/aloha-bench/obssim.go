@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
+	"alohadb/internal/obs"
+)
+
+// obsSimOptions configures the observability simulation cluster.
+type obsSimOptions struct {
+	servers  int
+	duration time.Duration
+	addrFile string
+}
+
+// runObsSim boots an embedded cluster with the full observability stack —
+// skew profiler, per-server epoch watchdogs, and one ops HTTP listener per
+// server — then drives a light Zipfian workload for the configured
+// duration. It exists so aloha-top (and CI's obs smoke) has a live
+// multi-server target without a multi-process deployment: each listener
+// serves exactly what one aloha-server -metrics-addr would.
+func runObsSim(o obsSimOptions) error {
+	if o.servers <= 0 {
+		o.servers = 3
+	}
+	if o.duration <= 0 {
+		o.duration = 30 * time.Second
+	}
+	skew := obs.NewSkew(obs.SkewConfig{SampleEvery: 4, TopK: 16, Partitions: o.servers})
+	c, err := core.NewCluster(core.ClusterConfig{
+		Servers:       o.servers,
+		EpochDuration: 5 * time.Millisecond,
+		Registry:      functor.NewRegistry(),
+		Skew:          skew,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return err
+	}
+
+	// One watchdog and one ops listener per server, like aloha-server.
+	addrs := make([]string, o.servers)
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < o.servers; i++ {
+		srv := c.Server(i)
+		wd := srv.NewWatchdog(obs.WatchdogConfig{Threshold: 2 * time.Second})
+		wd.Start()
+		defer wd.Stop()
+		gather := func() []metrics.Family {
+			fams := srv.MetricFamilies()
+			fams = append(fams, metrics.RuntimeFamilies()...)
+			fams = append(fams, wd.MetricFamilies()...)
+			fams = append(fams, skew.MetricFamilies()...)
+			return fams
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = ln.Addr().String()
+		hs := &http.Server{Handler: metrics.OpsHandler(gather,
+			metrics.WithDebug("stall", wd.Handler()),
+			metrics.WithDebug("hotkeys", skew.Handler()),
+			metrics.WithHealth("watchdog", wd.Health),
+		)}
+		servers = append(servers, hs)
+		go func() { _ = hs.Serve(ln) }()
+	}
+
+	list := strings.Join(addrs, ",")
+	fmt.Printf("obs-sim: %d servers ready at %s for %s\n", o.servers, list, o.duration)
+	if o.addrFile != "" {
+		// Written atomically (rename) so a watcher never reads a partial list.
+		tmp := o.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(list+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, o.addrFile); err != nil {
+			return err
+		}
+	}
+
+	// Light Zipfian workload: hot-skewed writes with occasional reads, so
+	// the skew profiler and stage histograms have real data to show.
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.3, 1, 499)
+	deadline := time.Now().Add(o.duration)
+	var submitted, failed int
+	for time.Now().Before(deadline) {
+		key := kv.Key(fmt.Sprintf("item-%d", zipf.Uint64()))
+		h, err := c.Server(submitted%o.servers).Submit(ctx, core.Txn{Writes: []core.Write{
+			{Key: key, Functor: functor.Add(1)},
+		}})
+		if err != nil {
+			failed++
+		} else {
+			submitted++
+			if submitted%10 == 0 {
+				if _, _, err := h.Await(ctx); err != nil {
+					failed++
+				}
+				_, _, _ = c.Server(0).GetCommitted(ctx, key)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("obs-sim: done (%d submitted, %d errors)\n", submitted, failed)
+	if failed > submitted/10 {
+		return fmt.Errorf("obs-sim: %d/%d submissions failed", failed, submitted)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/epoch"
 	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func run() error {
 		emAddr   = flag.String("em", "", "this epoch manager's address")
 		duration = flag.Duration("epoch", epoch.DefaultDuration, "unified epoch duration")
 		timeout  = flag.Duration("switch-timeout", time.Second, "straggler escape timeout per epoch switch")
+		start    = flag.Uint("start-epoch", 0, "first granted epoch (0 = 1); a restarted EM must start above the cluster's current epoch or the servers rightly refuse to regress (see aloha_server_epoch or /debug/stall on any server)")
 	)
 	flag.Parse()
 	if *peers == "" || *emAddr == "" {
@@ -53,6 +55,7 @@ func run() error {
 	em, err := core.NewEMNode(net, emID, serverIDs, epoch.Config{
 		Duration:      *duration,
 		SwitchTimeout: *timeout,
+		StartEpoch:    tstamp.Epoch(*start),
 	})
 	if err != nil {
 		return err

@@ -20,10 +20,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/metrics"
+	"alohadb/internal/obs"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/wal"
@@ -52,6 +54,11 @@ func run() error {
 		flushBytes    = flag.Int("net-flush-bytes", 0, "transport per-peer buffered-write flush threshold in bytes (0 = default 64KiB)")
 		flushInterval = flag.Duration("net-flush-interval", 0, "transport flusher linger after the send queue drains (0 = flush immediately)")
 		batchWindow   = flag.Duration("read-batch-window", 0, "remote read/ensure combiner linger between batch dispatches (0 = combine without sleeping)")
+
+		stallThreshold = flag.Duration("epoch-stall-threshold", 5*time.Second, "epoch watchdog: declare a stall when the visibility bound stops advancing this long (0 disables)")
+		skewSample     = flag.Int("skew-sample", 0, "hot-key profiler: sample every Nth key access (0 disables profiling)")
+		skewTopK       = flag.Int("skew-topk", 0, "hot-key profiler: tracked heavy-hitter count (0 = default)")
+		walMaxFsyncAge = flag.Duration("wal-fsync-max-age", 0, "readiness: fail /healthz when the last WAL fsync is older than this (0 disables; needs -wal)")
 	)
 	flag.Parse()
 
@@ -75,6 +82,10 @@ func run() error {
 		SlowThreshold: *traceSlow,
 		RingSize:      *traceRing,
 	})
+	var skew *obs.Skew
+	if *skewSample > 0 {
+		skew = obs.NewSkew(obs.SkewConfig{SampleEvery: *skewSample, TopK: *skewTopK, Partitions: emID})
+	}
 	cfg := core.ServerConfig{
 		ID:              *id,
 		NumServers:      emID,
@@ -82,29 +93,62 @@ func run() error {
 		Workers:         *workers,
 		Tracer:          tracer,
 		ReadBatchWindow: *batchWindow,
+		Skew:            skew,
 	}
+	var walLog *wal.Log
 	if *walPath != "" {
-		log, err := wal.Open(*walPath)
+		walLog, err = wal.Open(*walPath)
 		if err != nil {
 			return err
 		}
-		defer log.Close()
-		cfg.Durability = log
+		defer walLog.Close()
+		cfg.Durability = walLog
 	}
 	srv, err := core.NewServer(cfg, net)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+
+	srv.SetQueueDepthSource(net.SendQueueDepths)
+	var wd *obs.Watchdog
+	if *stallThreshold > 0 {
+		wd = srv.NewWatchdog(obs.WatchdogConfig{Threshold: *stallThreshold})
+		wd.Start()
+		defer wd.Stop()
+	}
 	fmt.Printf("aloha-server %d listening on %s (epoch manager at %s)\n",
 		*id, addrs[transport.NodeID(*id)], *emAddr)
 
 	var ops *http.Server
 	if *opsAddr != "" {
 		gather := func() []metrics.Family {
-			return metrics.Merge(srv.MetricFamilies(), net.NetMetrics().MetricFamilies())
+			fams := metrics.Merge(srv.MetricFamilies(), net.NetMetrics().MetricFamilies())
+			fams = append(fams, metrics.RuntimeFamilies()...)
+			fams = append(fams, wd.MetricFamilies()...)   // nil-safe: empty when disabled
+			fams = append(fams, skew.MetricFamilies()...) // nil-safe: empty when disabled
+			return fams
 		}
-		ops = &http.Server{Addr: *opsAddr, Handler: metrics.OpsHandler(gather, metrics.WithTraces(trace.Handler(tracer)))}
+		opts := []metrics.OpsOption{metrics.WithTraces(trace.Handler(tracer))}
+		if wd != nil {
+			opts = append(opts,
+				metrics.WithDebug("stall", wd.Handler()),
+				metrics.WithHealth("watchdog", wd.Health))
+		}
+		if skew != nil {
+			opts = append(opts, metrics.WithDebug("hotkeys", skew.Handler()))
+		}
+		if walLog != nil && *walMaxFsyncAge > 0 {
+			maxAge := *walMaxFsyncAge
+			opts = append(opts, metrics.WithHealth("wal", func() (bool, string) {
+				age, ok := walLog.LastSyncAge()
+				if !ok || age <= maxAge {
+					return true, ""
+				}
+				return false, fmt.Sprintf("last fsync %s ago (max %s): commits are not reaching disk", age.Round(time.Millisecond), maxAge)
+			}))
+		}
+		ops = &http.Server{Addr: *opsAddr, Handler: metrics.OpsHandler(gather, opts...)}
 		go func() {
 			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "aloha-server: ops listener: %v\n", err)

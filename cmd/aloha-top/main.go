@@ -1,0 +1,122 @@
+// Command aloha-top is the cluster-wide observability dashboard: it polls
+// every server's ops endpoint (/metrics, /healthz, /debug/stall,
+// /debug/hotkeys) and renders one merged frame — minimum committed epoch,
+// aggregate commit rate, per-server p99s, and a stall/skew roll-up.
+//
+// Interactive (refreshing) mode:
+//
+//	aloha-top -servers localhost:8000,localhost:8001,localhost:8002
+//
+// One-shot machine-readable mode for scripts and CI:
+//
+//	aloha-top -servers ... -cluster-json -once
+//
+// which scrapes twice (-rate-window apart) so commit rates are real, and
+// reports whether the minimum committed epoch moved monotonically between
+// the two scrapes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"alohadb/internal/obs/clusterview"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		servers    = flag.String("servers", "", "comma-separated ops (metrics-addr) endpoints, one per server")
+		interval   = flag.Duration("interval", 2*time.Second, "refresh interval in dashboard mode")
+		jsonOut    = flag.Bool("cluster-json", false, "emit merged cluster snapshots as JSON instead of the dashboard")
+		once       = flag.Bool("once", false, "scrape once (twice -rate-window apart for rates) and exit")
+		rateWindow = flag.Duration("rate-window", 500*time.Millisecond, "gap between the two scrapes of a -once run")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-server scrape timeout")
+	)
+	flag.Parse()
+	if *servers == "" {
+		return fmt.Errorf("aloha-top: missing -servers")
+	}
+	var addrs []string
+	for _, a := range strings.Split(*servers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	sc := &clusterview.Scraper{Addrs: addrs, Client: &http.Client{Timeout: *timeout}}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *once {
+		return oneShot(ctx, sc, *rateWindow, *jsonOut)
+	}
+	return watch(ctx, sc, *interval, *jsonOut)
+}
+
+// oneShot scrapes twice so rates are measured, then emits a single frame.
+// The JSON carries min_epoch_monotonic — CI's obs smoke asserts it: the
+// cluster's visibility floor must never move backwards.
+func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration, jsonOut bool) error {
+	prev := sc.Scrape(ctx)
+	select {
+	case <-time.After(window):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	cur := clusterview.Delta(prev, sc.Scrape(ctx))
+	if !jsonOut {
+		clusterview.Render(os.Stdout, cur)
+		return nil
+	}
+	out := struct {
+		clusterview.ClusterSnapshot
+		MinEpochMonotonic bool `json:"min_epoch_monotonic"`
+	}{cur, cur.MinCommittedEpoch >= prev.MinCommittedEpoch}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration, jsonOut bool) error {
+	var prev clusterview.ClusterSnapshot
+	havePrev := false
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		cur := sc.Scrape(ctx)
+		if havePrev {
+			cur = clusterview.Delta(prev, cur)
+		}
+		if jsonOut {
+			if err := json.NewEncoder(os.Stdout).Encode(cur); err != nil {
+				return err
+			}
+		} else {
+			// Clear and home, then draw the frame.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("aloha-top  %s  (refresh %s, ctrl-c to quit)\n\n", cur.At.Format("15:04:05"), interval)
+			clusterview.Render(os.Stdout, cur)
+		}
+		prev, havePrev = cur, true
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}

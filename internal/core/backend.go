@@ -68,6 +68,8 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 	case MsgCommitted:
 		s.Committed(m.E)
 		return nil, nil
+	case MsgPing:
+		return s.handlePing(), nil
 	default:
 		return nil, fmt.Errorf("core: server %d: unexpected message %T", s.id, msg)
 	}
@@ -112,6 +114,7 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 				}
 			}
 			s.stats.functorsInstalled.Add(1)
+			s.skew.Observe(s.id, string(w.Key))
 			items = append(items, workItem{key: w.Key, version: txn.Version, rec: rec, installed: now, sc: sc})
 		}
 		if failed {

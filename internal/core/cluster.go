@@ -10,6 +10,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/obs"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -66,6 +67,10 @@ type ClusterConfig struct {
 	// redelivery budget; see ServerConfig.
 	AbortRetries      int
 	AbortRetryBackoff time.Duration
+	// Skew, when set, is the shared hot-key profiler sampled by every
+	// server's install and local-read paths; its families join Metrics().
+	// Nil disables profiling (see ServerConfig.Skew).
+	Skew *obs.Skew
 }
 
 // Cluster is an embedded multi-server ALOHA-DB instance. It is the unit the
@@ -122,6 +127,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			ReadBatchWindow:   cfg.ReadBatchWindow,
 			AbortRetries:      cfg.AbortRetries,
 			AbortRetryBackoff: cfg.AbortRetryBackoff,
+			Skew:              cfg.Skew,
 		}, c.net)
 		if err != nil {
 			c.Close()
@@ -269,8 +275,14 @@ func (c *Cluster) Metrics() []metrics.Family {
 	if inst, ok := c.net.(transport.Instrumented); ok {
 		groups = append(groups, inst.NetMetrics().MetricFamilies())
 	}
+	if c.cfg.Skew != nil {
+		groups = append(groups, c.cfg.Skew.MetricFamilies())
+	}
 	return metrics.Merge(groups...)
 }
+
+// Skew returns the cluster's shared hot-key profiler (nil when disabled).
+func (c *Cluster) Skew() *obs.Skew { return c.cfg.Skew }
 
 // DrainProcessors blocks until every server's processor queue is empty.
 // Tests and benchmarks use it to establish "all functors computed"
@@ -385,14 +397,20 @@ func NewEMNode(net transport.Network, nodeID transport.NodeID, servers []transpo
 }
 
 func (n *EMNode) handle(_ context.Context, from transport.NodeID, msg any) (any, error) {
-	ack, ok := msg.(MsgRevokeAck)
-	if !ok {
+	switch m := msg.(type) {
+	case MsgRevokeAck:
+		if fn := n.acks.take(m.E, from); fn != nil {
+			fn()
+		}
+		return nil, nil
+	case MsgPing:
+		// Watchdog peer probe (see Server.ProbePeers): the EM reports the
+		// epoch it currently grants in both positions.
+		e := uint64(n.Manager.Current())
+		return MsgPong{Node: int(n.conn.Local()), CommittedEpoch: e, CurrentEpoch: e}, nil
+	default:
 		return nil, fmt.Errorf("core: epoch manager: unexpected message %T", msg)
 	}
-	if fn := n.acks.take(ack.E, from); fn != nil {
-		fn()
-	}
-	return nil, nil
 }
 
 // Close detaches the EM node.

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/obs"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -109,6 +111,31 @@ func (c *combiner) queue(owner int) *ownerQueue {
 		c.owners[owner] = q
 	}
 	return q
+}
+
+// occupancy reports each owner slot's queued (not yet dispatched) ops for
+// stall snapshots, sorted by owner; idle empty slots are skipped.
+func (c *combiner) occupancy() []obs.OwnerQueue {
+	c.mu.Lock()
+	owners := make([]int, 0, len(c.owners))
+	queues := make([]*ownerQueue, 0, len(c.owners))
+	for owner, q := range c.owners {
+		owners = append(owners, owner)
+		queues = append(queues, q)
+	}
+	c.mu.Unlock()
+	var out []obs.OwnerQueue
+	for i, q := range queues {
+		q.mu.Lock()
+		n := len(q.ops)
+		forming := q.forming
+		q.mu.Unlock()
+		if n > 0 || forming {
+			out = append(out, obs.OwnerQueue{Owner: owners[i], Queued: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
 }
 
 func (c *combiner) do(ctx context.Context, owner int, op *combOp) combResult {

@@ -75,6 +75,9 @@ func (s *Server) read(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRe
 // pass through here, so deferred writes are always settled before a
 // dependent key's value is observed.
 func (s *Server) localRead(ctx context.Context, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
+	// Hot-key profiling: disabled (nil) it costs nothing; enabled it is
+	// one atomic add per access outside the sampling stride.
+	s.skew.Observe(s.id, string(k))
 	if s.depRule != nil {
 		if det, ok := s.depRule(k); ok {
 			if err := s.ensureUpTo(ctx, det, v); err != nil {

@@ -255,6 +255,22 @@ type (
 	MsgCommitted struct{ E tstamp.Epoch }
 )
 
+// Diagnosis messages, used by the epoch watchdog's peer probes
+// (internal/obs): a stall snapshot names unreachable peers by pinging every
+// node and reporting who failed to answer within the probe deadline.
+type (
+	// MsgPing asks a peer for its epoch positions.
+	MsgPing struct{}
+	// MsgPong answers MsgPing with the responder's view of epoch progress.
+	MsgPong struct {
+		Node int
+		// CommittedEpoch is the last epoch whose versions are visible on
+		// the responder; CurrentEpoch is the epoch it issues timestamps in.
+		CommittedEpoch uint64
+		CurrentEpoch   uint64
+	}
+)
+
 // RegisterMessages registers every core message type with the transport's
 // gob codec. Call once at startup when using the TCP transport.
 func RegisterMessages() {
@@ -267,6 +283,7 @@ func RegisterMessages() {
 		MsgScan{}, MsgScanResp{},
 		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},
 		MsgGrant{}, MsgRevoke{}, MsgRevokeAck{}, MsgCommitted{},
+		MsgPing{}, MsgPong{},
 	} {
 		transport.RegisterType(m)
 	}

@@ -115,6 +115,24 @@ func (p *processor) drainWait() {
 	}
 }
 
+// queueDepths reports each shard's queue length for stall snapshots; when
+// consider is non-nil every queued item is offered to it (the watchdog
+// uses this to find the oldest pending functor).
+func (p *processor) queueDepths(consider func(workItem)) []int {
+	depths := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		depths[i] = len(sh.queue)
+		if consider != nil {
+			for _, it := range sh.queue {
+				consider(it)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return depths
+}
+
 func (p *processor) stop() {
 	p.stopped.Store(true)
 	for _, sh := range p.shards {

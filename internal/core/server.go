@@ -12,6 +12,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/obs"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -71,6 +72,11 @@ type ServerConfig struct {
 	// AbortRetryBackoff is the pause before the first abort redelivery
 	// (default 2 ms), doubling per attempt up to 50 ms.
 	AbortRetryBackoff time.Duration
+	// Skew, when set, samples per-key accesses on the install and local
+	// read paths into the hot-key profiler (internal/obs). Nil (the
+	// default) disables profiling at zero per-operation cost, the same
+	// contract as Tracer.
+	Skew *obs.Skew
 }
 
 // DurabilityHook receives one server's durable-state stream. Installs and
@@ -107,6 +113,11 @@ type Server struct {
 	depRule    func(k kv.Key) (kv.Key, bool)
 	tr         *trace.NodeTracer // nil when tracing is disabled
 	comb       *combiner         // per-owner remote read/ensure batcher
+	skew       *obs.Skew         // nil when hot-key profiling is disabled
+
+	// queueDepths, when set, reports per-peer transport send-queue depths
+	// for stall snapshots (see SetQueueDepthSource).
+	queueDepths func() map[transport.NodeID]int
 
 	// Second-round abort redelivery budget (see ServerConfig.AbortRetries).
 	abortRetries int
@@ -204,6 +215,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		durability: cfg.Durability,
 		depRule:    cfg.DependencyRule,
 		tr:         cfg.Tracer.ForNode(cfg.ID),
+		skew:       cfg.Skew,
 
 		abortRetries: cfg.AbortRetries,
 		abortBackoff: cfg.AbortRetryBackoff,
@@ -241,6 +253,19 @@ func (s *Server) Stats() Stats { return s.stats.snapshot() }
 // families. Every series is tagged with this server's id.
 func (s *Server) MetricFamilies() []metrics.Family {
 	fams := s.stats.families()
+	// Epoch-position gauges let a cluster scraper compute the minimum
+	// sealed epoch across owners without the debug endpoints.
+	fams = append(fams,
+		metrics.Family{
+			Name: FamCommittedEpoch, Help: "Last epoch whose versions are visible on this server.",
+			Kind:   metrics.KindGauge,
+			Series: []metrics.Series{metrics.GaugeSeries(int64(s.CommittedEpoch()))},
+		},
+		metrics.Family{
+			Name: FamServerEpoch, Help: "Epoch this server currently issues timestamps in.",
+			Kind:   metrics.KindGauge,
+			Series: []metrics.Series{metrics.GaugeSeries(int64(s.gen.Epoch()))},
+		})
 	if src, ok := s.durability.(interface{ MetricFamilies() []metrics.Family }); ok {
 		fams = append(fams, src.MetricFamilies()...)
 	}

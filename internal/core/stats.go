@@ -184,6 +184,8 @@ const (
 	FamEpochSwitch       = "aloha_epoch_switch_seconds"
 	FamReadBatchSize     = "aloha_read_batch_size"
 	FamEnsureBatchSize   = "aloha_ensure_batch_size"
+	FamCommittedEpoch    = "aloha_committed_epoch"
+	FamServerEpoch       = "aloha_server_epoch"
 )
 
 // families builds the unlabeled family list; the server tags each series

@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 )
 
 // OpsOption customizes the operator HTTP surface built by OpsHandler.
@@ -11,7 +13,14 @@ type OpsOption func(*opsConfig)
 
 type opsConfig struct {
 	traces http.Handler
+	debug  map[string]http.Handler
+	checks []healthCheck
 	logf   func(format string, args ...any)
+}
+
+type healthCheck struct {
+	name  string
+	check func() (ok bool, reason string)
 }
 
 // WithTraces mounts a trace viewer (see alohadb/internal/trace.Handler)
@@ -22,6 +31,27 @@ func WithTraces(h http.Handler) OpsOption {
 	return func(c *opsConfig) { c.traces = h }
 }
 
+// WithDebug mounts a handler at /debug/<name> (e.g. the watchdog's stall
+// flight recorder at /debug/stall, the skew profiler at /debug/hotkeys).
+func WithDebug(name string, h http.Handler) OpsOption {
+	return func(c *opsConfig) {
+		if c.debug == nil {
+			c.debug = make(map[string]http.Handler)
+		}
+		c.debug[name] = h
+	}
+}
+
+// WithHealth registers a readiness check consulted by /healthz: when any
+// check fails, /healthz answers 503 with "name: reason" lines, turning it
+// into a real readiness probe (an active epoch stall or a stale WAL fsync
+// takes the server out of rotation). Plain liveness stays at /livez.
+func WithHealth(name string, check func() (ok bool, reason string)) OpsOption {
+	return func(c *opsConfig) {
+		c.checks = append(c.checks, healthCheck{name: name, check: check})
+	}
+}
+
 // WithLogf redirects write-failure logging (default log.Printf).
 func WithLogf(logf func(format string, args ...any)) OpsOption {
 	return func(c *opsConfig) { c.logf = logf }
@@ -30,10 +60,13 @@ func WithLogf(logf func(format string, args ...any)) OpsOption {
 // OpsHandler builds the operator HTTP surface served by -metrics-addr:
 //
 //	/metrics              Prometheus text exposition of gather()
-//	/healthz              liveness probe (200 "ok")
+//	/healthz              readiness probe: 200 "ok", or 503 with the
+//	                      failing checks' reasons (WithHealth)
+//	/livez                liveness probe, always 200 "ok"
 //	/debug/pprof/         the standard Go profiler endpoints
 //	/debug/traces         recent/slow traces (only with WithTraces)
 //	/debug/traces/chrome  Chrome trace-event export (only with WithTraces)
+//	/debug/<name>         extra debug handlers (WithDebug)
 //
 // gather is invoked per scrape; it should return a fresh snapshot (see
 // Cluster.Metrics / Server.MetricFamilies).
@@ -52,8 +85,26 @@ func OpsHandler(gather func() []Family, opts ...OpsOption) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if _, err := w.Write([]byte("ok\n")); err != nil {
+		body := "ok\n"
+		status := http.StatusOK
+		for _, hc := range cfg.checks {
+			if ok, reason := hc.check(); !ok {
+				if status == http.StatusOK {
+					status = http.StatusServiceUnavailable
+					body = ""
+				}
+				body += fmt.Sprintf("%s: %s\n", hc.name, reason)
+			}
+		}
+		w.WriteHeader(status)
+		if _, err := w.Write([]byte(body)); err != nil {
 			cfg.logf("metrics: /healthz write: %v", err)
+		}
+	})
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			cfg.logf("metrics: /livez write: %v", err)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -70,6 +121,15 @@ func OpsHandler(gather func() []Family, opts ...OpsOption) http.Handler {
 			r2.URL.Path = "/"
 			cfg.traces.ServeHTTP(w, r2)
 		})
+	}
+	// Deterministic mount order keeps duplicate-name panics reproducible.
+	names := make([]string, 0, len(cfg.debug))
+	for name := range cfg.debug {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mux.Handle("/debug/"+name, cfg.debug[name])
 	}
 	return mux
 }

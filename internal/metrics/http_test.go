@@ -86,6 +86,62 @@ func TestOpsHandlerRoutes(t *testing.T) {
 	})
 }
 
+// TestOpsHandlerReadiness covers /healthz as a real readiness probe:
+// failing checks flip it to 503 with one "name: reason" line per failure,
+// while /livez stays 200 regardless.
+func TestOpsHandlerReadiness(t *testing.T) {
+	stalled := false
+	h := OpsHandler(opsGather,
+		WithHealth("watchdog", func() (bool, string) {
+			if stalled {
+				return false, "epoch stall: no progress for 2s"
+			}
+			return true, ""
+		}),
+		WithHealth("wal", func() (bool, string) { return true, "" }),
+	)
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Errorf("healthy healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	stalled = true
+	rec := get("/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("stalled healthz = %d, want 503", rec.Code)
+	}
+	if want := "watchdog: epoch stall: no progress for 2s\n"; rec.Body.String() != want {
+		t.Errorf("stalled healthz body = %q, want %q", rec.Body.String(), want)
+	}
+	if rec := get("/livez"); rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Errorf("livez = %d %q, want 200 ok", rec.Code, rec.Body.String())
+	}
+}
+
+func TestOpsHandlerDebugMounts(t *testing.T) {
+	h := OpsHandler(opsGather,
+		WithDebug("stall", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("stall-status"))
+		})),
+		WithDebug("hotkeys", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("hotkeys-snapshot"))
+		})),
+	)
+	for path, want := range map[string]string{
+		"/debug/stall":   "stall-status",
+		"/debug/hotkeys": "hotkeys-snapshot",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 || rec.Body.String() != want {
+			t.Errorf("GET %s = %d %q, want 200 %q", path, rec.Code, rec.Body.String(), want)
+		}
+	}
+}
+
 // TestOpsHandlerWriteFailure covers the /healthz write-error path: a
 // client that vanished mid-response must not crash the handler, only log.
 func TestOpsHandlerWriteFailure(t *testing.T) {

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	rm "runtime/metrics"
+)
+
+// Go runtime metric family names. RuntimeFamilies exports them so stall
+// snapshots and aloha-top can correlate engine stalls with GC pauses,
+// scheduler latency, and goroutine growth.
+const (
+	FamRuntimeHeapBytes    = "aloha_runtime_heap_bytes"
+	FamRuntimeGoroutines   = "aloha_runtime_goroutines"
+	FamRuntimeGCCycles     = "aloha_runtime_gc_cycles_total"
+	FamRuntimeGCPause      = "aloha_runtime_gc_pause_seconds"
+	FamRuntimeSchedLatency = "aloha_runtime_sched_latency_seconds"
+)
+
+// runtimeSamples is the fixed sample set read per gather; building it once
+// keeps RuntimeFamilies to one runtime/metrics read.
+var runtimeSamples = []rm.Sample{
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/gc/pauses:seconds"},
+	{Name: "/sched/latencies:seconds"},
+}
+
+// RuntimeFamilies snapshots the Go runtime's own telemetry as
+// aloha_runtime_* families: heap in use, goroutine count, GC cycles, and
+// the GC pause / scheduler latency distributions. Metrics the current
+// runtime does not export are skipped, so the set degrades gracefully
+// across Go versions.
+func RuntimeFamilies() []Family {
+	samples := make([]rm.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	rm.Read(samples)
+
+	var fams []Family
+	scalar := func(s rm.Sample, name, help string, kind Kind) {
+		var v float64
+		switch s.Value.Kind() {
+		case rm.KindUint64:
+			v = float64(s.Value.Uint64())
+		case rm.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			return // KindBad: not exported by this runtime
+		}
+		ser := Series{Value: v}
+		fams = append(fams, Family{Name: name, Help: help, Kind: kind, Series: []Series{ser}})
+	}
+	hist := func(s rm.Sample, name, help string) {
+		if s.Value.Kind() != rm.KindFloat64Histogram {
+			return
+		}
+		snap, ok := convertFloat64Histogram(s.Value.Float64Histogram())
+		if !ok {
+			return
+		}
+		fams = append(fams, Family{
+			Name: name, Help: help, Kind: KindHistogram, Unit: UnitSeconds,
+			Series: []Series{HistSeries(snap)},
+		})
+	}
+
+	scalar(samples[0], FamRuntimeHeapBytes, "Bytes of heap memory occupied by live objects and dead objects not yet freed.", KindGauge)
+	scalar(samples[1], FamRuntimeGoroutines, "Live goroutines.", KindGauge)
+	scalar(samples[2], FamRuntimeGCCycles, "Completed GC cycles.", KindCounter)
+	hist(samples[3], FamRuntimeGCPause, "Stop-the-world GC pause latency.")
+	hist(samples[4], FamRuntimeSchedLatency, "Time goroutines spend runnable before running.")
+	return fams
+}
+
+// convertFloat64Histogram maps a runtime/metrics seconds histogram onto the
+// internal nanosecond-bounds snapshot (rendered back to seconds by
+// UnitSeconds). Runtime histograms are sparse with hundreds of buckets;
+// adjacent buckets are coalesced onto an exponential grid so the exported
+// family stays a few dozen lines.
+func convertFloat64Histogram(h *rm.Float64Histogram) (HistogramSnapshot, bool) {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return HistogramSnapshot{}, false
+	}
+	bounds := LatencyBounds()
+	counts := make([]uint64, len(bounds)+1)
+	var total uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		// Attribute the bucket to its upper bound (conservative for
+		// latency quantiles); infinite edges fall back on the finite side.
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, 1) {
+			upper = h.Buckets[i]
+		}
+		if math.IsInf(upper, -1) || math.IsNaN(upper) || upper < 0 {
+			continue
+		}
+		ns := upper * 1e9
+		idx := len(bounds)
+		for b, bound := range bounds {
+			if ns <= float64(bound) {
+				idx = b
+				break
+			}
+		}
+		counts[idx] += c
+		total += c
+		sum += float64(c) * ns
+	}
+	if total == 0 {
+		return HistogramSnapshot{}, false
+	}
+	return HistogramSnapshot{Bounds: bounds, Counts: counts, Count: total, Sum: int64(sum)}, true
+}

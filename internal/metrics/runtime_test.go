@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeFamilies(t *testing.T) {
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+	fams := RuntimeFamilies()
+	byName := make(map[string]Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	heap, ok := byName[FamRuntimeHeapBytes]
+	if !ok || heap.Total() <= 0 {
+		t.Fatalf("heap bytes missing or zero: %+v", heap)
+	}
+	gor, ok := byName[FamRuntimeGoroutines]
+	if !ok || gor.Total() < 1 {
+		t.Fatalf("goroutines missing or zero: %+v", gor)
+	}
+	if f, ok := byName[FamRuntimeGCCycles]; !ok || f.Kind != KindCounter || f.Total() < 1 {
+		t.Fatalf("gc cycles missing: %+v", f)
+	}
+	pause, ok := byName[FamRuntimeGCPause]
+	if !ok {
+		t.Fatal("gc pause histogram missing")
+	}
+	hs := pause.TotalHist()
+	if hs.Count == 0 || len(hs.Bounds)+1 != len(hs.Counts) {
+		t.Fatalf("gc pause snapshot malformed: count=%d bounds=%d counts=%d", hs.Count, len(hs.Bounds), len(hs.Counts))
+	}
+	// The families must render cleanly through the text exposition.
+	var sb strings.Builder
+	if err := WriteText(&sb, fams); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{FamRuntimeHeapBytes, FamRuntimeGoroutines, FamRuntimeGCPause + "_bucket"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("rendered exposition missing %s:\n%s", name, sb.String())
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package clusterview
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/metrics"
+	"alohadb/internal/obs"
+)
+
+// ServerStatus is one server's slice of a cluster snapshot, distilled from
+// its operator endpoints.
+type ServerStatus struct {
+	Addr      string `json:"addr"`
+	Reachable bool   `json:"reachable"`
+	Err       string `json:"err,omitempty"`
+
+	// Readiness per /healthz (false on an active stall or stale WAL fsync).
+	Healthy      bool   `json:"healthy"`
+	HealthReason string `json:"health_reason,omitempty"`
+
+	CommittedEpoch uint64 `json:"committed_epoch"`
+	CurrentEpoch   uint64 `json:"current_epoch"`
+
+	TxnsCommitted float64 `json:"txns_committed"`
+	TxnsAborted   float64 `json:"txns_aborted"`
+	// TxnRate is commits/second between two scrapes; zero on a one-shot
+	// snapshot (see Delta).
+	TxnRate float64 `json:"txn_rate,omitempty"`
+
+	// Per-stage p99s in seconds, from the cumulative stage histograms.
+	P99Install float64 `json:"p99_install_seconds"`
+	P99Wait    float64 `json:"p99_wait_seconds"`
+	P99Compute float64 `json:"p99_compute_seconds"`
+
+	Goroutines float64 `json:"goroutines,omitempty"`
+	HeapBytes  float64 `json:"heap_bytes,omitempty"`
+
+	// Stall roll-up from /debug/stall (absent when the watchdog is off).
+	StallActive      bool   `json:"stall_active"`
+	StallsTotal      uint64 `json:"stalls_total,omitempty"`
+	UnreachablePeers []int  `json:"unreachable_peers,omitempty"`
+
+	// Skew roll-up from /debug/hotkeys (absent when profiling is off).
+	SkewImbalance float64      `json:"skew_imbalance,omitempty"`
+	HotKeys       []obs.HotKey `json:"hot_keys,omitempty"`
+}
+
+// ClusterSnapshot merges every server's status into the cluster view.
+type ClusterSnapshot struct {
+	At      time.Time      `json:"at"`
+	Servers []ServerStatus `json:"servers"`
+
+	ReachableServers int `json:"reachable_servers"`
+
+	// MinCommittedEpoch is the cluster's visibility floor: the epoch every
+	// reachable server has committed (the paper's global commit frontier).
+	MinCommittedEpoch uint64 `json:"min_committed_epoch"`
+	MaxCommittedEpoch uint64 `json:"max_committed_epoch"`
+
+	AggTxnsCommitted float64 `json:"agg_txns_committed"`
+	AggTxnRate       float64 `json:"agg_txn_rate,omitempty"`
+
+	// ActiveStalls counts servers whose watchdog currently declares a
+	// stall; unreachable servers are counted separately above.
+	ActiveStalls int `json:"active_stalls"`
+}
+
+// Scraper polls a set of ops addresses (the -metrics-addr listeners).
+type Scraper struct {
+	// Addrs are host:port ops endpoints, one per server.
+	Addrs []string
+	// Client overrides the HTTP client (default: 2s overall timeout).
+	Client *http.Client
+}
+
+func (s *Scraper) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Scrape polls every server concurrently and merges the results. Per-server
+// failures degrade that server's entry (Reachable=false) rather than
+// failing the snapshot — a dashboard must keep rendering through the very
+// outages it exists to show.
+func (s *Scraper) Scrape(ctx context.Context) ClusterSnapshot {
+	snap := ClusterSnapshot{At: time.Now(), Servers: make([]ServerStatus, len(s.Addrs))}
+	var wg sync.WaitGroup
+	for i, addr := range s.Addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			snap.Servers[i] = s.scrapeOne(ctx, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+
+	first := true
+	for _, sv := range snap.Servers {
+		if !sv.Reachable {
+			continue
+		}
+		snap.ReachableServers++
+		snap.AggTxnsCommitted += sv.TxnsCommitted
+		if sv.StallActive {
+			snap.ActiveStalls++
+		}
+		if first || sv.CommittedEpoch < snap.MinCommittedEpoch {
+			snap.MinCommittedEpoch = sv.CommittedEpoch
+		}
+		if first || sv.CommittedEpoch > snap.MaxCommittedEpoch {
+			snap.MaxCommittedEpoch = sv.CommittedEpoch
+		}
+		first = false
+	}
+	return snap
+}
+
+func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
+	st := ServerStatus{Addr: addr}
+	body, _, err := s.get(ctx, addr, "/metrics")
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	m, err := ParseMetrics(strings.NewReader(string(body)))
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	st.Reachable = true
+
+	if v, ok := m.Value(core.FamCommittedEpoch); ok {
+		st.CommittedEpoch = uint64(v)
+	}
+	if v, ok := m.Value(core.FamServerEpoch); ok {
+		st.CurrentEpoch = uint64(v)
+	}
+	st.TxnsCommitted, _ = m.Value(core.FamTxnsCommitted)
+	st.TxnsAborted, _ = m.Value(core.FamTxnsAborted)
+	st.P99Install, _ = m.Quantile(core.FamStageInstall, 0.99)
+	st.P99Wait, _ = m.Quantile(core.FamStageWait, 0.99)
+	st.P99Compute, _ = m.Quantile(core.FamStageCompute, 0.99)
+	st.Goroutines, _ = m.Value(metrics.FamRuntimeGoroutines)
+	st.HeapBytes, _ = m.Value(metrics.FamRuntimeHeapBytes)
+
+	// Health: non-200 means not ready; the body carries the reasons.
+	if body, code, err := s.get(ctx, addr, "/healthz"); err == nil {
+		st.Healthy = code == http.StatusOK
+		if !st.Healthy {
+			st.HealthReason = strings.TrimSpace(string(body))
+		}
+	}
+
+	// Stall flight recorder (optional endpoint).
+	if body, code, err := s.get(ctx, addr, "/debug/stall"); err == nil && code == http.StatusOK {
+		var stall obs.StallStatus
+		if json.Unmarshal(body, &stall) == nil {
+			st.StallActive = stall.Active
+			st.StallsTotal = stall.StallsTotal
+			if n := len(stall.Snapshots); n > 0 {
+				st.UnreachablePeers = stall.Snapshots[n-1].UnreachablePeers
+			}
+		}
+	}
+
+	// Hot-key profiler (optional endpoint).
+	if body, code, err := s.get(ctx, addr, "/debug/hotkeys"); err == nil && code == http.StatusOK {
+		var skew obs.SkewSnapshot
+		if json.Unmarshal(body, &skew) == nil {
+			st.SkewImbalance = skew.Imbalance
+			if len(skew.TopKeys) > 5 {
+				skew.TopKeys = skew.TopKeys[:5]
+			}
+			st.HotKeys = skew.TopKeys
+		}
+	}
+	return st
+}
+
+func (s *Scraper) get(ctx context.Context, addr, path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://"+addr+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// Delta fills cur's per-server and aggregate commit rates from a previous
+// snapshot of the same address set, matching servers by address.
+func Delta(prev, cur ClusterSnapshot) ClusterSnapshot {
+	dt := cur.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return cur
+	}
+	prevBy := make(map[string]ServerStatus, len(prev.Servers))
+	for _, sv := range prev.Servers {
+		prevBy[sv.Addr] = sv
+	}
+	for i := range cur.Servers {
+		sv := &cur.Servers[i]
+		p, ok := prevBy[sv.Addr]
+		if !ok || !sv.Reachable || !p.Reachable {
+			continue
+		}
+		if d := sv.TxnsCommitted - p.TxnsCommitted; d >= 0 {
+			sv.TxnRate = d / dt
+			cur.AggTxnRate += sv.TxnRate
+		}
+	}
+	return cur
+}
+
+// Render writes one human-readable dashboard frame: a cluster summary line
+// and a fixed-width row per server. It is what aloha-top refreshes.
+func Render(w io.Writer, snap ClusterSnapshot) {
+	fmt.Fprintf(w, "cluster: %d/%d up  min-epoch %d  max-epoch %d  commits %.0f",
+		snap.ReachableServers, len(snap.Servers), snap.MinCommittedEpoch, snap.MaxCommittedEpoch, snap.AggTxnsCommitted)
+	if snap.AggTxnRate > 0 {
+		fmt.Fprintf(w, "  (%.0f/s)", snap.AggTxnRate)
+	}
+	if snap.ActiveStalls > 0 {
+		fmt.Fprintf(w, "  STALLS %d", snap.ActiveStalls)
+	}
+	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %10s %10s %12s %12s %12s  %s\n",
+		"server", "state", "epoch", "commit", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "notes")
+	for _, sv := range snap.Servers {
+		state := "up"
+		switch {
+		case !sv.Reachable:
+			state = "down"
+		case sv.StallActive:
+			state = "stall"
+		case !sv.Healthy:
+			state = "notrdy"
+		}
+		var notes []string
+		if sv.Err != "" {
+			notes = append(notes, sv.Err)
+		}
+		if sv.HealthReason != "" {
+			notes = append(notes, sv.HealthReason)
+		}
+		if len(sv.UnreachablePeers) > 0 {
+			notes = append(notes, fmt.Sprintf("unreachable peers %v", sv.UnreachablePeers))
+		}
+		if len(sv.HotKeys) > 0 {
+			notes = append(notes, fmt.Sprintf("hot %q ×%d", sv.HotKeys[0].Key, sv.HotKeys[0].Count))
+		}
+		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %10.0f %10.0f %12s %12s %12s  %s\n",
+			sv.Addr, state, sv.CurrentEpoch, sv.CommittedEpoch, sv.TxnsCommitted, sv.TxnRate,
+			fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), strings.Join(notes, "; "))
+	}
+}
+
+func fmtSec(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,192 @@
+package clusterview
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/metrics"
+	"alohadb/internal/obs"
+)
+
+func TestParseMetrics(t *testing.T) {
+	const page = `# HELP aloha_txns_committed_total Committed transactions.
+# TYPE aloha_txns_committed_total counter
+aloha_txns_committed_total 42
+aloha_committed_epoch 7
+aloha_stage_install_seconds_bucket{le="0.001"} 90
+aloha_stage_install_seconds_bucket{le="0.01"} 99
+aloha_stage_install_seconds_bucket{le="+Inf"} 100
+aloha_stage_install_seconds_sum 0.5
+aloha_stage_install_seconds_count 100
+aloha_skew_partition_accesses{partition="0"} 10
+aloha_skew_partition_accesses{partition="1"} 30
+weird_label{key="a\"b\\c\nd"} 1
+`
+	m, err := ParseMetrics(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("aloha_txns_committed_total"); !ok || v != 42 {
+		t.Errorf("txns = %v %v", v, ok)
+	}
+	if v, ok := m.Value("aloha_skew_partition_accesses"); !ok || v != 40 {
+		t.Errorf("partition sum = %v %v, want 40", v, ok)
+	}
+	if q, ok := m.Quantile("aloha_stage_install_seconds", 0.99); !ok || q != 0.01 {
+		t.Errorf("p99 = %v %v, want 0.01", q, ok)
+	}
+	// p999 falls in the +Inf bucket; the last finite bound is reported.
+	if q, ok := m.Quantile("aloha_stage_install_seconds", 0.999); !ok || q != 0.01 {
+		t.Errorf("p999 = %v %v, want 0.01", q, ok)
+	}
+	if s := m["weird_label"]; len(s) != 1 || s[0].Labels["key"] != "a\"b\\c\nd" {
+		t.Errorf("escaped label = %+v", s)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"novalue\n",
+		"name{unterminated=\"x} 1\n",
+		"name{} notanumber\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// fakeServer builds an ops endpoint backed by real OpsHandler plumbing and
+// synthetic families, the same shape aloha-server serves.
+func fakeServer(t *testing.T, committed, current uint64, txns float64, stalled bool) *httptest.Server {
+	t.Helper()
+	var c metrics.Counter
+	c.Add(uint64(txns))
+	hist := metrics.NewHistogram(metrics.LatencyBounds())
+	for i := 0; i < 100; i++ {
+		hist.ObserveDuration(500 * time.Microsecond)
+	}
+	gather := func() []metrics.Family {
+		return append([]metrics.Family{
+			{Name: core.FamCommittedEpoch, Kind: metrics.KindGauge,
+				Series: []metrics.Series{metrics.GaugeSeries(int64(committed))}},
+			{Name: core.FamServerEpoch, Kind: metrics.KindGauge,
+				Series: []metrics.Series{metrics.GaugeSeries(int64(current))}},
+			{Name: core.FamTxnsCommitted, Kind: metrics.KindCounter,
+				Series: []metrics.Series{metrics.CounterSeries(c.Value())}},
+			{Name: core.FamStageInstall, Kind: metrics.KindHistogram, Unit: metrics.UnitSeconds,
+				Series: []metrics.Series{metrics.HistSeries(hist.Snapshot())}},
+		}, metrics.RuntimeFamilies()...)
+	}
+
+	progress := committed
+	wd := obs.NewWatchdog(obs.WatchdogConfig{
+		Threshold: time.Hour,
+		Progress:  func() uint64 { return progress },
+	})
+	skew := obs.NewSkew(obs.SkewConfig{SampleEvery: 1, TopK: 4, Partitions: 1})
+	for i := 0; i < 9; i++ {
+		skew.Observe(0, "hotkey")
+	}
+	health := func() (bool, string) {
+		if stalled {
+			return false, "epoch stall: simulated"
+		}
+		return true, ""
+	}
+	h := metrics.OpsHandler(gather,
+		metrics.WithHealth("watchdog", health),
+		metrics.WithDebug("stall", wd.Handler()),
+		metrics.WithDebug("hotkeys", skew.Handler()),
+	)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestScrapeMergesCluster(t *testing.T) {
+	s0 := fakeServer(t, 9, 11, 1000, false)
+	s1 := fakeServer(t, 7, 11, 800, false)
+	s2 := fakeServer(t, 8, 11, 900, true)
+	addr := func(s *httptest.Server) string { return strings.TrimPrefix(s.URL, "http://") }
+	sc := &Scraper{Addrs: []string{addr(s0), addr(s1), addr(s2), "127.0.0.1:1"}}
+
+	snap := sc.Scrape(context.Background())
+	if snap.ReachableServers != 3 {
+		t.Fatalf("reachable = %d, want 3 (%+v)", snap.ReachableServers, snap.Servers)
+	}
+	if snap.MinCommittedEpoch != 7 || snap.MaxCommittedEpoch != 9 {
+		t.Errorf("epoch range = [%d,%d], want [7,9]", snap.MinCommittedEpoch, snap.MaxCommittedEpoch)
+	}
+	if snap.AggTxnsCommitted != 2700 {
+		t.Errorf("agg txns = %v, want 2700", snap.AggTxnsCommitted)
+	}
+	if snap.Servers[3].Reachable || snap.Servers[3].Err == "" {
+		t.Errorf("dead server not degraded: %+v", snap.Servers[3])
+	}
+	sv := snap.Servers[0]
+	if !sv.Healthy || sv.CommittedEpoch != 9 || sv.CurrentEpoch != 11 {
+		t.Errorf("server 0 = %+v", sv)
+	}
+	if sv.P99Install <= 0 || sv.P99Install > 0.1 {
+		t.Errorf("p99 install = %v", sv.P99Install)
+	}
+	if sv.Goroutines < 1 {
+		t.Errorf("runtime goroutines = %v", sv.Goroutines)
+	}
+	if len(sv.HotKeys) == 0 || sv.HotKeys[0].Key != "hotkey" {
+		t.Errorf("hot keys = %+v", sv.HotKeys)
+	}
+	if !snap.Servers[2].Healthy || snap.Servers[2].HealthReason == "" {
+		// server 2's health check fails: not ready, with the reason echoed.
+		if snap.Servers[2].Healthy {
+			t.Errorf("stalled server reported healthy: %+v", snap.Servers[2])
+		}
+	}
+
+	// A second scrape after more commits yields positive rates via Delta.
+	prev := snap
+	time.Sleep(10 * time.Millisecond)
+	cur := Delta(prev, sc.Scrape(context.Background()))
+	if cur.AggTxnRate != 0 {
+		// Counters did not move between scrapes, so the rate must be zero —
+		// Delta must not fabricate throughput.
+		t.Errorf("rate without new commits = %v, want 0", cur.AggTxnRate)
+	}
+	// Render must produce one frame line per server plus header+summary.
+	var sb strings.Builder
+	Render(&sb, cur)
+	if lines := strings.Count(sb.String(), "\n"); lines != len(sc.Addrs)+2 {
+		t.Errorf("render produced %d lines, want %d:\n%s", lines, len(sc.Addrs)+2, sb.String())
+	}
+	if !strings.Contains(sb.String(), "down") {
+		t.Errorf("render missing down state:\n%s", sb.String())
+	}
+}
+
+func TestDeltaComputesRate(t *testing.T) {
+	base := time.Unix(1000, 0)
+	prev := ClusterSnapshot{At: base, Servers: []ServerStatus{
+		{Addr: "a", Reachable: true, TxnsCommitted: 100},
+		{Addr: "b", Reachable: true, TxnsCommitted: 50},
+	}}
+	cur := ClusterSnapshot{At: base.Add(2 * time.Second), Servers: []ServerStatus{
+		{Addr: "a", Reachable: true, TxnsCommitted: 300},
+		{Addr: "b", Reachable: false},
+	}}
+	got := Delta(prev, cur)
+	if r := got.Servers[0].TxnRate; math.Abs(r-100) > 1e-9 {
+		t.Errorf("rate a = %v, want 100", r)
+	}
+	if got.Servers[1].TxnRate != 0 {
+		t.Errorf("unreachable server got a rate: %v", got.Servers[1].TxnRate)
+	}
+	if math.Abs(got.AggTxnRate-100) > 1e-9 {
+		t.Errorf("agg rate = %v, want 100", got.AggTxnRate)
+	}
+}

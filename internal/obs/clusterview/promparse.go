@@ -1,0 +1,201 @@
+// Package clusterview aggregates the per-server operator surfaces
+// (/metrics, /healthz, /debug/stall, /debug/hotkeys) into one cluster-wide
+// snapshot: minimum committed epoch, aggregate transaction throughput,
+// per-server tail latencies, and a stall roll-up. It is the library behind
+// cmd/aloha-top.
+package clusterview
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: its label set and value.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed Prometheus text exposition page, family name (as
+// written, so histogram series appear under name_bucket / name_sum /
+// name_count) to samples.
+type Metrics map[string][]Sample
+
+// ParseMetrics reads the Prometheus text format (version 0.0.4) as emitted
+// by internal/metrics.WriteText: # comment lines, then one
+// `name{labels} value` sample per line. It is a scrape-side parser for our
+// own exposition, not a general-purpose one — unknown syntax fails loudly
+// rather than being guessed at.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	out := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("clusterview: line %d: %w", lineNo, err)
+		}
+		out[name] = append(out[name], sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("clusterview: scan: %w", err)
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (string, Sample, error) {
+	s := Sample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		labels, tail, err := parseLabels(rest[brace+1:])
+		if err != nil {
+			return "", s, err
+		}
+		s.Labels = labels
+		rest = tail
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", s, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// Our exposition carries no timestamps, so the remainder is the value.
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return name, s, nil
+}
+
+// parseLabels consumes `key="val",...}` (the opening brace already eaten)
+// and returns the label map plus the remainder of the line.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		in = strings.TrimLeft(in, ",")
+		if strings.HasPrefix(in, "}") {
+			return labels, in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 || len(in) <= eq+1 || in[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label in %q", in)
+		}
+		key := in[:eq]
+		val, tail, err := parseQuoted(in[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		in = tail
+	}
+}
+
+// parseQuoted consumes a `"..."` string with \\ \" \n escapes.
+func parseQuoted(in string) (string, string, error) {
+	if !strings.HasPrefix(in, `"`) {
+		return "", "", fmt.Errorf("expected quote in %q", in)
+	}
+	var sb strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in %q", in)
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(in[i])
+			}
+		case '"':
+			return sb.String(), in[i+1:], nil
+		default:
+			sb.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", in)
+}
+
+// Value returns the sum of a family's samples (the natural roll-up for
+// counters and for gauges partitioned by label) and whether any were seen.
+func (m Metrics) Value(name string) (float64, bool) {
+	samples, ok := m[name]
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.Value
+	}
+	return sum, true
+}
+
+// Quantile reassembles the cumulative `name_bucket` series and returns the
+// q-quantile upper bound in the exposition's unit (seconds for *_seconds
+// families). Bucket counts are summed across label sets, which is exact
+// for cumulative histograms sharing one `le` grid.
+func (m Metrics) Quantile(name string, q float64) (float64, bool) {
+	buckets := m[name+"_bucket"]
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	// Aggregate by le across series.
+	byLE := make(map[float64]float64)
+	for _, s := range buckets {
+		le, err := parseLE(s.Labels["le"])
+		if err != nil {
+			return 0, false
+		}
+		byLE[le] += s.Value
+	}
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	total := byLE[les[len(les)-1]] // +Inf bucket is cumulative over all
+	if total == 0 {
+		return 0, false
+	}
+	target := q * total
+	for _, le := range les {
+		if byLE[le] >= target {
+			if math.IsInf(le, 1) {
+				// Tail beyond the last finite bound: report that bound.
+				if len(les) >= 2 {
+					return les[len(les)-2], true
+				}
+				return 0, false
+			}
+			return le, true
+		}
+	}
+	return 0, false
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -136,6 +136,25 @@ func NewTCPNetwork(addrs map[NodeID]string, opts ...TCPOption) *TCPNetwork {
 // NetMetrics implements Instrumented.
 func (n *TCPNetwork) NetMetrics() *Metrics { return n.metrics }
 
+// SendQueueDepths implements QueueReporter: the instantaneous outbound
+// queue depth per dialed peer, across every node attached in this process.
+// A deep queue names the backed-up (or severed) link in a stall snapshot.
+func (n *TCPNetwork) SendQueueDepths() map[NodeID]int {
+	n.mu.Lock()
+	nodes := make([]*tcpConn, len(n.nodes))
+	copy(nodes, n.nodes)
+	n.mu.Unlock()
+	depths := make(map[NodeID]int)
+	for _, c := range nodes {
+		c.peersMu.Lock()
+		for id, p := range c.peers {
+			depths[id] += len(p.sendq)
+		}
+		c.peersMu.Unlock()
+	}
+	return depths
+}
+
 // countingWriter tallies bytes and Write calls issued to a peer socket.
 type countingWriter struct {
 	w io.Writer

@@ -58,6 +58,14 @@ type Network interface {
 	Close() error
 }
 
+// QueueReporter is implemented by networks with buffered outbound queues
+// (the TCP mesh); stall snapshots include the per-peer depths. The
+// in-memory mesh delivers synchronously and does not implement it.
+type QueueReporter interface {
+	// SendQueueDepths reports the current outbound queue depth per peer.
+	SendQueueDepths() map[NodeID]int
+}
+
 // Errors shared by implementations.
 var (
 	// ErrNodeExists is returned when attaching a duplicate node ID.

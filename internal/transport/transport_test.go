@@ -306,3 +306,34 @@ func TestMemConnCloseDetaches(t *testing.T) {
 		t.Error("Call to detached node should fail")
 	}
 }
+
+// TestSendQueueDepths exercises the QueueReporter surface: the TCP mesh
+// reports per-peer outbound depths (zero on an idle link that has seen
+// traffic), while the synchronous in-memory mesh does not implement it.
+func TestSendQueueDepths(t *testing.T) {
+	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+	defer n.Close()
+	qr, ok := any(n).(QueueReporter)
+	if !ok {
+		t.Fatal("TCPNetwork does not implement QueueReporter")
+	}
+	if _, err := n.Node(1, echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Call(context.Background(), 1, ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	depths := qr.SendQueueDepths()
+	// The call dialed 0->1 and the response dialed 1->0, so both peers
+	// appear; queues have drained, so depths are zero.
+	if d, ok := depths[1]; !ok || d != 0 {
+		t.Errorf("depths[1] = %d, %v; want 0, true (map: %v)", d, ok, depths)
+	}
+	if _, ok := any(NewMemNetwork()).(QueueReporter); ok {
+		t.Error("MemNetwork should not implement QueueReporter (synchronous delivery)")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alohadb/internal/functor"
@@ -62,6 +63,12 @@ type Log struct {
 
 	appendHist *metrics.Histogram // framed record sizes in bytes
 	fsyncHist  *metrics.Histogram // Sync (flush+fsync) latency
+
+	// lastSync is the wall time (UnixNano) of the last completed Sync;
+	// zero until the first. Readiness probes alert on its age: an epoch
+	// switch fsyncs once per epoch, so a stale fsync means commits stopped
+	// reaching disk.
+	lastSync atomic.Int64
 }
 
 // Open creates or appends to the log at path.
@@ -175,7 +182,20 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.fsyncHist.ObserveDuration(time.Since(start))
+	l.lastSync.Store(time.Now().UnixNano())
 	return nil
+}
+
+// LastSyncAge reports the time since the last completed Sync; ok is false
+// before the first. core.Server detects this method on its durability hook
+// for stall snapshots, and aloha-server's readiness probe alerts when the
+// age exceeds its threshold.
+func (l *Log) LastSyncAge() (time.Duration, bool) {
+	ns := l.lastSync.Load()
+	if ns == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, ns)), true
 }
 
 // Close flushes and closes the log.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
@@ -399,5 +400,28 @@ func TestRecoverFullWithCheckpoint(t *testing.T) {
 	}
 	if view[1].Version != ts(2, 1) {
 		t.Errorf("newest version = %v, want %v", view[1].Version, ts(2, 1))
+	}
+}
+
+// TestLastSyncAge covers the readiness-probe hook: unknown before the
+// first fsync, then a small age immediately after one.
+func TestLastSyncAge(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, ok := l.LastSyncAge(); ok {
+		t.Error("LastSyncAge ok before any Sync")
+	}
+	if err := l.LogEpochCommitted(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	age, ok := l.LastSyncAge()
+	if !ok {
+		t.Fatal("LastSyncAge not ok after epoch commit")
+	}
+	if age < 0 || age > 10*time.Second {
+		t.Errorf("implausible fsync age %v", age)
 	}
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Observability smoke test, shared by `make obs-smoke` and CI: boot a
+# 3-server simulated cluster with the full obs stack (ops listeners, epoch
+# watchdogs, skew profiler), aggregate it once with aloha-top, and assert
+# the merged cluster view — all three servers reachable, the minimum
+# committed epoch monotonic between the two rate scrapes, and no active
+# stalls on a healthy cluster.
+set -eu
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/aloha-bench" ./cmd/aloha-bench
+go build -o "$workdir/aloha-top" ./cmd/aloha-top
+
+"$workdir/aloha-bench" -obs-sim -duration 10s -obs-sim-addr-file "$workdir/addrs" &
+sim=$!
+
+i=0
+while [ ! -f "$workdir/addrs" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "obs-smoke: obs-sim never published its addresses" >&2
+        kill "$sim" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Let a few epochs commit so rates and p99s are non-trivial.
+sleep 2
+
+"$workdir/aloha-top" -servers "$(cat "$workdir/addrs")" -cluster-json -once | tee "$workdir/top.json"
+
+fail() { echo "obs-smoke: $1" >&2; kill "$sim" 2>/dev/null || true; exit 1; }
+grep -q '"reachable_servers": 3' "$workdir/top.json" || fail "expected 3 reachable servers"
+grep -q '"min_epoch_monotonic": true' "$workdir/top.json" || fail "min committed epoch moved backwards"
+grep -q '"active_stalls": 0' "$workdir/top.json" || fail "healthy cluster reports active stalls"
+
+wait "$sim"
+echo "obs-smoke: ok"
