@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke clean
+.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke migrate-smoke clean
 
 all: build test
 
@@ -53,6 +53,12 @@ figures-full:
 # aggregate it with aloha-top, and assert the cluster view is sane.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Live-migration smoke: induce a single-partition Zipfian hot spot on a
+# 3-server sim cluster, split it live through the placement layer, and
+# assert throughput recovery plus a sane aloha-top view across the move.
+migrate-smoke:
+	./scripts/migrate-smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

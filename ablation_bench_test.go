@@ -11,6 +11,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/transport"
 )
 
@@ -46,12 +47,12 @@ func newAblationCluster(b *testing.B, workers int, latency time.Duration) *core.
 		EpochDuration: 4 * time.Millisecond,
 		Registry:      xferRegistry(),
 		Workers:       workers,
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if len(k) > 0 && k[0] == 'a' {
 				return 0
 			}
 			return 1 % n
-		},
+		}),
 	}
 	if latency > 0 {
 		cfg.Network = transport.NewMemNetwork(transport.WithLatency(latency, latency/4))

@@ -32,6 +32,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
+	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/tstamp"
 )
@@ -72,8 +73,19 @@ type (
 	// Stats aggregates engine counters.
 	Stats = core.Stats
 	// Partitioner overrides key placement.
+	//
+	// Deprecated: use Router. A bare Partitioner cannot express versioned
+	// ownership (live migration); it is wrapped in a static single-
+	// generation Router internally.
 	Partitioner = core.Partitioner
+	// Router maps a key and an epoch to its owning server, the versioned
+	// replacement for Partitioner (see internal/placement).
+	Router = placement.Router
 )
+
+// NewStaticRouter wraps a legacy partition function (nil means the default
+// hash partitioner) in a fixed generation-0 Router for n servers.
+func NewStaticRouter(n int, fn Partitioner) Router { return placement.NewStatic(n, fn) }
 
 // Metrics type aliases: the self-describing families returned by
 // DB.Metrics. A Family is one named metric (counter, gauge, or histogram)
@@ -165,7 +177,12 @@ type Config struct {
 	ManualEpochs bool
 	// Handlers registers user-defined functor handlers by name.
 	Handlers map[string]Handler
+	// Router overrides key placement with a versioned, epoch-aware
+	// ownership map (default: hash-partitioned StaticRouter).
+	Router Router
 	// Partitioner overrides key placement (default: hash).
+	//
+	// Deprecated: use Router. Still honored when Router is nil.
 	Partitioner Partitioner
 	// DependencyRule declares schema-level key dependencies for dependent
 	// transactions (paper §IV-E).
@@ -200,6 +217,7 @@ func Open(cfg Config) (*DB, error) {
 		Servers:        cfg.Servers,
 		EpochDuration:  cfg.EpochDuration,
 		ManualEpochs:   cfg.ManualEpochs,
+		Router:         cfg.Router,
 		Partitioner:    cfg.Partitioner,
 		Registry:       reg,
 		Workers:        cfg.Workers,

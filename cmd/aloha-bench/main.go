@@ -54,8 +54,22 @@ func run() error {
 		obsSim         = flag.Bool("obs-sim", false, "boot a live simulated cluster with the full observability stack (per-server ops listeners, epoch watchdogs, skew profiler) plus a light workload; the target for aloha-top and CI's obs smoke")
 		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
 		obsSimAddrFile = flag.String("obs-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
+
+		migrateSim         = flag.Bool("migrate-sim", false, "run the hot-spot recovery smoke: measure baseline throughput, induce a single-partition Zipfian hot spot, split it live via the placement layer, and require post-split throughput to recover; exits non-zero on failure")
+		migrateSimAddrFile = flag.String("migrate-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
+		migrateSimPhase    = flag.Duration("migrate-sim-phase", 2*time.Second, "measurement window per migrate-sim phase")
+		migrateSimRatio    = flag.Float64("migrate-sim-ratio", 0.9, "required post-split throughput as a fraction of baseline")
 	)
 	flag.Parse()
+
+	if *migrateSim {
+		return runMigrateSim(migrateSimOptions{
+			servers:  *servers,
+			addrFile: *migrateSimAddrFile,
+			phase:    *migrateSimPhase,
+			minRatio: *migrateSimRatio,
+		})
+	}
 
 	if *obsSim {
 		return runObsSim(obsSimOptions{

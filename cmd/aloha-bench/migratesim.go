@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
+	"alohadb/internal/obs"
+	"alohadb/internal/placement"
+	"alohadb/internal/tstamp"
+)
+
+// migrateSimOptions configures the live-migration smoke simulation.
+type migrateSimOptions struct {
+	servers  int
+	addrFile string
+	writers  int
+	phase    time.Duration
+	minRatio float64
+}
+
+// runMigrateSim is the hot-spot recovery smoke: boot a simulated cluster
+// with the skew profiler and per-server ops listeners, measure baseline
+// throughput under a uniform workload, induce a Zipfian hot spot whose
+// keys all live on one partition, split the hot range live (the skew
+// top-K feeds MoveKey), and verify post-split throughput recovers to
+// within the configured fraction of the baseline. Exits non-zero when the
+// split moves nothing or throughput stays depressed.
+func runMigrateSim(o migrateSimOptions) error {
+	if o.servers <= 0 {
+		o.servers = 3
+	}
+	if o.writers <= 0 {
+		o.writers = 6
+	}
+	if o.phase <= 0 {
+		o.phase = 2 * time.Second
+	}
+	if o.minRatio <= 0 {
+		o.minRatio = 0.9
+	}
+	skew := obs.NewSkew(obs.SkewConfig{SampleEvery: 1, TopK: 32, Partitions: o.servers})
+	c, err := core.NewCluster(core.ClusterConfig{
+		Servers:       o.servers,
+		EpochDuration: 5 * time.Millisecond,
+		Registry:      functor.NewRegistry(),
+		Skew:          skew,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return err
+	}
+	// Bound the version history: the workload appends tens of thousands of
+	// versions per key, and unbounded chains make every epoch seal (a
+	// copy-on-write merge of the full chain) grow linearly with phase
+	// count, which would skew the before/after throughput comparison.
+	c.SetRetention(8)
+
+	// Ops listeners so aloha-top can watch the split happen (ownership
+	// generation, migration counters, per-partition skew).
+	addrs := make([]string, o.servers)
+	var httpServers []*http.Server
+	defer func() {
+		for _, s := range httpServers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < o.servers; i++ {
+		srv := c.Server(i)
+		wd := srv.NewWatchdog(obs.WatchdogConfig{Threshold: 2 * time.Second})
+		wd.Start()
+		defer wd.Stop()
+		gather := func() []metrics.Family {
+			fams := srv.MetricFamilies()
+			fams = append(fams, metrics.RuntimeFamilies()...)
+			fams = append(fams, wd.MetricFamilies()...)
+			fams = append(fams, skew.MetricFamilies()...)
+			fams = append(fams, c.Rebalancer().MetricFamilies()...)
+			return fams
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = ln.Addr().String()
+		hs := &http.Server{Handler: metrics.OpsHandler(gather,
+			metrics.WithDebug("stall", wd.Handler()),
+			metrics.WithDebug("hotkeys", skew.Handler()),
+			metrics.WithDebug("placement", placement.Handler(srv.PlacementTable())),
+			metrics.WithHealth("watchdog", wd.Health),
+		)}
+		httpServers = append(httpServers, hs)
+		go func() { _ = hs.Serve(ln) }()
+	}
+	list := strings.Join(addrs, ",")
+	fmt.Printf("migrate-sim: %d servers ready at %s\n", o.servers, list)
+	if o.addrFile != "" {
+		tmp := o.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(list+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, o.addrFile); err != nil {
+			return err
+		}
+	}
+
+	// Two key sets with the same Zipfian popularity profile, differing
+	// only in placement: spread[r] (popularity rank r) hashes to partition
+	// r%servers — the balanced layout — while hot[r] all hash to partition
+	// 0, so the hot phase drives one server far above the others. The live
+	// split must recover the balanced layout's throughput.
+	const setSize = 16
+	craft := func(prefix string, part func(rank int) int) ([]kv.Key, error) {
+		keys := make([]kv.Key, 0, setSize)
+		for i := 0; len(keys) < setSize && i < 100_000; i++ {
+			k := kv.Key(fmt.Sprintf("%s%05d", prefix, i))
+			if kv.PartitionOf(k, o.servers) == part(len(keys)) {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) < setSize {
+			return nil, fmt.Errorf("migrate-sim: could not craft key set %q", prefix)
+		}
+		return keys, nil
+	}
+	spread, err := craft("spread-", func(rank int) int { return rank % o.servers })
+	if err != nil {
+		return err
+	}
+	hot, err := craft("hot-", func(int) int { return 0 })
+	if err != nil {
+		return err
+	}
+
+	// measure drives closed-loop writers for one phase and returns the
+	// committed install rate plus the error count. mkPick builds one
+	// key picker per writer from its seeded rng.
+	measure := func(mkPick func(rng *rand.Rand) func() kv.Key) (float64, int) {
+		var ops, errs atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < o.writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w) + 1))
+				pick := mkPick(rng)
+				srv := c.Server(w % o.servers)
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					h, err := srv.Submit(ctx, core.Txn{Writes: []core.Write{
+						{Key: pick(), Functor: functor.Add(1)},
+					}})
+					switch {
+					case err != nil:
+						errs.Add(1)
+					default:
+						if aborted, _ := h.Installed(); aborted {
+							errs.Add(1)
+							cancel()
+							continue
+						}
+						ops.Add(1)
+						// Await every 64th txn: without pacing, installs outrun
+						// the functor processors and the growing compute
+						// backlog bleeds CPU into later phases, skewing the
+						// before/after comparison. (A tighter interval would
+						// epoch-bind the writers and hide placement entirely.)
+						if n%64 == 0 {
+							_, _, _ = h.Await(ctx)
+						}
+					}
+					cancel()
+				}
+			}(w)
+		}
+		time.Sleep(o.phase)
+		close(stop)
+		wg.Wait()
+		// Settle before the next window so leftover compute work from this
+		// one cannot bleed into its measurement.
+		c.DrainProcessors()
+		return float64(ops.Load()) / o.phase.Seconds(), int(errs.Load())
+	}
+
+	// Mildly Zipfian (s=1.1, v=8): rank 0 draws ~3x the tail, but no single
+	// key dominates — a steeper curve would serialize on the head key's
+	// version chain and hide the partition imbalance the split fixes.
+	zipfPick := func(keys []kv.Key) func(rng *rand.Rand) func() kv.Key {
+		return func(rng *rand.Rand) func() kv.Key {
+			z := rand.NewZipf(rng, 1.1, 8, uint64(len(keys)-1))
+			return func() kv.Key { return keys[z.Uint64()] }
+		}
+	}
+	// measureMedian runs three windows and takes the median rate and the
+	// worst error count: single windows on a shared CI machine can swing
+	// >10% from GC pauses and scheduler noise alone.
+	measureMedian := func(mkPick func(rng *rand.Rand) func() kv.Key) (float64, int) {
+		rates := make([]float64, 3)
+		errs := 0
+		for i := range rates {
+			r, e := measure(mkPick)
+			rates[i] = r
+			if e > errs {
+				errs = e
+			}
+		}
+		sort.Float64s(rates)
+		return rates[1], errs
+	}
+
+	// Warm up to chain steady state (retention-bounded view lengths, GC
+	// heap settled) before measuring anything: fresh empty chains would
+	// flatter the first phase measured and nothing else.
+	measure(zipfPick(spread))
+
+	baseline, berrs := measureMedian(zipfPick(spread))
+	fmt.Printf("migrate-sim: baseline (balanced layout) %.0f ops/s (%d errors)\n", baseline, berrs)
+
+	hotRate, herrs := measure(zipfPick(hot))
+	fmt.Printf("migrate-sim: hot spot (all on partition 0) %.0f ops/s (%d errors)\n", hotRate, herrs)
+
+	// Forced split: the skew profiler's top-K orders the hot keys by
+	// observed traffic; move rank r to partition r%servers, reproducing
+	// the balanced layout live. Handoffs execute inside the timed epoch
+	// barriers.
+	snap := skew.Snapshot()
+	var tickets []*core.MoveTicket
+	rank := 0
+	for _, hk := range snap.TopKeys {
+		k := kv.Key(hk.Key)
+		// The top-K spans both phases; split only the hot range (an
+		// operator targets the misplaced range, not every warm key).
+		if !strings.HasPrefix(string(k), "hot-") ||
+			int(c.PlacementTable().Route(k, tstamp.MaxEpoch)) != 0 {
+			continue
+		}
+		to := rank % o.servers
+		rank++
+		if to == 0 {
+			continue
+		}
+		t, err := c.Rebalancer().MoveKey(k, to)
+		if err != nil {
+			return fmt.Errorf("migrate-sim: move %q: %w", k, err)
+		}
+		tickets = append(tickets, t)
+	}
+	if len(tickets) == 0 {
+		return fmt.Errorf("migrate-sim: skew top-K surfaced no partition-0 keys to split")
+	}
+	var handoff tstamp.Epoch
+	for _, t := range tickets {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		e, err := t.Wait(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("migrate-sim: handoff: %w", err)
+		}
+		handoff = e
+	}
+	fmt.Printf("migrate-sim: split %d hot keys off partition 0 (generation %d, handoff epoch %d)\n",
+		len(tickets), c.PlacementTable().Generation(), handoff)
+
+	recovered, rerrs := measureMedian(zipfPick(hot))
+	ratio := 0.0
+	if baseline > 0 {
+		ratio = recovered / baseline
+	}
+	ok := ratio >= o.minRatio && rerrs == 0
+	fmt.Printf("migrate-sim: recovered %.0f ops/s (%d errors), ratio %.2f of baseline, ok=%v\n",
+		recovered, rerrs, ratio, ok)
+	if !ok {
+		return fmt.Errorf("migrate-sim: post-split throughput %.0f ops/s is %.2f of baseline %.0f ops/s (want >= %.2f, errors %d)",
+			recovered, ratio, baseline, o.minRatio, rerrs)
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
+	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/wal"
@@ -54,6 +55,8 @@ func run() error {
 		flushBytes    = flag.Int("net-flush-bytes", 0, "transport per-peer buffered-write flush threshold in bytes (0 = default 64KiB)")
 		flushInterval = flag.Duration("net-flush-interval", 0, "transport flusher linger after the send queue drains (0 = flush immediately)")
 		batchWindow   = flag.Duration("read-batch-window", 0, "remote read/ensure combiner linger between batch dispatches (0 = combine without sleeping)")
+
+		placementMap = flag.String("placement-map", "", "JSON ownership map installed at boot (same format as /debug/placement; give every server the same file). Live rebalancing runs through the embedded Rebalancer in single-process clusters; multi-process servers adopt newer maps from WrongOwner responses as they coordinate.")
 
 		stallThreshold = flag.Duration("epoch-stall-threshold", 5*time.Second, "epoch watchdog: declare a stall when the visibility bound stops advancing this long (0 disables)")
 		skewSample     = flag.Int("skew-sample", 0, "hot-key profiler: sample every Nth key access (0 disables profiling)")
@@ -110,6 +113,16 @@ func run() error {
 	}
 	defer srv.Close()
 
+	if *placementMap != "" {
+		m, err := placement.LoadMap(*placementMap)
+		if err != nil {
+			return fmt.Errorf("aloha-server: -placement-map: %w", err)
+		}
+		srv.PlacementTable().Install(m)
+		fmt.Printf("aloha-server %d placement map generation %d (%d moves)\n",
+			*id, m.Gen, len(m.Moves))
+	}
+
 	srv.SetQueueDepthSource(net.SendQueueDepths)
 	var wd *obs.Watchdog
 	if *stallThreshold > 0 {
@@ -129,7 +142,10 @@ func run() error {
 			fams = append(fams, skew.MetricFamilies()...) // nil-safe: empty when disabled
 			return fams
 		}
-		opts := []metrics.OpsOption{metrics.WithTraces(trace.Handler(tracer))}
+		opts := []metrics.OpsOption{
+			metrics.WithTraces(trace.Handler(tracer)),
+			metrics.WithDebug("placement", placement.Handler(srv.PlacementTable())),
+		}
 		if wd != nil {
 			opts = append(opts,
 				metrics.WithDebug("stall", wd.Handler()),

@@ -65,12 +65,12 @@ func run() error {
 		EpochDuration: 5 * time.Millisecond,
 		Handlers:      transferHandlers(),
 		// Pin A and B to different partitions, like the figure.
-		Partitioner: func(k alohadb.Key, n int) int {
+		Router: alohadb.NewStaticRouter(2, func(k alohadb.Key, n int) int {
 			if k == "account:A" {
 				return 0
 			}
 			return 1 % n
-		},
+		}),
 	})
 	if err != nil {
 		return err

@@ -44,6 +44,11 @@ type ScenarioConfig struct {
 	// LinkChaos adds a goroutine that severs and heals random directed
 	// links throughout the run.
 	LinkChaos bool
+	// Migrate adds a goroutine that live-migrates random workload keys
+	// between servers throughout the run, exercising the epoch-fenced
+	// placement handoff under the same faults and oracle as everything
+	// else.
+	Migrate bool
 	// Crash runs the workload in two phases with an abrupt cluster crash
 	// and WAL recovery in between. Requires Dir.
 	Crash bool
@@ -91,6 +96,9 @@ type Report struct {
 	// (legal: at-most-once is an effect guarantee, not an invocation
 	// count; concurrent computation and post-crash replay both recompute).
 	Recomputed uint64
+	// Migrations counts live key moves that completed their handoff
+	// mid-workload (Migrate scenarios).
+	Migrations int
 	Faults     Stats
 	Crashes    int
 	// GrayEpochs is the width of the recovery gray band: epochs whose
@@ -106,6 +114,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed %d: %d txns (%d committed, %d aborted, %d indeterminate, %d discarded), %d reads (%d failed), %d recomputed",
 		r.Seed, r.Txns, r.Committed, r.Aborted, r.Indeterminate, r.Discarded, r.Reads, r.ReadErrors, r.Recomputed)
+	if r.Migrations > 0 {
+		fmt.Fprintf(&b, ", %d migrations", r.Migrations)
+	}
 	if r.Crashes > 0 {
 		fmt.Fprintf(&b, ", %d crash (gray band %d)", r.Crashes, r.GrayEpochs)
 	}
@@ -217,6 +228,7 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 	rep := &Report{Seed: cfg.Seed}
 	var tagSeq atomic.Int64
 	var readErrs atomic.Int64
+	var migrations atomic.Int64
 
 	build := func(phase int, stores []*mvstore.Store, start tstamp.Epoch) (*core.Cluster, *Network, error) {
 		var inner transport.Network
@@ -304,6 +316,34 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 					if both {
 						net.Heal(to, from)
 					}
+				}
+			}()
+		}
+		if cfg.Migrate && cfg.Servers > 1 {
+			aux.Add(1)
+			go func() {
+				defer aux.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed*31337 + int64(phase)))
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(time.Duration(8+rng.Intn(16)) * time.Millisecond):
+					}
+					// Move a random workload key off its current owner; the
+					// handoff executes inside the next epoch barrier.
+					k := keys[rng.Intn(len(keys))]
+					cur := int(c.PlacementTable().Route(k, tstamp.MaxEpoch))
+					to := (cur + 1 + rng.Intn(cfg.Servers-1)) % cfg.Servers
+					ticket, err := c.Rebalancer().MoveKey(k, to)
+					if err != nil {
+						continue
+					}
+					wctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					if _, err := ticket.Wait(wctx); err == nil {
+						migrations.Add(1)
+					}
+					cancel()
 				}
 			}()
 		}
@@ -503,6 +543,7 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 	rep.Discarded = discarded
 	rep.Reads = hist.Reads()
 	rep.ReadErrors = int(readErrs.Load())
+	rep.Migrations = int(migrations.Load())
 	rep.FinalKeys = len(keys)
 	return rep, nil
 }

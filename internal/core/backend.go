@@ -23,8 +23,7 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 	case MsgInstall:
 		return s.handleInstall(ctx, m), nil
 	case MsgAbort:
-		s.handleAbort(m)
-		return nil, nil
+		return nil, s.handleAbort(ctx, m)
 	case MsgRead:
 		return s.handleRead(ctx, m)
 	case MsgReadBatch:
@@ -33,7 +32,9 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 		return s.handleEnsureBatch(ctx, m)
 	case MsgAbortBatch:
 		for _, a := range m.Aborts {
-			s.handleAbort(a)
+			if err := s.handleAbort(ctx, a); err != nil {
+				return nil, err
+			}
 		}
 		return nil, nil
 	case MsgPush:
@@ -42,6 +43,14 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 	case MsgEnsure:
 		return s.handleEnsure(ctx, m)
 	case MsgEnsureUpTo:
+		if !m.Fwd {
+			if o := s.owner(m.Key); o != s.id {
+				if _, err := s.conn.Call(s.engineCtx(ctx), transport.NodeID(o), MsgEnsureUpTo{Key: m.Key, Version: m.Version, Fwd: true}); err != nil {
+					return nil, err
+				}
+				return MsgEnsureUpToResp{}, nil
+			}
+		}
 		if err := s.computeKeyUpTo(s.engineCtx(ctx), m.Key, m.Version); err != nil {
 			return nil, err
 		}
@@ -49,6 +58,18 @@ func (s *Server) handleMessage(ctx context.Context, from transport.NodeID, msg a
 	case MsgApplyDeferred:
 		s.handleApplyDeferred(ctx, m)
 		return nil, nil
+	case MsgRangeSeal:
+		s.handleRangeSeal(m)
+		return MsgRangeSealResp{}, nil
+	case MsgRangeExport:
+		return s.handleRangeExport(m), nil
+	case MsgRangeImport:
+		return s.handleRangeImport(ctx, m), nil
+	case MsgMapInstall:
+		s.table.Install(m.Map)
+		return MsgMapInstallResp{}, nil
+	case MsgRangeRetire:
+		return s.handleRangeRetire(m), nil
 	case MsgWaitComputed:
 		return s.handleWaitComputed(ctx, m)
 	case MsgScan:
@@ -90,11 +111,30 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 	span.SetAttr("txns", fmt.Sprintf("%d", len(m.Txns)))
 	defer span.End()
 	sc := trace.FromContext(ctx)
+	if m.Placement != nil {
+		// A WrongOwner retry carries the map the coordinator learned;
+		// adopting it (newest wins) spreads ownership convergence along the
+		// install paths, not just from the rebalancer's broadcast.
+		s.table.Install(m.Placement)
+	}
 	resp := MsgInstallResp{Results: make([]InstallResult, len(m.Txns))}
 	itemsp := workItemsPool.Get().(*[]workItem)
 	items := (*itemsp)[:0]
 	now := time.Now()
+	// Hold the move interlock's read side across the fence checks and the
+	// store Puts: once the rebalancer's seal (the write side) returns, every
+	// install that passed the old fence has finished its Puts, so the
+	// subsequent range export cannot miss a record.
+	s.moveMu.RLock()
+	defer s.moveMu.RUnlock()
 	for i, txn := range m.Txns {
+		if reason := s.placementFence(txn); reason != "" {
+			resp.Results[i] = InstallResult{Err: reason, WrongOwner: true}
+			if resp.Placement == nil {
+				resp.Placement = s.table.Map()
+			}
+			continue
+		}
 		if reason := s.checkRequires(txn.Requires); reason != "" {
 			resp.Results[i] = InstallResult{Err: reason}
 			continue
@@ -141,6 +181,27 @@ var workItemsPool = sync.Pool{New: func() any {
 	s := make([]workItem, 0, 64)
 	return &s
 }}
+
+// placementFence rejects an install slice this partition must not accept:
+// a key inside a range currently being handed off (sealed by the
+// rebalancer's barrier), or a key whose owner at the transaction's epoch is
+// another server under a newer ownership map than the coordinator routed
+// with. Both come back WrongOwner — the coordinator re-routes with the map
+// attached to the response and the same timestamp. Callers hold moveMu.R.
+func (s *Server) placementFence(txn InstallTxn) string {
+	e := txn.Version.Epoch()
+	for _, w := range txn.Writes {
+		for _, r := range s.sealedRanges {
+			if r.Contains(w.Key) {
+				return fmt.Sprintf("key %q sealed for migration", w.Key)
+			}
+		}
+		if o := s.ownerAt(w.Key, e); o != s.id {
+			return fmt.Sprintf("key %q owned by server %d at epoch %d", w.Key, o, e)
+		}
+	}
+	return ""
+}
 
 // checkRequires verifies the phase-1 existence constraints. The referenced
 // keys live in tables loaded at epoch 0 (e.g. the TPC-C item table), so a
@@ -196,15 +257,53 @@ func (s *Server) bufferWork(items []workItem) {
 // strictly before the epoch commits (the coordinator holds its in-flight
 // slot until the round completes), so no reader or processor can have
 // resolved the records yet.
-func (s *Server) handleAbort(m MsgAbort) {
-	for _, k := range m.Keys {
-		if rec, ok := s.store.At(k, m.Version); ok {
-			rec.Resolve(_abortResolutionPeer)
+//
+// Keys whose ownership moved since the install forward one hop to the
+// current owner (a migration barrier may have run between the install and
+// this abort). At the forwarded-to side a key's migrated record may not
+// have been imported yet; those keys stash under stashMu and the import
+// applies them — the interlock that keeps an abort from racing past the
+// record it must mark.
+func (s *Server) handleAbort(ctx context.Context, m MsgAbort) error {
+	keys := m.Keys
+	if !m.Fwd {
+		e := m.Version.Epoch()
+		var fwd map[int][]kv.Key
+		local := keys[:0:0]
+		for _, k := range keys {
+			if o := s.ownerAt(k, e); o != s.id {
+				if fwd == nil {
+					fwd = make(map[int][]kv.Key)
+				}
+				fwd[o] = append(fwd[o], k)
+			} else {
+				local = append(local, k)
+			}
+		}
+		keys = local
+		for o, ks := range fwd {
+			if _, err := s.conn.Call(s.engineCtx(ctx), transport.NodeID(o), MsgAbort{Version: m.Version, Keys: ks, Fwd: true}); err != nil {
+				return err
+			}
 		}
 	}
-	if s.durability != nil {
-		_ = s.durability.LogAbort(m.Version, m.Keys)
+	s.stashMu.Lock()
+	var stash []kv.Key
+	for _, k := range keys {
+		if rec, ok := s.store.At(k, m.Version); ok {
+			rec.Resolve(_abortResolutionPeer)
+		} else if m.Fwd {
+			stash = append(stash, k)
+		}
 	}
+	if len(stash) > 0 {
+		s.abortStash[m.Version] = append(s.abortStash[m.Version], stash...)
+	}
+	s.stashMu.Unlock()
+	if s.durability != nil && len(keys) > 0 {
+		_ = s.durability.LogAbort(m.Version, keys)
+	}
+	return nil
 }
 
 // handleRead serves a remote Get at the requested snapshot (Algorithm 1's
@@ -215,6 +314,19 @@ func (s *Server) handleRead(ctx context.Context, m MsgRead) (MsgReadResp, error)
 	defer span.End()
 	s.stats.readsServed.Add(1)
 	ectx := s.engineCtx(ctx)
+	// The key may have migrated away since the caller routed: forward one
+	// hop to the current owner (the second hop always serves locally — maps
+	// converge within an epoch, so one hop reaches the owner in practice,
+	// and bounding the hops keeps a map race from ping-ponging a request).
+	if !m.Fwd {
+		if o := s.owner(m.Key); o != s.id {
+			raw, err := s.conn.Call(ectx, transport.NodeID(o), MsgRead{Key: m.Key, Version: m.Version, Fwd: true})
+			if err != nil {
+				return MsgReadResp{}, err
+			}
+			return raw.(MsgReadResp), nil
+		}
+	}
 	// The requesting server already waited for this snapshot's epoch to
 	// commit, but the Committed broadcast reaches participants one at a
 	// time: this partition may not have sealed the epoch yet, and Latest
@@ -251,9 +363,24 @@ func (s *Server) handleReadBatch(ctx context.Context, m MsgReadBatch) (MsgReadBa
 		return MsgReadBatchResp{}, err
 	}
 	resp := MsgReadBatchResp{Results: make([]ReadResult, len(m.Reads))}
+	one := func(i int) ReadResult {
+		rd := m.Reads[i]
+		// Forward reads for keys that migrated away (single hop, as in
+		// handleRead); the batch was combined under an older map.
+		if !rd.Fwd {
+			if o := s.owner(rd.Key); o != s.id {
+				raw, err := s.conn.Call(ectx, transport.NodeID(o), MsgRead{Key: rd.Key, Version: rd.Version, Fwd: true})
+				if err != nil {
+					return ReadResult{Err: err.Error()}
+				}
+				return ReadResult{Resp: raw.(MsgReadResp)}
+			}
+		}
+		r, err := s.localRead(ectx, rd.Key, rd.Version)
+		return readResult(r, err)
+	}
 	if len(m.Reads) == 1 {
-		r, err := s.localRead(ectx, m.Reads[0].Key, m.Reads[0].Version)
-		resp.Results[0] = readResult(r, err)
+		resp.Results[0] = one(0)
 		return resp, nil
 	}
 	var wg sync.WaitGroup
@@ -261,8 +388,7 @@ func (s *Server) handleReadBatch(ctx context.Context, m MsgReadBatch) (MsgReadBa
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := s.localRead(ectx, m.Reads[i].Key, m.Reads[i].Version)
-			resp.Results[i] = readResult(r, err)
+			resp.Results[i] = one(i)
 		}(i)
 	}
 	wg.Wait()
@@ -300,6 +426,23 @@ func (s *Server) handleEnsureBatch(ctx context.Context, m MsgEnsureBatch) (MsgEn
 	resp := MsgEnsureBatchResp{Results: make([]EnsureResult, len(m.Reqs))}
 	one := func(i int) EnsureResult {
 		req := m.Reqs[i]
+		// Forward ensures for keys that migrated away (single hop, as in
+		// handleRead); the batch was combined under an older map.
+		if !req.Fwd {
+			if o := s.owner(req.Key); o != s.id {
+				if req.UpTo {
+					if _, err := s.conn.Call(ectx, transport.NodeID(o), MsgEnsureUpTo{Key: req.Key, Version: req.Version, Fwd: true}); err != nil {
+						return EnsureResult{Err: err.Error()}
+					}
+					return EnsureResult{}
+				}
+				raw, err := s.conn.Call(ectx, transport.NodeID(o), MsgEnsure{Key: req.Key, Version: req.Version, Fwd: true})
+				if err != nil {
+					return EnsureResult{Err: err.Error()}
+				}
+				return EnsureResult{Resolution: raw.(MsgEnsureResp).Resolution}
+			}
+		}
 		if req.UpTo {
 			if err := s.computeKeyUpTo(ectx, req.Key, req.Version); err != nil {
 				return EnsureResult{Err: err.Error()}
@@ -338,6 +481,15 @@ func (s *Server) handleEnsure(ctx context.Context, m MsgEnsure) (MsgEnsureResp, 
 	ctx, span := s.tr.Start(ctx, "be.ensure")
 	span.SetAttr("key", string(m.Key))
 	defer span.End()
+	if !m.Fwd {
+		if o := s.owner(m.Key); o != s.id {
+			raw, err := s.conn.Call(s.engineCtx(ctx), transport.NodeID(o), MsgEnsure{Key: m.Key, Version: m.Version, Fwd: true})
+			if err != nil {
+				return MsgEnsureResp{}, err
+			}
+			return raw.(MsgEnsureResp), nil
+		}
+	}
 	if err := s.waitVisible(s.engineCtx(ctx), m.Version); err != nil {
 		return MsgEnsureResp{}, err
 	}
@@ -363,6 +515,9 @@ func (s *Server) handleApplyDeferred(ctx context.Context, m MsgApplyDeferred) {
 	_, span := s.tr.Start(ctx, "be.deferred")
 	span.SetAttr("writes", fmt.Sprintf("%d", len(m.Writes)))
 	defer span.End()
+	if !m.Fwd {
+		m = s.forwardDeferred(ctx, m)
+	}
 	for _, w := range m.Writes {
 		rec, ok := s.store.At(w.Key, m.Version)
 		if !ok {
@@ -393,6 +548,66 @@ func (s *Server) handleApplyDeferred(ctx context.Context, m MsgApplyDeferred) {
 		}
 	}
 	s.notifyComputed()
+}
+
+// forwardDeferred splits a deferred-write delivery by current ownership:
+// writes and dissolve keys that migrated away go one hop to their new owner
+// (Fwd set so the receiver applies locally), and the returned message keeps
+// only the still-local remainder. Deliveries are idempotent (resolution is
+// a CAS, record creation tolerates duplicates), so a failed forward is
+// retried by nothing worse than the reader-side on-demand path.
+func (s *Server) forwardDeferred(ctx context.Context, m MsgApplyDeferred) MsgApplyDeferred {
+	foreign := false
+	for _, w := range m.Writes {
+		if s.owner(w.Key) != s.id {
+			foreign = true
+			break
+		}
+	}
+	if !foreign {
+		for _, k := range m.Dissolve {
+			if s.owner(k) != s.id {
+				foreign = true
+				break
+			}
+		}
+	}
+	if !foreign {
+		return m
+	}
+	var (
+		localW []functor.DependentWrite
+		localD []kv.Key
+		fwd    = make(map[int]*MsgApplyDeferred)
+	)
+	peer := func(o int) *MsgApplyDeferred {
+		f := fwd[o]
+		if f == nil {
+			f = &MsgApplyDeferred{Version: m.Version, Aborted: m.Aborted, Fwd: true}
+			fwd[o] = f
+		}
+		return f
+	}
+	for _, w := range m.Writes {
+		if o := s.owner(w.Key); o != s.id {
+			peer(o).Writes = append(peer(o).Writes, w)
+		} else {
+			localW = append(localW, w)
+		}
+	}
+	for _, k := range m.Dissolve {
+		if o := s.owner(k); o != s.id {
+			peer(o).Dissolve = append(peer(o).Dissolve, k)
+		} else {
+			localD = append(localD, k)
+		}
+	}
+	ectx := s.engineCtx(ctx)
+	for o, f := range fwd {
+		_, _ = s.conn.Call(ectx, transport.NodeID(o), *f)
+	}
+	m.Writes, m.Dissolve = localW, localD
+	return m
 }
 
 // handleClientSubmit coordinates a remote client's transaction.
@@ -443,6 +658,16 @@ func (s *Server) handleClientGet(ctx context.Context, m MsgClientGet) (MsgClient
 func (s *Server) handleWaitComputed(ctx context.Context, m MsgWaitComputed) (MsgWaitComputedResp, error) {
 	rec, ok := s.store.At(m.Key, m.Version)
 	if !ok {
+		// The record may have migrated away; chase it one hop.
+		if !m.Fwd {
+			if o := s.owner(m.Key); o != s.id {
+				raw, err := s.conn.Call(s.engineCtx(ctx), transport.NodeID(o), MsgWaitComputed{Key: m.Key, Version: m.Version, Fwd: true})
+				if err != nil {
+					return MsgWaitComputedResp{}, err
+				}
+				return raw.(MsgWaitComputedResp), nil
+			}
+		}
 		return MsgWaitComputedResp{}, fmt.Errorf("core: server %d: record %q@%v not found", s.id, m.Key, m.Version)
 	}
 	res, err := s.waitRecordFinal(s.engineCtx(ctx), rec)

@@ -17,6 +17,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/transport"
 )
 
@@ -53,7 +54,7 @@ func newChaosCluster(t *testing.T) (*core.Cluster, *chaos.Network) {
 		EpochDuration:     5 * time.Millisecond,
 		Registry:          appendReg(),
 		Network:           net,
-		Partitioner:       prefixPartitioner,
+		Router:            placement.NewStatic(3, prefixPartitioner),
 		AbortRetries:      3,
 		AbortRetryBackoff: time.Millisecond,
 		SwitchTimeout:     time.Second,

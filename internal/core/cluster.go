@@ -11,6 +11,7 @@ import (
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
 	"alohadb/internal/obs"
+	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -27,7 +28,14 @@ type ClusterConfig struct {
 	// ManualEpochs disables the timer: epochs advance only via
 	// AdvanceEpoch. Deterministic tests use this.
 	ManualEpochs bool
+	// Router is the base key→server placement shared by every server; nil
+	// falls back to Partitioner (or hash placement). The rebalancer overlays
+	// it with epoch-versioned ownership maps at runtime.
+	Router placement.Router
 	// Partitioner places keys (default: hash).
+	//
+	// Deprecated: set Router instead (wrap a closure with
+	// placement.NewStatic). Ignored when Router is non-nil.
 	Partitioner Partitioner
 	// Registry holds user-defined functor handlers, shared by all servers.
 	Registry *functor.Registry
@@ -84,6 +92,11 @@ type Cluster struct {
 	em      *epoch.Manager
 	started bool
 	loadSeq []uint32
+	// table is the cluster's own routing view (base placement plus newest
+	// ownership map); Load and the rebalancer route through it instead of
+	// peeking at a server's internals.
+	table *placement.Table
+	reb   *Rebalancer
 }
 
 // NewCluster builds the cluster but does not start epochs; call Load for
@@ -95,7 +108,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = functor.NewRegistry()
 	}
-	c := &Cluster{cfg: cfg, loadSeq: make([]uint32, cfg.Servers)}
+	if cfg.Router == nil {
+		cfg.Router = placement.NewStatic(cfg.Servers, cfg.Partitioner)
+	}
+	c := &Cluster{cfg: cfg, loadSeq: make([]uint32, cfg.Servers), table: placement.NewTable(cfg.Router)}
 	if cfg.Network != nil {
 		c.net = cfg.Network
 	} else {
@@ -118,7 +134,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		srv, err := NewServer(ServerConfig{
 			ID:                i,
 			NumServers:        cfg.Servers,
-			Partitioner:       cfg.Partitioner,
+			Router:            cfg.Router,
 			Registry:          cfg.Registry,
 			Workers:           cfg.Workers,
 			Durability:        hook,
@@ -148,6 +164,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	c.reb = newRebalancer(c)
+	c.em.SetBarrier(c.reb.barrier)
 	return c, nil
 }
 
@@ -176,7 +194,10 @@ func (c *Cluster) LoadFunctor(k kv.Key, fn *functor.Functor) error {
 }
 
 func (c *Cluster) loadOne(k kv.Key, fn *functor.Functor) error {
-	owner := c.servers[0].owner(k)
+	// Loads are epoch-0 writes: route them at epoch 0 through the cluster's
+	// own table rather than through some server's current-owner view (which
+	// would chase post-load moves and used to reach into server internals).
+	owner := int(c.table.Route(k, 0))
 	srv := c.servers[owner]
 	c.loadSeq[owner]++
 	ts := tstamp.Make(0, c.loadSeq[owner], uint16(owner))
@@ -278,11 +299,21 @@ func (c *Cluster) Metrics() []metrics.Family {
 	if c.cfg.Skew != nil {
 		groups = append(groups, c.cfg.Skew.MetricFamilies())
 	}
+	if c.reb != nil {
+		groups = append(groups, c.reb.MetricFamilies())
+	}
 	return metrics.Merge(groups...)
 }
 
 // Skew returns the cluster's shared hot-key profiler (nil when disabled).
 func (c *Cluster) Skew() *obs.Skew { return c.cfg.Skew }
+
+// Rebalancer exposes the cluster's live-migration orchestrator.
+func (c *Cluster) Rebalancer() *Rebalancer { return c.reb }
+
+// PlacementTable exposes the cluster-level routing view (base placement
+// plus the newest installed ownership map).
+func (c *Cluster) PlacementTable() *placement.Table { return c.table }
 
 // DrainProcessors blocks until every server's processor queue is empty.
 // Tests and benchmarks use it to establish "all functors computed"

@@ -9,6 +9,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/tstamp"
 )
 
@@ -201,12 +202,12 @@ func TestFigure5(t *testing.T) {
 		Servers:      2,
 		ManualEpochs: true,
 		Registry:     testRegistry(t),
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if k == "A" {
 				return 0
 			}
 			return 1
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -423,12 +424,12 @@ func TestDependentKeyDeterminateFunctor(t *testing.T) {
 		Servers:      2,
 		ManualEpochs: true,
 		Registry:     reg,
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if strings.HasPrefix(string(k), "order:") {
 				return 1
 			}
 			return 0
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

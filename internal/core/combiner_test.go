@@ -10,6 +10,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/transport"
 )
 
@@ -71,12 +72,12 @@ func newCombinerCluster(t *testing.T, window time.Duration) (*Cluster, *captureN
 		ManualEpochs: true,
 		Registry:     testRegistry(t),
 		Network:      capture,
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if len(k) > 0 && k[0] == 'a' {
 				return 0
 			}
 			return 1
-		},
+		}),
 		ReadBatchWindow: window,
 	})
 	if err != nil {

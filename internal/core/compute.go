@@ -104,6 +104,11 @@ func (s *Server) computeKeyUpTo(ctx context.Context, k kv.Key, v tstamp.Timestam
 	if s.store.Watermark(k) >= v {
 		return nil
 	}
+	// As in resolveRecord: a forwarded ensure can land on a stale replica
+	// after a second move — only the current owner may compute.
+	if o := s.owner(k); o != s.id {
+		return s.comb.ensureUpTo(ctx, o, k, v)
+	}
 	for _, rec := range s.store.Between(k, tstamp.Zero, v) {
 		if rec.Final() {
 			continue
@@ -123,6 +128,21 @@ func (s *Server) computeKeyUpTo(ctx context.Context, k kv.Key, v tstamp.Timestam
 // bounded by the workload's dependency depth; version numbers strictly
 // decrease across such hops, so the recursion terminates.
 func (s *Server) resolveRecord(ctx context.Context, k kv.Key, rec *mvstore.Record) (*functor.Resolution, error) {
+	// The key may have migrated away while this record sat in the
+	// processor queue (or a forwarded read raced a second move). The
+	// current owner is the one replica allowed to *compute* it: resolving
+	// here could diverge — e.g. a second-round abort delivered only to the
+	// new owner would make this stale copy commit a value the rest of the
+	// cluster aborted. Fetch the authoritative resolution instead, which
+	// also lets the retirement pass find the chain fully final later.
+	if o := s.owner(k); o != s.id {
+		res, err := s.comb.ensure(ctx, o, k, rec.Version)
+		if err != nil {
+			return nil, err
+		}
+		rec.Resolve(res)
+		return rec.Resolution(), nil
+	}
 	view := s.store.View(k)
 	// Locate rec in the snapshot.
 	i := sort.Search(len(view), func(i int) bool { return view[i].Version >= rec.Version })

@@ -89,13 +89,9 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	// handful of partitions, so the per-owner grouping is a linear-scan slice
 	// rather than a map — same reasoning as the per-transaction grouping
 	// below, and it saves a map allocation per batch on the hot path.
-	type slice struct {
-		txnIdx int
-		inst   InstallTxn
-	}
 	type ownerBatch struct {
 		owner  int
-		slices []slice
+		slices []installSlice
 	}
 	var perOwner []ownerBatch
 	batchFor := func(o int) *ownerBatch {
@@ -133,17 +129,21 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			owners = append(owners, ownerSlice{owner: o, inst: InstallTxn{Version: ts}})
 			return &owners[len(owners)-1].inst
 		}
+		// Installs route at the transaction's epoch, not at the newest
+		// placement: a move taking effect next epoch must not steer this
+		// epoch's writes to the new owner early (the move's From-epoch
+		// fence, placement.Move).
 		for _, w := range withMarkers {
-			it := sliceFor(s.owner(w.Key))
+			it := sliceFor(s.ownerAt(w.Key, ts.Epoch()))
 			it.Writes = append(it.Writes, w)
 		}
 		for _, rk := range txns[i].Requires {
-			it := sliceFor(s.owner(rk))
+			it := sliceFor(s.ownerAt(rk, ts.Epoch()))
 			it.Requires = append(it.Requires, rk)
 		}
 		for _, os := range owners {
 			b := batchFor(os.owner)
-			b.slices = append(b.slices, slice{txnIdx: i, inst: os.inst})
+			b.slices = append(b.slices, installSlice{txnIdx: i, inst: os.inst})
 		}
 		handles[i] = &TxnHandle{s: s, version: ts, writes: withMarkers, sc: rootSC}
 	}
@@ -151,7 +151,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	// One install call per partition, in parallel.
 	type ownerOutcome struct {
 		owner   int
-		slices  []slice
+		slices  []installSlice
 		resp    MsgInstallResp
 		callErr error
 	}
@@ -160,7 +160,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	var wg sync.WaitGroup
 	for _, ob := range perOwner {
 		wg.Add(1)
-		go func(owner int, slices []slice) {
+		go func(owner int, slices []installSlice) {
 			defer wg.Done()
 			ictx, span := s.tr.Start(ctx, "txn.install")
 			span.SetAttr("owner", strconv.Itoa(owner))
@@ -204,6 +204,7 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 		writes []Write
 	}
 	wrote := make([][]wroteAt, len(txns))
+	var wrongOwner []installSlice
 	for _, oc := range outcomes {
 		for j, sl := range oc.slices {
 			i := sl.txnIdx
@@ -214,11 +215,23 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			case oc.callErr != nil:
 				results[i].Aborted = true
 				results[i].Reason = oc.callErr.Error()
+			case j < len(oc.resp.Results) && oc.resp.Results[j].WrongOwner:
+				// Stale-generation routing: the partition's ownership map is
+				// newer than ours. Nothing was installed there; adopt its map
+				// and resend the slice — same timestamp — to whoever the new
+				// map says owns the keys.
+				s.table.Install(oc.resp.Placement)
+				wrongOwner = append(wrongOwner, sl)
 			case j < len(oc.resp.Results) && !oc.resp.Results[j].OK:
 				results[i].Aborted = true
 				results[i].Reason = oc.resp.Results[j].Err
 			}
 		}
+	}
+	if len(wrongOwner) > 0 {
+		s.retryWrongOwner(ctx, wrongOwner, results, func(i int, owner int, writes []Write) {
+			wrote[i] = append(wrote[i], wroteAt{owner: owner, writes: writes})
+		})
 	}
 
 	// Second round: abort failed transactions on every partition that may
@@ -250,8 +263,14 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	}
 	for owner, aborts := range abortsByOwner {
 		if owner == s.id {
-			for _, a := range aborts {
-				s.handleAbort(a)
+			for ai, a := range aborts {
+				if err := s.handleAbort(ctx, a); err != nil {
+					// A forward to a new owner failed; same uncertainty as
+					// an unreachable partition below.
+					i := abortTxnsByOwner[owner][ai]
+					results[i].AbortIncomplete = true
+					handles[i].abortIncomplete = true
+				}
 			}
 			continue
 		}
@@ -279,6 +298,143 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 	}
 	s.stats.recordInstall(time.Since(start))
 	return results, handles, nil
+}
+
+// installSlice is one transaction's writes destined for one partition
+// (shared by SubmitBatch's initial fan-out and the WrongOwner retry path).
+type installSlice struct {
+	txnIdx int
+	inst   InstallTxn
+}
+
+// wrongOwnerRetries bounds how many times a stale-generation install is
+// re-routed before the transaction falls back to a normal abort. A
+// rejection during the migration barrier itself answers with the
+// pre-handoff map, so the first retry can bounce too; the backoff lets the
+// barrier finish and the new map reach the rejecting server.
+const wrongOwnerRetries = 6
+
+// retryWrongOwner resends install slices that a partition rejected with
+// WrongOwner: each round re-groups the slices' writes under the newest
+// adopted ownership map — at the transaction's original epoch, with its
+// original timestamp — and sends them to the owners the map names now.
+// Rejections with a newer map feed the next round; exhausting the budget
+// aborts the transaction through the caller's normal second round. noteWrote
+// records every send so over-sent aborts reach every partition that may
+// hold an install.
+func (s *Server) retryWrongOwner(ctx context.Context, pending []installSlice, results []TxnResult, noteWrote func(txnIdx, owner int, writes []Write)) {
+	backoff := time.Millisecond
+	for attempt := 0; len(pending) > 0 && attempt < wrongOwnerRetries; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+			case <-s.ctx.Done():
+				timer.Stop()
+			}
+			if backoff < 20*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		// Re-group every pending slice by current ownership; one slice can
+		// split across owners when the map moved only part of its keys.
+		type ownerBatch struct {
+			owner  int
+			slices []installSlice
+		}
+		var perOwner []ownerBatch
+		add := func(o int, sl installSlice) {
+			for j := range perOwner {
+				if perOwner[j].owner == o {
+					perOwner[j].slices = append(perOwner[j].slices, sl)
+					return
+				}
+			}
+			perOwner = append(perOwner, ownerBatch{owner: o, slices: []installSlice{sl}})
+		}
+		for _, sl := range pending {
+			if results[sl.txnIdx].Aborted {
+				// Another slice already failed the transaction; the second
+				// round will roll it back, don't grow its footprint.
+				continue
+			}
+			e := sl.inst.Version.Epoch()
+			type ownerSlice struct {
+				owner int
+				inst  InstallTxn
+			}
+			var owners []ownerSlice
+			sliceFor := func(o int) *InstallTxn {
+				for j := range owners {
+					if owners[j].owner == o {
+						return &owners[j].inst
+					}
+				}
+				owners = append(owners, ownerSlice{owner: o, inst: InstallTxn{Version: sl.inst.Version}})
+				return &owners[len(owners)-1].inst
+			}
+			for _, w := range sl.inst.Writes {
+				it := sliceFor(s.ownerAt(w.Key, e))
+				it.Writes = append(it.Writes, w)
+			}
+			for _, rk := range sl.inst.Requires {
+				it := sliceFor(s.ownerAt(rk, e))
+				it.Requires = append(it.Requires, rk)
+			}
+			for _, os := range owners {
+				add(os.owner, installSlice{txnIdx: sl.txnIdx, inst: os.inst})
+			}
+		}
+		pending = pending[:0]
+		for _, ob := range perOwner {
+			msg := MsgInstall{Txns: make([]InstallTxn, len(ob.slices)), Placement: s.table.Map()}
+			for i, sl := range ob.slices {
+				msg.Txns[i] = sl.inst
+			}
+			var resp MsgInstallResp
+			if ob.owner == s.id {
+				resp = s.handleInstall(ctx, msg)
+			} else {
+				raw, err := s.conn.Call(ctx, transport.NodeID(ob.owner), msg)
+				if err != nil {
+					for _, sl := range ob.slices {
+						results[sl.txnIdx].Aborted = true
+						results[sl.txnIdx].Reason = err.Error()
+					}
+					continue
+				}
+				var ok bool
+				if resp, ok = raw.(MsgInstallResp); !ok {
+					for _, sl := range ob.slices {
+						results[sl.txnIdx].Aborted = true
+						results[sl.txnIdx].Reason = fmt.Sprintf("core: install retry: unexpected response %T", raw)
+					}
+					continue
+				}
+			}
+			for j, sl := range ob.slices {
+				if len(sl.inst.Writes) > 0 {
+					noteWrote(sl.txnIdx, ob.owner, sl.inst.Writes)
+				}
+				switch {
+				case j < len(resp.Results) && resp.Results[j].WrongOwner:
+					s.table.Install(resp.Placement)
+					pending = append(pending, sl)
+				case j < len(resp.Results) && !resp.Results[j].OK:
+					results[sl.txnIdx].Aborted = true
+					results[sl.txnIdx].Reason = resp.Results[j].Err
+				}
+			}
+		}
+	}
+	for _, sl := range pending {
+		if !results[sl.txnIdx].Aborted {
+			results[sl.txnIdx].Aborted = true
+			results[sl.txnIdx].Reason = "core: install rerouting exhausted its retry budget"
+		}
+	}
 }
 
 // callAbortRetry delivers one second-round abort message, retrying with

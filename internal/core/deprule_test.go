@@ -8,6 +8,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 )
 
 // TestDynamicDependentKeys exercises the TPC-C order-id pattern: a
@@ -37,14 +38,14 @@ func TestDynamicDependentKeys(t *testing.T) {
 		ManualEpochs: true,
 		Registry:     reg,
 		Workers:      -1, // no async processing: the rule alone must settle writes
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			// Sequence key on 0, order rows on 1: the deferred write
 			// crosses partitions.
 			if strings.HasPrefix(string(k), "order:") {
 				return 1
 			}
 			return 0
-		},
+		}),
 		DependencyRule: func(k kv.Key) (kv.Key, bool) {
 			if strings.HasPrefix(string(k), "order:") {
 				return "seq", true

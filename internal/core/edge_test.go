@@ -10,6 +10,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/tstamp"
 )
 
@@ -233,12 +234,12 @@ func TestRecipientPushHit(t *testing.T) {
 		ManualEpochs: true,
 		Registry:     testRegistry(t),
 		Workers:      1,
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if k == "A" {
 				return 0
 			}
 			return 1
-		},
+		}),
 		// Delay makes the push measurably useful and gives the processor
 		// a stable ordering: A's partition computes and pushes, then B's
 		// partition computes with the pushed value.

@@ -7,6 +7,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 )
 
 // markerCluster builds a two-partition cluster with no asynchronous
@@ -22,12 +23,12 @@ func markerCluster(t *testing.T, handler string, h functor.Handler) *Cluster {
 		ManualEpochs: true,
 		Registry:     reg,
 		Workers:      -1,
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if strings.HasPrefix(string(k), "dep:") {
 				return 1
 			}
 			return 0
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,8 @@ package core
 import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/placement"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 )
@@ -22,6 +24,10 @@ type Write struct {
 // paper's convention for an apples-to-apples RPC comparison with Calvin.
 type MsgInstall struct {
 	Txns []InstallTxn
+	// Placement, when set, is the sender's newest ownership map; the
+	// receiver installs it if newer than its own. WrongOwner retries carry
+	// the map they learned so the receiving server converges too.
+	Placement *placement.Map
 }
 
 // InstallTxn is the slice of one transaction destined for one partition.
@@ -42,11 +48,21 @@ type InstallTxn struct {
 type InstallResult struct {
 	OK  bool
 	Err string
+	// WrongOwner marks a retriable rejection: some key of the slice is no
+	// longer (or not yet) owned by this partition under its newer ownership
+	// map — the coordinator routed with a stale generation. The response's
+	// Placement carries the rejecting server's map; the coordinator installs
+	// it and resends the slice to the owners the new map names, with the
+	// same timestamp.
+	WrongOwner bool
 }
 
 // MsgInstallResp answers MsgInstall, aligned index-wise with Txns.
 type MsgInstallResp struct {
 	Results []InstallResult
+	// Placement is the responder's newest ownership map when any result was
+	// rejected WrongOwner (nil otherwise), so retries route correctly.
+	Placement *placement.Map
 }
 
 // MsgAbort is the coordinator's second round: mark the listed keys'
@@ -55,6 +71,11 @@ type MsgInstallResp struct {
 type MsgAbort struct {
 	Version tstamp.Timestamp
 	Keys    []kv.Key
+	// Fwd marks a single-hop forward from a server whose ownership map says
+	// the keys moved away; the receiver applies it locally (stashing keys
+	// whose migrated records have not arrived yet) instead of forwarding
+	// again, bounding the hop count during a map race.
+	Fwd bool
 }
 
 // MsgRead asks the key's owner for the latest value at or below Version
@@ -62,6 +83,8 @@ type MsgAbort struct {
 type MsgRead struct {
 	Key     kv.Key
 	Version tstamp.Timestamp
+	// Fwd marks a single-hop ownership forward; the receiver serves locally.
+	Fwd bool
 }
 
 // MsgReadResp answers MsgRead.
@@ -115,6 +138,8 @@ type MsgPush struct {
 type MsgEnsure struct {
 	Key     kv.Key
 	Version tstamp.Timestamp
+	// Fwd marks a single-hop ownership forward; the receiver serves locally.
+	Fwd bool
 }
 
 // MsgEnsureResp carries the determinate functor's resolution.
@@ -130,6 +155,8 @@ type MsgEnsureResp struct {
 type MsgEnsureUpTo struct {
 	Key     kv.Key
 	Version tstamp.Timestamp
+	// Fwd marks a single-hop ownership forward; the receiver serves locally.
+	Fwd bool
 }
 
 // MsgEnsureUpToResp acknowledges MsgEnsureUpTo.
@@ -143,6 +170,8 @@ type EnsureReq struct {
 	Key     kv.Key
 	Version tstamp.Timestamp
 	UpTo    bool
+	// Fwd marks a single-hop ownership forward; the receiver serves locally.
+	Fwd bool
 }
 
 // MsgEnsureBatch combines several ensure requests for one owner in a
@@ -182,6 +211,9 @@ type MsgApplyDeferred struct {
 	Dissolve []kv.Key
 	// Aborted is set when the whole transaction aborted.
 	Aborted bool
+	// Fwd marks a single-hop ownership forward of writes whose keys moved;
+	// the receiver applies them locally.
+	Fwd bool
 }
 
 // MsgWaitComputed blocks until the record (Key, Version) reaches its final
@@ -191,6 +223,8 @@ type MsgApplyDeferred struct {
 type MsgWaitComputed struct {
 	Key     kv.Key
 	Version tstamp.Timestamp
+	// Fwd marks a single-hop ownership forward; the receiver serves locally.
+	Fwd bool
 }
 
 // MsgWaitComputedResp reports the record's final resolution kind.
@@ -210,6 +244,65 @@ type MsgScan struct {
 type MsgScanResp struct {
 	Pairs []kv.Pair
 }
+
+// Migration protocol messages, used by the rebalancer's epoch-barrier
+// handoff (internal/core/rebalance.go). The rebalancer calls the in-process
+// server handlers directly, but the messages are registered with the
+// transport codec so deployments that split the control plane out can relay
+// them unchanged.
+type (
+	// MsgRangeSeal fences the listed ranges on a server: installs touching
+	// them are rejected WrongOwner until a MsgRangeSeal with Clear lifts the
+	// fence. Sent inside the epoch barrier, where no install of the sealed
+	// epoch is in flight.
+	MsgRangeSeal struct {
+		Ranges []placement.Range
+		Clear  bool
+	}
+	// MsgRangeSealResp acknowledges MsgRangeSeal.
+	MsgRangeSealResp struct{}
+	// MsgRangeExport asks the old owner for every version chain in Range.
+	MsgRangeExport struct {
+		Range placement.Range
+	}
+	// MsgRangeExportResp carries the exported chains.
+	MsgRangeExportResp struct {
+		Keys []mvstore.KeyExport
+	}
+	// MsgRangeImport delivers exported chains to the new owner. Handoff is
+	// the epoch being sealed when the move executes: records in epochs ≤
+	// Handoff are sealed (and their unresolved functors enqueued) on import,
+	// later ones buffer until their epoch commits.
+	MsgRangeImport struct {
+		Keys    []mvstore.KeyExport
+		Handoff tstamp.Epoch
+	}
+	// MsgRangeImportResp reports how much the import absorbed.
+	MsgRangeImportResp struct {
+		Keys    int
+		Records int
+	}
+	// MsgMapInstall installs an ownership map on a server (newest wins).
+	MsgMapInstall struct {
+		Map *placement.Map
+	}
+	// MsgMapInstallResp acknowledges MsgMapInstall.
+	MsgMapInstallResp struct{}
+	// MsgRangeRetire asks the old owner to drop its replica of a migrated
+	// range once the handoff has settled; only chains whose records are all
+	// final are dropped, the rest stay for a later retirement pass.
+	MsgRangeRetire struct {
+		Range   placement.Range
+		Handoff tstamp.Epoch
+	}
+	// MsgRangeRetireResp reports how many chains were dropped.
+	MsgRangeRetireResp struct {
+		Dropped int
+		// Remaining counts chains that still hold non-final records and
+		// survived this pass.
+		Remaining int
+	}
+)
 
 // Client protocol messages, used by remote clients (cmd/aloha-client)
 // talking to a server over the TCP transport. Embedded users call the Go
@@ -284,6 +377,9 @@ func RegisterMessages() {
 		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},
 		MsgGrant{}, MsgRevoke{}, MsgRevokeAck{}, MsgCommitted{},
 		MsgPing{}, MsgPong{},
+		MsgRangeSeal{}, MsgRangeSealResp{}, MsgRangeExport{}, MsgRangeExportResp{},
+		MsgRangeImport{}, MsgRangeImportResp{}, MsgMapInstall{}, MsgMapInstallResp{},
+		MsgRangeRetire{}, MsgRangeRetireResp{},
 	} {
 		transport.RegisterType(m)
 	}

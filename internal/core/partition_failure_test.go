@@ -9,6 +9,7 @@ import (
 
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/tstamp"
 )
 
@@ -21,12 +22,12 @@ func TestDeadPartitionFailsFast(t *testing.T) {
 		Servers:      2,
 		ManualEpochs: true,
 		Registry:     functor.NewRegistry(),
-		Partitioner: func(k kv.Key, n int) int {
+		Router: placement.NewStatic(2, func(k kv.Key, n int) int {
 			if len(k) > 0 && k[0] == 'd' {
 				return 1 // the partition we will kill
 			}
 			return 0
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -137,6 +137,13 @@ func (s *Server) handleScan(ctx context.Context, m MsgScan) (MsgScanResp, error)
 		if len(k) < len(m.Prefix) || k[:len(m.Prefix)] != m.Prefix {
 			return true
 		}
+		// A migrated-away key's not-yet-retired replica still lives in this
+		// store; its current owner reports it (the scan fans out to every
+		// partition), so listing it here would duplicate — and possibly
+		// staleify — the result.
+		if s.owner(k) != s.id {
+			return true
+		}
 		r, err := s.localRead(ctx, k, m.Snapshot)
 		if err != nil {
 			scanErr = err

@@ -13,6 +13,7 @@ import (
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
 	"alohadb/internal/obs"
+	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
@@ -21,9 +22,16 @@ import (
 // Partitioner maps a key to the server owning its partition. Workloads may
 // provide their own placement (TPC-C partitions by warehouse, scaled TPC-C
 // by item/district); the default is hash partitioning.
+//
+// Deprecated: Partitioner describes a placement that can never change.
+// Routing now goes through placement.Router (an epoch-versioned ownership
+// map that supports live migration); wrap a legacy closure with
+// placement.NewStatic, or set ServerConfig.Router / ClusterConfig.Router
+// directly. Existing Partitioner fields keep working via that adapter.
 type Partitioner func(k kv.Key, numServers int) int
 
-// HashPartitioner is the default placement.
+// HashPartitioner is the default placement: a StaticRouter over it is what
+// servers route through when no Router is configured.
 func HashPartitioner(k kv.Key, n int) int { return kv.PartitionOf(k, n) }
 
 // ServerConfig configures one combined FE/BE server.
@@ -33,7 +41,14 @@ type ServerConfig struct {
 	ID int
 	// NumServers is the cluster size.
 	NumServers int
+	// Router is the base key→server placement; nil falls back to
+	// Partitioner (or hash placement). The server overlays it with the
+	// epoch-versioned ownership maps installed by the rebalancer.
+	Router placement.Router
 	// Partitioner places keys; nil means HashPartitioner.
+	//
+	// Deprecated: set Router instead (wrap a closure with
+	// placement.NewStatic). Ignored when Router is non-nil.
 	Partitioner Partitioner
 	// Registry resolves user-defined functor handlers.
 	Registry *functor.Registry
@@ -102,7 +117,7 @@ type DurabilityHook interface {
 type Server struct {
 	id         int
 	n          int
-	part       Partitioner
+	table      *placement.Table
 	registry   *functor.Registry
 	store      *mvstore.Store
 	gen        *tstamp.Generator
@@ -147,6 +162,22 @@ type Server struct {
 	visibleMu sync.Mutex
 	visibleCh chan struct{}
 
+	// Migration state. moveMu interlocks installs against the barrier-time
+	// range seal: installs hold the read side across the ownership check and
+	// store Puts, the rebalancer's seal takes the write side, so after a
+	// seal returns no install that passed the old fence can still be
+	// mid-Put when the range is exported. sealedRanges (guarded by moveMu)
+	// lists ranges currently being handed off; installs touching them get a
+	// retriable WrongOwner rejection.
+	moveMu       sync.RWMutex
+	sealedRanges []placement.Range
+	// abortStash holds second-round aborts that arrived (forwarded from the
+	// old owner) before the range import delivered their records; the import
+	// interlocks with handleAbort under stashMu and applies them. Entries
+	// evict when their epoch commits.
+	stashMu    sync.Mutex
+	abortStash map[tstamp.Timestamp][]kv.Key
+
 	// pushCache holds proactively pushed values keyed by (version, key).
 	pushMu    sync.Mutex
 	pushCache map[pushKey]functor.Read
@@ -183,8 +214,10 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = functor.NewRegistry()
 	}
-	if cfg.Partitioner == nil {
-		cfg.Partitioner = HashPartitioner
+	if cfg.Router == nil {
+		// Legacy Partitioner configs (and the nil default, hash placement)
+		// route through the static adapter.
+		cfg.Router = placement.NewStatic(cfg.NumServers, cfg.Partitioner)
 	}
 	switch {
 	case cfg.Workers == 0:
@@ -201,7 +234,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 	s := &Server{
 		id:         cfg.ID,
 		n:          cfg.NumServers,
-		part:       cfg.Partitioner,
+		table:      placement.NewTable(cfg.Router),
 		registry:   cfg.Registry,
 		store:      mvstore.New(),
 		gen:        tstamp.NewGenerator(uint16(cfg.ID)),
@@ -209,6 +242,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		epochTxns:  make(map[tstamp.Epoch]uint64),
 		revokedAt:  make(map[tstamp.Epoch]time.Time),
 		pending:    make(map[tstamp.Epoch][]workItem),
+		abortStash: make(map[tstamp.Timestamp][]kv.Key),
 		pushCache:  make(map[pushKey]functor.Read),
 		visibleCh:  make(chan struct{}),
 		computedCh: make(chan struct{}),
@@ -239,9 +273,13 @@ func (s *Server) ID() int { return s.id }
 // in (zero before the first grant arrives).
 func (s *Server) CurrentEpoch() tstamp.Epoch { return s.gen.Epoch() }
 
-// Owner returns the server index owning key k under this cluster's
-// partitioner.
+// Owner returns the server index currently owning key k under this
+// server's routing table (base placement plus the newest ownership map).
 func (s *Server) Owner(k kv.Key) int { return s.owner(k) }
+
+// PlacementTable exposes the server's routing table (tests, diagnostics,
+// and the rebalancer's direct-call path).
+func (s *Server) PlacementTable() *placement.Table { return s.table }
 
 // Stats returns a flat snapshot of the server's counters (compatibility
 // view; MetricFamilies carries the full distributions).
@@ -265,6 +303,11 @@ func (s *Server) MetricFamilies() []metrics.Family {
 			Name: FamServerEpoch, Help: "Epoch this server currently issues timestamps in.",
 			Kind:   metrics.KindGauge,
 			Series: []metrics.Series{metrics.GaugeSeries(int64(s.gen.Epoch()))},
+		},
+		metrics.Family{
+			Name: FamPlacementGen, Help: "Generation of the newest installed ownership map.",
+			Kind:   metrics.KindGauge,
+			Series: []metrics.Series{metrics.GaugeSeries(int64(s.table.Generation()))},
 		})
 	if src, ok := s.durability.(interface{ MetricFamilies() []metrics.Family }); ok {
 		fams = append(fams, src.MetricFamilies()...)
@@ -297,8 +340,16 @@ func (s *Server) engineCtx(ctx context.Context) context.Context {
 	return trace.Detach(s.ctx, ctx)
 }
 
-// owner returns the server index owning key k.
-func (s *Server) owner(k kv.Key) int { return s.part(k, s.n) }
+// owner returns the server index currently owning key k: routing at
+// MaxEpoch sees every installed move, which is the right placement for
+// reads, ensures, pushes, and scans — they always target the live owner.
+func (s *Server) owner(k kv.Key) int { return int(s.table.Route(k, tstamp.MaxEpoch)) }
+
+// ownerAt returns the owner of k for a version in epoch e. Installs and
+// second-round aborts route here: a transaction of the sealing epoch still
+// belongs to the old owner while the next epoch's writes go to the new one
+// (the move's From-epoch fence).
+func (s *Server) ownerAt(k kv.Key, e tstamp.Epoch) int { return int(s.table.Route(k, e)) }
 
 // --- epoch.Participant ---------------------------------------------------
 
@@ -426,7 +477,23 @@ func (s *Server) Committed(e tstamp.Epoch) {
 		workItemsPool.Put(&items)
 	}
 	s.evictPushCache(e)
+	s.evictAbortStash(e)
 	s.maybeCompact(e)
+}
+
+// evictAbortStash drops stashed forwarded aborts whose epoch has committed:
+// by then any migration import of that epoch has run (imports happen inside
+// the epoch barrier, before Committed), so an entry still stashed was for a
+// record this server never received — the abort already took effect at the
+// exporting owner before the chain was streamed.
+func (s *Server) evictAbortStash(e tstamp.Epoch) {
+	s.stashMu.Lock()
+	for ts := range s.abortStash {
+		if ts.Epoch() <= e {
+			delete(s.abortStash, ts)
+		}
+	}
+	s.stashMu.Unlock()
 }
 
 // visibleBound returns the exclusive upper bound of readable versions.

@@ -186,6 +186,7 @@ const (
 	FamEnsureBatchSize   = "aloha_ensure_batch_size"
 	FamCommittedEpoch    = "aloha_committed_epoch"
 	FamServerEpoch       = "aloha_server_epoch"
+	FamPlacementGen      = "aloha_placement_generation"
 )
 
 // families builds the unlabeled family list; the server tags each series

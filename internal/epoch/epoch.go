@@ -73,6 +73,7 @@ type Manager struct {
 	current      tstamp.Epoch
 	started      bool
 	switching    bool
+	barrier      func(e tstamp.Epoch)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -93,6 +94,19 @@ type Manager struct {
 
 // SetTracer attaches a tracer handle; call before Start. Nil disables.
 func (m *Manager) SetTracer(tr *trace.NodeTracer) { m.tr = tr }
+
+// SetBarrier installs a hook that Advance invokes inside the epoch switch,
+// after every revoke ack and before the Committed+Grant broadcast. At that
+// instant no epoch-e transaction is in flight anywhere (the revoke-ack
+// quiescence of §III-B) and epoch e+1 has not been granted, which makes it
+// the one safe window for atomic cluster-wide reconfiguration — the
+// rebalancer executes ownership handoffs here. The hook runs on the switch
+// goroutine and must not call Advance or block on epoch progress.
+func (m *Manager) SetBarrier(fn func(e tstamp.Epoch)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.barrier = fn
+}
 
 // New returns a manager with the given configuration. A zero Duration
 // defaults to DefaultDuration for Run; Advance ignores it.
@@ -170,6 +184,7 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 	m.switching = true
 	e := m.current
 	parts := m.participants
+	barrier := m.barrier
 	m.mu.Unlock()
 
 	begin := time.Now()
@@ -191,6 +206,9 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 		_ = parts
 	}
 	ackSpan.End()
+	if barrier != nil {
+		barrier(e)
+	}
 	next := e + 1
 	for _, p := range parts {
 		p.Committed(e)

@@ -7,6 +7,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/workload/tpcc"
@@ -56,7 +57,7 @@ func NewAlohaTPCCOn(net transport.Network, cfg tpcc.Config, epochDur time.Durati
 		EpochDuration:  epochDur,
 		Registry:       reg,
 		Workers:        workers,
-		Partitioner:    core.Partitioner(cfg.Partitioner()),
+		Router:         placement.NewStatic(cfg.Servers, core.Partitioner(cfg.Partitioner())),
 		DependencyRule: cfg.DependencyRule(),
 		Network:        net,
 		Tracer:         tracer,
@@ -119,7 +120,7 @@ func NewAlohaYCSB(cfg ycsb.Config, epochDur time.Duration, workers int, tracer *
 		Servers:       cfg.Partitions,
 		EpochDuration: epochDur,
 		Workers:       workers,
-		Partitioner:   ycsb.Partitioner,
+		Router:        placement.NewStatic(cfg.Partitions, ycsb.Partitioner),
 		Network:       simNetwork(),
 		Tracer:        tracer,
 	})

@@ -1,0 +1,93 @@
+package mvstore
+
+import (
+	"sort"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// ExportedRecord is one version record flattened for transfer between
+// partitions during a placement handoff: the functor plus whatever
+// resolution had been installed at export time. It is wire-friendly (all
+// fields exported, no atomics) so migration messages can carry it over any
+// transport.
+type ExportedRecord struct {
+	Version    tstamp.Timestamp
+	Functor    *functor.Functor
+	Resolution *functor.Resolution
+}
+
+// KeyExport is one key's full version chain as captured by ExportMatching:
+// sealed and staged records ascending by version, plus the value watermark.
+type KeyExport struct {
+	Key       kv.Key
+	Records   []ExportedRecord
+	Watermark tstamp.Timestamp
+}
+
+// export snapshots the chain — sealed view plus staged records — under the
+// chain mutex, so no concurrently staged record is missed. Callers
+// serialize against new inserts themselves (the migration barrier runs
+// when no install is in flight).
+func (c *Chain) export() ([]ExportedRecord, tstamp.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	view := *c.view.Load()
+	out := make([]ExportedRecord, 0, len(view)+len(c.staged))
+	for _, r := range view {
+		out = append(out, ExportedRecord{Version: r.Version, Functor: r.Functor, Resolution: r.Resolution()})
+	}
+	for _, r := range c.staged {
+		out = append(out, ExportedRecord{Version: r.Version, Functor: r.Functor, Resolution: r.Resolution()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out, tstamp.Timestamp(c.watermark.Load())
+}
+
+// ExportKey snapshots one key's chain for migration. ok is false when the
+// key has never been written here.
+func (s *Store) ExportKey(k kv.Key) (recs []ExportedRecord, watermark tstamp.Timestamp, ok bool) {
+	c := s.chain(k)
+	if c == nil {
+		return nil, 0, false
+	}
+	recs, watermark = c.export()
+	return recs, watermark, true
+}
+
+// ExportMatching snapshots every key accepted by match, sorted by key. The
+// rebalancer uses it to lift a sealed range out of the old owner's store.
+func (s *Store) ExportMatching(match func(kv.Key) bool) []KeyExport {
+	var keys []kv.Key
+	s.RangeKeys(func(k kv.Key) bool {
+		if match(k) {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]KeyExport, 0, len(keys))
+	for _, k := range keys {
+		if recs, wm, ok := s.ExportKey(k); ok {
+			out = append(out, KeyExport{Key: k, Records: recs, Watermark: wm})
+		}
+	}
+	return out
+}
+
+// Drop removes a key's entire chain, reporting whether it existed. The old
+// owner retires migrated replicas with it once the handoff has settled;
+// dropping a chain with unresolved records would lose functors, so callers
+// check finality first.
+func (s *Store) Drop(k kv.Key) bool {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.chains[k]; !ok {
+		return false
+	}
+	delete(sh.chains, k)
+	return true
+}

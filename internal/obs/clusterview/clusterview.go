@@ -29,6 +29,10 @@ type ServerStatus struct {
 	CommittedEpoch uint64 `json:"committed_epoch"`
 	CurrentEpoch   uint64 `json:"current_epoch"`
 
+	// PlacementGen is the server's ownership-map generation; servers
+	// disagreeing mid-scrape are converging on a live migration.
+	PlacementGen uint64 `json:"placement_generation,omitempty"`
+
 	TxnsCommitted float64 `json:"txns_committed"`
 	TxnsAborted   float64 `json:"txns_aborted"`
 	// TxnRate is commits/second between two scrapes; zero on a one-shot
@@ -145,6 +149,9 @@ func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
 	if v, ok := m.Value(core.FamServerEpoch); ok {
 		st.CurrentEpoch = uint64(v)
 	}
+	if v, ok := m.Value(core.FamPlacementGen); ok {
+		st.PlacementGen = uint64(v)
+	}
 	st.TxnsCommitted, _ = m.Value(core.FamTxnsCommitted)
 	st.TxnsAborted, _ = m.Value(core.FamTxnsAborted)
 	st.P99Install, _ = m.Quantile(core.FamStageInstall, 0.99)
@@ -240,8 +247,8 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 	if snap.ActiveStalls > 0 {
 		fmt.Fprintf(w, "  STALLS %d", snap.ActiveStalls)
 	}
-	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %10s %10s %12s %12s %12s  %s\n",
-		"server", "state", "epoch", "commit", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "notes")
+	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %-4s %10s %10s %12s %12s %12s  %s\n",
+		"server", "state", "epoch", "commit", "gen", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "notes")
 	for _, sv := range snap.Servers {
 		state := "up"
 		switch {
@@ -265,8 +272,8 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 		if len(sv.HotKeys) > 0 {
 			notes = append(notes, fmt.Sprintf("hot %q ×%d", sv.HotKeys[0].Key, sv.HotKeys[0].Count))
 		}
-		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %10.0f %10.0f %12s %12s %12s  %s\n",
-			sv.Addr, state, sv.CurrentEpoch, sv.CommittedEpoch, sv.TxnsCommitted, sv.TxnRate,
+		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %-4d %10.0f %10.0f %12s %12s %12s  %s\n",
+			sv.Addr, state, sv.CurrentEpoch, sv.CommittedEpoch, sv.PlacementGen, sv.TxnsCommitted, sv.TxnRate,
 			fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), strings.Join(notes, "; "))
 	}
 }

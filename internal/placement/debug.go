@@ -1,0 +1,53 @@
+package placement
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+)
+
+// Status is the JSON shape served by Handler: the table's newest installed
+// ownership map, flattened for operators. An empty Moves with Generation 0
+// means the base placement (hash partitioning) is in full effect.
+type Status struct {
+	Generation Generation `json:"generation"`
+	Moves      []Move     `json:"moves,omitempty"`
+}
+
+// Status snapshots the table for serialization.
+func (t *Table) Status() Status {
+	st := Status{}
+	if m := t.Map(); m != nil {
+		st.Generation = m.Gen
+		st.Moves = m.Moves
+	}
+	return st
+}
+
+// Handler serves the table's Status as JSON — mounted at /debug/placement
+// on a server's ops listener so operators can see which ranges have moved
+// and at which epochs the handoffs took effect.
+func Handler(t *Table) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Status())
+	})
+}
+
+// LoadMap reads a JSON ownership map ({"generation": N, "moves": [...]})
+// from a file. It lets a multi-process deployment boot every server onto
+// the same non-default placement — the format matches what Handler serves,
+// so a running cluster's /debug/placement output can seed the next boot.
+func LoadMap(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	return &Map{Gen: st.Generation, Moves: st.Moves}, nil
+}

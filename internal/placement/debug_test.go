@@ -1,0 +1,75 @@
+package placement
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alohadb/internal/kv"
+	"alohadb/internal/tstamp"
+)
+
+// The debug handler's output must round-trip through LoadMap: operators
+// seed the next boot's -placement-map from a running cluster's
+// /debug/placement.
+func TestDebugHandlerRoundTrip(t *testing.T) {
+	tbl := NewTable(NewStatic(3, nil))
+	m := (*Map)(nil).Next(
+		Move{Range: KeyRange("hot-1"), To: 2, From: 7},
+		Move{Range: Range{Start: "warm-", End: "warn-"}, To: 1, From: 9},
+	)
+	if !tbl.Install(m) {
+		t.Fatal("install rejected")
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(tbl).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/placement", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.Generation != 1 || len(st.Moves) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	path := filepath.Join(t.TempDir(), "map.json")
+	if err := os.WriteFile(path, rec.Body.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMap(path)
+	if err != nil {
+		t.Fatalf("LoadMap: %v", err)
+	}
+	if got.Gen != m.Gen || len(got.Moves) != len(m.Moves) {
+		t.Fatalf("loaded map %+v, want %+v", got, m)
+	}
+
+	// A fresh table booted from the file routes identically.
+	boot := NewTable(NewStatic(3, nil))
+	boot.Install(got)
+	for _, k := range []string{"hot-1", "warm-x", "cold-q"} {
+		for _, e := range []tstamp.Epoch{0, 8, tstamp.MaxEpoch} {
+			if a, b := tbl.Route(kv.Key(k), e), boot.Route(kv.Key(k), e); a != b {
+				t.Fatalf("route(%q, %d): live %d, booted %d", k, e, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadMapRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMap(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := LoadMap(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected read error")
+	}
+}

@@ -1,0 +1,118 @@
+package placement
+
+import (
+	"testing"
+
+	"alohadb/internal/kv"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+func TestRangeContains(t *testing.T) {
+	cases := []struct {
+		r    Range
+		k    kv.Key
+		want bool
+	}{
+		{Range{}, "anything", true},
+		{Range{Start: "b"}, "a", false},
+		{Range{Start: "b"}, "b", true},
+		{Range{Start: "b", End: "c"}, "b", true},
+		{Range{Start: "b", End: "c"}, "bzzz", true},
+		{Range{Start: "b", End: "c"}, "c", false},
+		{KeyRange("k1"), "k1", true},
+		{KeyRange("k1"), "k10", false},
+		{KeyRange("k1"), "k1\x00", false},
+	}
+	for _, c := range cases {
+		if got := c.r.Contains(c.k); got != c.want {
+			t.Errorf("%v.Contains(%q) = %v, want %v", c.r, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: "b", End: "d"}
+	for _, c := range []struct {
+		o    Range
+		want bool
+	}{
+		{Range{Start: "a", End: "b"}, false},
+		{Range{Start: "a", End: "c"}, true},
+		{Range{Start: "c"}, true},
+		{Range{Start: "d"}, false},
+		{Range{}, true},
+		{Range{Start: "x", End: "x"}, false}, // empty
+	} {
+		if got := a.Overlaps(c.o); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.o, got, c.want)
+		}
+		if got := c.o.Overlaps(a); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.o, a, got, c.want)
+		}
+	}
+}
+
+func TestMapLookupEpochFence(t *testing.T) {
+	m := (*Map)(nil).Next(Move{Range: KeyRange("hot"), To: 2, From: 5})
+	if m.Gen != 1 {
+		t.Fatalf("first map gen = %d, want 1", m.Gen)
+	}
+	if _, ok := m.Lookup("hot", 4); ok {
+		t.Fatalf("move applied before its From epoch")
+	}
+	if owner, ok := m.Lookup("hot", 5); !ok || owner != 2 {
+		t.Fatalf("Lookup(hot, 5) = %d,%v want 2,true", owner, ok)
+	}
+	if _, ok := m.Lookup("cold", 9); ok {
+		t.Fatalf("uncovered key matched the overlay")
+	}
+	// A later move shadows the earlier one from its own epoch onward.
+	m2 := m.Next(Move{Range: KeyRange("hot"), To: 1, From: 8})
+	if owner, _ := m2.Lookup("hot", 7); owner != 2 {
+		t.Fatalf("epoch 7 owner = %d, want 2", owner)
+	}
+	if owner, _ := m2.Lookup("hot", 8); owner != 1 {
+		t.Fatalf("epoch 8 owner = %d, want 1", owner)
+	}
+}
+
+func TestTableRouteAndInstall(t *testing.T) {
+	base := NewStatic(3, func(k kv.Key, n int) int { return 0 })
+	tab := NewTable(base)
+	if got := tab.Route("k", 1); got != 0 {
+		t.Fatalf("base route = %d, want 0", got)
+	}
+	if tab.Generation() != 0 {
+		t.Fatalf("fresh table generation = %d, want 0", tab.Generation())
+	}
+	m1 := tab.Map().Next(Move{Range: KeyRange("k"), To: 2, From: 3})
+	if !tab.Install(m1) {
+		t.Fatalf("install of newer map rejected")
+	}
+	if got := tab.Route("k", 3); got != 2 {
+		t.Fatalf("overlay route = %d, want 2", got)
+	}
+	if got := tab.Route("k", 2); got != 0 {
+		t.Fatalf("pre-move epoch route = %d, want 0", got)
+	}
+	// Stale or equal generations must be rejected; newer adopted.
+	if tab.Install(&Map{Gen: 1}) {
+		t.Fatalf("equal-generation install adopted")
+	}
+	if !tab.Install(m1.Next()) {
+		t.Fatalf("newer-generation install rejected")
+	}
+	if tab.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", tab.Generation())
+	}
+}
+
+func TestStaticRouterDefaultsToHash(t *testing.T) {
+	r := NewStatic(4, nil)
+	k := kv.Key("some-key")
+	want := transport.NodeID(kv.PartitionOf(k, 4))
+	if got := r.Route(k, tstamp.MaxEpoch); got != want {
+		t.Fatalf("Route = %d, want %d", got, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 )
 
 // smallConfig keeps end-to-end tests quick.
@@ -29,7 +30,7 @@ func newAlohaCluster(t *testing.T, cfg Config) *core.Cluster {
 		Servers:        cfg.Servers,
 		ManualEpochs:   true,
 		Registry:       reg,
-		Partitioner:    core.Partitioner(cfg.Partitioner()),
+		Router:         placement.NewStatic(cfg.Servers, core.Partitioner(cfg.Partitioner())),
 		DependencyRule: cfg.DependencyRule(),
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 )
 
 // TestOrderIDAllocationUnderConcurrency hammers a single district's
@@ -24,7 +25,7 @@ func TestOrderIDAllocationUnderConcurrency(t *testing.T) {
 		Servers:        cfg.Servers,
 		EpochDuration:  3 * time.Millisecond,
 		Registry:       reg,
-		Partitioner:    core.Partitioner(cfg.Partitioner()),
+		Router:         placement.NewStatic(cfg.Servers, core.Partitioner(cfg.Partitioner())),
 		DependencyRule: cfg.DependencyRule(),
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"alohadb/internal/calvin"
 	"alohadb/internal/core"
 	"alohadb/internal/kv"
+	"alohadb/internal/placement"
 )
 
 func TestHotKeys(t *testing.T) {
@@ -153,7 +154,7 @@ func TestEnginesAgree(t *testing.T) {
 	aloha, err := core.NewCluster(core.ClusterConfig{
 		Servers:       partitions,
 		EpochDuration: 3 * time.Millisecond,
-		Partitioner:   Partitioner,
+		Router:        placement.NewStatic(partitions, Partitioner),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -51,9 +51,9 @@ func findTxnTraces(traces []TraceData, rootName string) []TraceData {
 // wait, and at least one functor computation on a remote node.
 func TestDistributedTraceLifecycle(t *testing.T) {
 	db := openTestDB(t, Config{
-		Servers:     3,
-		Partitioner: tracingPartitioner,
-		Handlers:    map[string]Handler{"sum": sumHandler},
+		Servers:  3,
+		Router:   NewStaticRouter(3, tracingPartitioner),
+		Handlers: map[string]Handler{"sum": sumHandler},
 		Preload: func(emit func(Pair) error) error {
 			if err := emit(Pair{Key: "s1:a", Value: EncodeInt64(5)}); err != nil {
 				return err
