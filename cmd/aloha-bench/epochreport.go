@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/obs/clusterview"
+	"alohadb/internal/obs/journal"
+)
+
+// epochReportOptions configures the -epoch-report run.
+type epochReportOptions struct {
+	servers  int
+	duration time.Duration
+	slowest  int
+}
+
+// runEpochReport answers "why were my slowest epochs slow?" without any HTTP
+// plumbing: it boots an embedded cluster, drives a light Zipfian workload for
+// the measurement window, then merges the in-process epoch journals (every
+// server's plus the EM mirror) and prints the slowest N committed epochs with
+// their cluster-wide critical-path attribution — which server and which stage
+// (install tail, ack straggler, fsync, ship, broadcast) gated each commit.
+func runEpochReport(o epochReportOptions) error {
+	if o.servers <= 0 {
+		o.servers = 3
+	}
+	if o.duration <= 0 {
+		o.duration = 3 * time.Second
+	}
+	if o.slowest <= 0 {
+		o.slowest = 10
+	}
+	c, err := core.NewCluster(core.ClusterConfig{
+		Servers:       o.servers,
+		EpochDuration: 5 * time.Millisecond,
+		Registry:      functor.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 999)
+	deadline := time.Now().Add(o.duration)
+	var submitted int
+	for time.Now().Before(deadline) {
+		key := kv.Key(fmt.Sprintf("item-%d", zipf.Uint64()))
+		h, err := c.Server(submitted%o.servers).Submit(ctx, core.Txn{Writes: []core.Write{
+			{Key: key, Functor: functor.Add(1)},
+		}})
+		if err == nil {
+			submitted++
+			if submitted%16 == 0 {
+				_, _, _ = h.Await(ctx)
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	// Let the tail of the workload commit and publish before snapshotting.
+	time.Sleep(50 * time.Millisecond)
+
+	docs := make([]journal.Doc, 0, o.servers+1)
+	for i := 0; i < o.servers; i++ {
+		docs = append(docs, c.Server(i).Journal().Doc())
+	}
+	if em := c.EpochManager(); em != nil {
+		docs = append(docs, journal.Doc{EM: em.Journal().Snapshot()})
+	}
+	paths := clusterview.MergeEpochs(docs...)
+
+	fmt.Printf("epoch report: %d servers, %s window, %d txns submitted, %d epochs attributed\n",
+		o.servers, o.duration, submitted, len(paths))
+	fmt.Printf("slowest %d epochs (critical path):\n", o.slowest)
+	clusterview.RenderEpochs(os.Stdout, paths, o.slowest)
+	for sid, gc := range clusterview.GatingSummary(paths) {
+		fmt.Printf("server %d gated %d epochs (mostly %s)\n", sid, gc.Epochs, gc.Stage)
+	}
+	return nil
+}

@@ -55,12 +55,23 @@ func run() error {
 		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
 		obsSimAddrFile = flag.String("obs-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
 
+		epochReport        = flag.Int("epoch-report", 0, "boot an embedded cluster, run a light workload for -duration, then print the N slowest epochs with cluster-wide critical-path attribution (which server and stage gated each commit)")
+		epochReportServers = flag.Int("epoch-report-servers", 3, "epoch-report cluster size")
+
 		migrateSim         = flag.Bool("migrate-sim", false, "run the hot-spot recovery smoke: measure baseline throughput, induce a single-partition Zipfian hot spot, split it live via the placement layer, and require post-split throughput to recover; exits non-zero on failure")
 		migrateSimAddrFile = flag.String("migrate-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
 		migrateSimPhase    = flag.Duration("migrate-sim-phase", 2*time.Second, "measurement window per migrate-sim phase")
 		migrateSimRatio    = flag.Float64("migrate-sim-ratio", 0.9, "required post-split throughput as a fraction of baseline")
 	)
 	flag.Parse()
+
+	if *epochReport > 0 {
+		return runEpochReport(epochReportOptions{
+			servers:  *epochReportServers,
+			duration: *duration,
+			slowest:  *epochReport,
+		})
+	}
 
 	if *migrateSim {
 		return runMigrateSim(migrateSimOptions{

@@ -15,6 +15,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
+	"alohadb/internal/obs/journal"
 )
 
 // obsSimOptions configures the observability simulation cluster.
@@ -70,6 +71,9 @@ func runObsSim(o obsSimOptions) error {
 			fams = append(fams, metrics.RuntimeFamilies()...)
 			fams = append(fams, wd.MetricFamilies()...)
 			fams = append(fams, skew.MetricFamilies()...)
+			if reb := c.Rebalancer(); reb != nil {
+				fams = append(fams, reb.MetricFamilies()...)
+			}
 			return fams
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -77,9 +81,13 @@ func runObsSim(o obsSimOptions) error {
 			return err
 		}
 		addrs[i] = ln.Addr().String()
+		// Embedded cluster: the EM is in-process, so each server's
+		// /debug/epochs carries the EM mirror too (harmless duplication —
+		// the clusterview merge dedups EM records by epoch).
 		hs := &http.Server{Handler: metrics.OpsHandler(gather,
 			metrics.WithDebug("stall", wd.Handler()),
 			metrics.WithDebug("hotkeys", skew.Handler()),
+			metrics.WithDebug("epochs", journal.DocHandler(srv.Journal(), c.EpochManager().Journal())),
 			metrics.WithHealth("watchdog", wd.Health),
 		)}
 		servers = append(servers, hs)

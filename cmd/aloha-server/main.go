@@ -26,6 +26,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
+	"alohadb/internal/obs/journal"
 	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
@@ -59,6 +60,7 @@ func run() error {
 		placementMap = flag.String("placement-map", "", "JSON ownership map installed at boot (same format as /debug/placement; give every server the same file). Live rebalancing runs through the embedded Rebalancer in single-process clusters; multi-process servers adopt newer maps from WrongOwner responses as they coordinate.")
 
 		stallThreshold = flag.Duration("epoch-stall-threshold", 5*time.Second, "epoch watchdog: declare a stall when the visibility bound stops advancing this long (0 disables)")
+		journalRing    = flag.Int("epoch-journal-ring", journal.DefaultRing, "epoch lifecycle journal depth in epochs, served at /debug/epochs (0 disables)")
 		skewSample     = flag.Int("skew-sample", 0, "hot-key profiler: sample every Nth key access (0 disables profiling)")
 		skewTopK       = flag.Int("skew-topk", 0, "hot-key profiler: tracked heavy-hitter count (0 = default)")
 		walMaxFsyncAge = flag.Duration("wal-fsync-max-age", 0, "readiness: fail /healthz when the last WAL fsync is older than this (0 disables; needs -wal)")
@@ -97,6 +99,10 @@ func run() error {
 		Tracer:          tracer,
 		ReadBatchWindow: *batchWindow,
 		Skew:            skew,
+		JournalRing:     *journalRing,
+	}
+	if *journalRing <= 0 {
+		cfg.JournalRing = -1 // flag 0 = off; config negative = disabled
 	}
 	var walLog *wal.Log
 	if *walPath != "" {
@@ -145,6 +151,11 @@ func run() error {
 		opts := []metrics.OpsOption{
 			metrics.WithTraces(trace.Handler(tracer)),
 			metrics.WithDebug("placement", placement.Handler(srv.PlacementTable())),
+		}
+		if srv.Journal() != nil {
+			// This process hosts no EM (aloha-em does); the second argument
+			// is nil-safe and the merge tolerates docs without EM mirrors.
+			opts = append(opts, metrics.WithDebug("epochs", journal.DocHandler(srv.Journal(), nil)))
 		}
 		if wd != nil {
 			opts = append(opts,

@@ -1,7 +1,11 @@
 // Command aloha-top is the cluster-wide observability dashboard: it polls
 // every server's ops endpoint (/metrics, /healthz, /debug/stall,
-// /debug/hotkeys) and renders one merged frame — minimum committed epoch,
-// aggregate commit rate, per-server p99s, and a stall/skew roll-up.
+// /debug/hotkeys, /debug/epochs) and renders one merged frame — minimum
+// committed epoch, aggregate commit rate, per-server p99s, a stall/skew
+// roll-up, and each server's share of the epoch critical paths (the
+// "gating" column). -epochs N adds a drill-down of the N slowest epochs
+// with their cluster-wide attribution (which server and stage gated each
+// commit).
 //
 // Interactive (refreshing) mode:
 //
@@ -46,6 +50,7 @@ func run() error {
 		once       = flag.Bool("once", false, "scrape once (twice -rate-window apart for rates) and exit")
 		rateWindow = flag.Duration("rate-window", 500*time.Millisecond, "gap between the two scrapes of a -once run")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-server scrape timeout")
+		epochsN    = flag.Int("epochs", 0, "epoch drill-down: show the N slowest epochs with critical-path attribution below the dashboard")
 	)
 	flag.Parse()
 	if *servers == "" {
@@ -63,15 +68,15 @@ func run() error {
 	defer cancel()
 
 	if *once {
-		return oneShot(ctx, sc, *rateWindow, *jsonOut)
+		return oneShot(ctx, sc, *rateWindow, *jsonOut, *epochsN)
 	}
-	return watch(ctx, sc, *interval, *jsonOut)
+	return watch(ctx, sc, *interval, *jsonOut, *epochsN)
 }
 
 // oneShot scrapes twice so rates are measured, then emits a single frame.
 // The JSON carries min_epoch_monotonic — CI's obs smoke asserts it: the
 // cluster's visibility floor must never move backwards.
-func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration, jsonOut bool) error {
+func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration, jsonOut bool, epochsN int) error {
 	prev := sc.Scrape(ctx)
 	select {
 	case <-time.After(window):
@@ -81,6 +86,10 @@ func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration,
 	cur := clusterview.Delta(prev, sc.Scrape(ctx))
 	if !jsonOut {
 		clusterview.Render(os.Stdout, cur)
+		if epochsN > 0 {
+			fmt.Printf("\nslowest epochs (critical path):\n")
+			clusterview.RenderEpochs(os.Stdout, cur.EpochPaths, epochsN)
+		}
 		return nil
 	}
 	out := struct {
@@ -92,7 +101,7 @@ func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration,
 	return enc.Encode(out)
 }
 
-func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration, jsonOut bool) error {
+func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration, jsonOut bool, epochsN int) error {
 	var prev clusterview.ClusterSnapshot
 	havePrev := false
 	t := time.NewTicker(interval)
@@ -111,6 +120,10 @@ func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration,
 			fmt.Print("\x1b[2J\x1b[H")
 			fmt.Printf("aloha-top  %s  (refresh %s, ctrl-c to quit)\n\n", cur.At.Format("15:04:05"), interval)
 			clusterview.Render(os.Stdout, cur)
+			if epochsN > 0 {
+				fmt.Printf("\nslowest epochs (critical path):\n")
+				clusterview.RenderEpochs(os.Stdout, cur.EpochPaths, epochsN)
+			}
 		}
 		prev, havePrev = cur, true
 		select {

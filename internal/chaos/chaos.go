@@ -172,6 +172,7 @@ type Network struct {
 	seq     uint64
 	enabled bool
 	severed map[link]bool
+	delayed map[link]time.Duration
 	crashed map[transport.NodeID]bool
 	log     []Decision
 	dropLog uint64 // decisions discarded once the log hit LogCap
@@ -197,6 +198,7 @@ func Wrap(inner transport.Network, cfg Config) *Network {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		enabled: true,
 		severed: make(map[link]bool),
+		delayed: make(map[link]time.Duration),
 		crashed: make(map[transport.NodeID]bool),
 	}
 }
@@ -240,10 +242,27 @@ func (n *Network) Sever(from, to transport.NodeID) {
 	n.mu.Unlock()
 }
 
-// Heal restores the directional link from -> to.
+// Heal restores the directional link from -> to (clearing both a sever
+// and a fixed delay).
 func (n *Network) Heal(from, to transport.NodeID) {
 	n.mu.Lock()
 	delete(n.severed, link{from, to})
+	delete(n.delayed, link{from, to})
+	n.mu.Unlock()
+}
+
+// DelayLink adds a fixed, deterministic delay to every message crossing
+// the directional link from -> to (a slow path, not a lossy one). Unlike
+// the probabilistic Delay fault it consumes no PRNG draws, so setting it
+// mid-run shifts no later decision — replay stability is preserved. A
+// non-positive d clears the delay; Heal and HealAll clear it too.
+func (n *Network) DelayLink(from, to transport.NodeID, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.delayed, link{from, to})
+	} else {
+		n.delayed[link{from, to}] = d
+	}
 	n.mu.Unlock()
 }
 
@@ -263,10 +282,11 @@ func (n *Network) Restart(id transport.NodeID) {
 	n.mu.Unlock()
 }
 
-// HealAll clears every severed link and crashed node.
+// HealAll clears every severed link, link delay, and crashed node.
 func (n *Network) HealAll() {
 	n.mu.Lock()
 	n.severed = make(map[link]bool)
+	n.delayed = make(map[link]time.Duration)
 	n.crashed = make(map[transport.NodeID]bool)
 	n.mu.Unlock()
 }
@@ -335,6 +355,13 @@ func (n *Network) decide(isCall bool, from, to transport.NodeID, msg any) Decisi
 		// consumption, so severing a link mid-run shifts no later decision.
 		d.Faults = append(d.Faults[:0], FaultSevered)
 		d.Delay = 0
+	} else if fixed := n.delayed[link{from, to}]; fixed > 0 && fixed > d.Delay {
+		// A deterministic link delay stacks the same way: applied after the
+		// draws, consuming none, keeping the probabilistic schedule intact.
+		if !d.has(FaultDelay) {
+			d.Faults = append(d.Faults, FaultDelay)
+		}
+		d.Delay = fixed
 	}
 	return d
 }

@@ -140,6 +140,7 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 			continue
 		}
 		failed := false
+		nf, nb := 0, 0
 		for _, w := range txn.Writes {
 			rec, err := s.store.Put(w.Key, txn.Version, w.Functor)
 			if err == mvstore.ErrVersionExists {
@@ -155,7 +156,12 @@ func (s *Server) handleInstall(ctx context.Context, m MsgInstall) MsgInstallResp
 			}
 			s.stats.functorsInstalled.Add(1)
 			s.skew.Observe(s.id, string(w.Key))
+			nf++
+			nb += len(w.Key) + len(w.Functor.Arg)
 			items = append(items, workItem{key: w.Key, version: txn.Version, rec: rec, installed: now, sc: sc})
+		}
+		if nf > 0 {
+			s.journal.Install(uint64(txn.Version.Epoch()), nf, nb, now)
 		}
 		if failed {
 			continue

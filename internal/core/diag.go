@@ -199,5 +199,8 @@ func (s *Server) NewWatchdog(cfg obs.WatchdogConfig) *obs.Watchdog {
 	if cfg.Capture == nil {
 		cfg.Capture = s.StallCapture
 	}
-	return obs.NewWatchdog(cfg)
+	// Remember the watchdog so the epoch journal can stamp its stall marker
+	// (Active is nil-safe, so a zero-threshold watchdog costs nothing).
+	s.wd = obs.NewWatchdog(cfg)
+	return s.wd
 }

@@ -13,6 +13,7 @@ import (
 	"alohadb/internal/metrics"
 	"alohadb/internal/mvstore"
 	"alohadb/internal/obs"
+	"alohadb/internal/obs/journal"
 	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
@@ -92,6 +93,10 @@ type ServerConfig struct {
 	// default) disables profiling at zero per-operation cost, the same
 	// contract as Tracer.
 	Skew *obs.Skew
+	// JournalRing sizes the per-epoch lifecycle journal
+	// (internal/obs/journal), in epochs. Zero takes the default (the
+	// journal is always on); negative disables it entirely.
+	JournalRing int
 }
 
 // DurabilityHook receives one server's durable-state stream. Installs and
@@ -129,6 +134,8 @@ type Server struct {
 	tr         *trace.NodeTracer // nil when tracing is disabled
 	comb       *combiner         // per-owner remote read/ensure batcher
 	skew       *obs.Skew         // nil when hot-key profiling is disabled
+	journal    *journal.Journal  // nil when the epoch journal is disabled
+	wd         *obs.Watchdog     // nil when the watchdog is disabled
 
 	// queueDepths, when set, reports per-peer transport send-queue depths
 	// for stall snapshots (see SetQueueDepthSource).
@@ -250,6 +257,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 		depRule:    cfg.DependencyRule,
 		tr:         cfg.Tracer.ForNode(cfg.ID),
 		skew:       cfg.Skew,
+		journal:    journal.New(journal.Config{Server: cfg.ID, Ring: cfg.JournalRing}),
 
 		abortRetries: cfg.AbortRetries,
 		abortBackoff: cfg.AbortRetryBackoff,
@@ -312,8 +320,14 @@ func (s *Server) MetricFamilies() []metrics.Family {
 	if src, ok := s.durability.(interface{ MetricFamilies() []metrics.Family }); ok {
 		fams = append(fams, src.MetricFamilies()...)
 	}
+	fams = append(fams, s.journal.MetricFamilies()...) // nil-safe: empty when disabled
 	return metrics.WithLabel(fams, "server", strconv.Itoa(s.id))
 }
+
+// Journal exposes the server's epoch lifecycle journal (nil when disabled
+// via ServerConfig.JournalRing < 0); its Doc feeds /debug/epochs and the
+// clusterview critical-path merge.
+func (s *Server) Journal() *journal.Journal { return s.journal }
 
 // Store exposes the partition's multi-version store to tests and tools.
 func (s *Server) Store() *mvstore.Store { return s.store }
@@ -370,18 +384,21 @@ func (s *Server) Grant(e tstamp.Epoch) {
 // transactions, switch the generator to straggler mode in e+1, and ack once
 // in-flight epoch-e installs drain.
 func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
+	now := time.Now()
+	s.journal.AckWaitStart(uint64(e), now)
 	s.mu.Lock()
 	if s.authEpoch == e {
 		s.authorized = false
 	}
 	wg := s.inflight[e]
-	s.revokedAt[e] = time.Now()
+	s.revokedAt[e] = now
 	s.mu.Unlock()
 	// Straggler optimization (§III-C): transactions may start immediately
 	// without authorization, drawing timestamps from epoch e+1, which the
 	// packed-timestamp scheme bounds below epoch e+1's finish timestamp.
 	s.gen.SetEpoch(e + 1)
 	if wg == nil {
+		s.journal.AckWaitEnd(uint64(e), time.Now())
 		ack()
 		return
 	}
@@ -390,6 +407,7 @@ func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
 		s.mu.Lock()
 		delete(s.inflight, e)
 		s.mu.Unlock()
+		s.journal.AckWaitEnd(uint64(e), time.Now())
 		ack()
 	}()
 }
@@ -397,6 +415,7 @@ func (s *Server) Revoke(e tstamp.Epoch, ack func()) {
 // Committed implements epoch.Participant: epoch e's versions become
 // visible and its buffered functor metadata flows to the processor.
 func (s *Server) Committed(e tstamp.Epoch) {
+	s.journal.CommittedRecv(uint64(e), time.Now())
 	// Record the epoch's transaction count and revoke→committed span.
 	// Epochs that never saw a revoke (the Start-time commit of the loading
 	// epoch) are not observed, so the distributions cover real switches
@@ -436,17 +455,46 @@ func (s *Server) Committed(e tstamp.Epoch) {
 	// keys in the batch don't warrant a dedup map here — the map cost the
 	// allocation the duplicates were supposed to save.
 	now := time.Now()
+	slowIdx, slowWait := -1, time.Duration(0)
 	for i := range items {
 		s.store.Seal(items[i].key, tstamp.End(e))
+		if s.journal != nil && !items[i].installed.IsZero() {
+			if w := now.Sub(items[i].installed); slowIdx < 0 || w > slowWait {
+				slowIdx, slowWait = i, w
+			}
+		}
 		items[i].ready = now
+	}
+	s.journal.SealDone(uint64(e), time.Now(), len(items))
+	if slowIdx >= 0 {
+		// The functor that waited longest between install and commit: the
+		// journal's pointer at what dragged the epoch (a stuck dependent
+		// txn, a hot key, a lagging owner).
+		it := items[slowIdx]
+		ftype := ""
+		if it.rec != nil && it.rec.Functor != nil {
+			ftype = it.rec.Functor.Type.String()
+		}
+		s.journal.Slowest(uint64(e), string(it.key), ftype, slowWait, uint64(it.sc.Trace))
 	}
 	if s.durability != nil {
 		dctx, dspan := s.tr.Start(ctx, "wal.commit")
+		dstart := time.Now()
 		if err := s.durability.LogEpochCommitted(dctx, e); err != nil {
 			// Durability of the boundary marker failed; the epoch's data
 			// entries are still logged, and recovery treats the epoch as
 			// uncommitted, which is the correct conservative outcome.
 			_ = err
+		}
+		if s.journal != nil {
+			total := time.Since(dstart)
+			var fsync time.Duration
+			if src, ok := s.durability.(interface{ LastSyncDuration() (time.Duration, bool) }); ok {
+				if d, ok := src.LastSyncDuration(); ok {
+					fsync = d
+				}
+			}
+			s.journal.Durable(uint64(e), total, fsync)
 		}
 		dspan.End()
 	}
@@ -467,6 +515,15 @@ func (s *Server) Committed(e tstamp.Epoch) {
 			s.visibleMu.Unlock()
 			break
 		}
+	}
+	if s.journal != nil {
+		// Finalize after visibility published, stamping the interference
+		// markers sampled at this instant: migration range seals in force
+		// and whether a stall episode is open.
+		s.moveMu.RLock()
+		migSeals := len(s.sealedRanges)
+		s.moveMu.RUnlock()
+		s.journal.Visible(uint64(e), time.Now(), migSeals, s.wd.Active())
 	}
 	s.proc.enqueue(items)
 	if items != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"alohadb/internal/metrics"
+	"alohadb/internal/obs/journal"
 	"alohadb/internal/trace"
 	"alohadb/internal/tstamp"
 )
@@ -90,6 +91,19 @@ type Manager struct {
 	// so each server's commit work traces as its own epoch.commit root
 	// rather than as a child of this span.
 	tr *trace.NodeTracer
+
+	// journal is the EM-side epoch lifecycle mirror (switch decision, per-
+	// participant ack arrivals, commit broadcast); created at Start when the
+	// participant count is known. Always on — one fixed ring of small slots.
+	journal *journal.EM
+}
+
+// Journal exposes the EM-side epoch journal (nil before Start); merged
+// with server journals it names the ack straggler of each epoch switch.
+func (m *Manager) Journal() *journal.EM {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal
 }
 
 // SetTracer attaches a tracer handle; call before Start. Nil disables.
@@ -156,6 +170,9 @@ func (m *Manager) Start() error {
 	first := m.cfg.StartEpoch
 	m.current = first
 	parts := m.participants
+	// Participant index doubles as the server ID (the address-book
+	// convention registers servers in ID order).
+	m.journal = journal.NewEM(len(parts), 0)
 	m.mu.Unlock()
 	for _, p := range parts {
 		p.Committed(first - 1)
@@ -185,16 +202,24 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 	e := m.current
 	parts := m.participants
 	barrier := m.barrier
+	jr := m.journal
 	m.mu.Unlock()
 
 	begin := time.Now()
+	jr.Decide(uint64(e), begin)
 	ctx, span := m.tr.StartRoot(context.Background(), "epoch.switch")
 	span.SetAttr("epoch", strconv.FormatUint(uint64(e), 10))
 	defer span.End()
 	var wg sync.WaitGroup
 	wg.Add(len(parts))
-	for _, p := range parts {
-		p.Revoke(e, wg.Done)
+	for i, p := range parts {
+		i := i
+		p.Revoke(e, func() {
+			// The ack's arrival instant at the EM, journaled before the
+			// WaitGroup releases the switch.
+			jr.Ack(uint64(e), i, time.Now())
+			wg.Done()
+		})
 	}
 	_, ackSpan := m.tr.Start(ctx, "epoch.ackwait")
 	if !m.waitAcks(&wg) {
@@ -210,6 +235,7 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 		barrier(e)
 	}
 	next := e + 1
+	jr.Commit(uint64(e), time.Now())
 	for _, p := range parts {
 		p.Committed(e)
 		p.Grant(next)

@@ -129,10 +129,14 @@ func TestOpsHandlerDebugMounts(t *testing.T) {
 		WithDebug("hotkeys", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			_, _ = w.Write([]byte("hotkeys-snapshot"))
 		})),
+		WithDebug("epochs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("epochs-journal"))
+		})),
 	)
 	for path, want := range map[string]string{
 		"/debug/stall":   "stall-status",
 		"/debug/hotkeys": "hotkeys-snapshot",
+		"/debug/epochs":  "epochs-journal",
 	} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))

@@ -13,6 +13,7 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
+	"alohadb/internal/obs/journal"
 )
 
 // ServerStatus is one server's slice of a cluster snapshot, distilled from
@@ -32,6 +33,25 @@ type ServerStatus struct {
 	// PlacementGen is the server's ownership-map generation; servers
 	// disagreeing mid-scrape are converging on a live migration.
 	PlacementGen uint64 `json:"placement_generation,omitempty"`
+
+	// Migration roll-up from the rebalancer families: moves in flight
+	// (queued plus pending retirements) and the last handoff's epoch. A
+	// non-zero inflight with an old handoff means a migration is stuck.
+	MigrationInflight    float64 `json:"migration_inflight,omitempty"`
+	MigrationLastHandoff uint64  `json:"migration_last_handoff_epoch,omitempty"`
+
+	// ServerID is the journal's server number (from /debug/epochs); -1
+	// when the endpoint is absent.
+	ServerID int `json:"server_id,omitempty"`
+	// GatingEpochs/GatingStage summarize the merged critical paths: how
+	// many committed epochs this server gated, and its most common gating
+	// stage. Filled by Scrape/Delta after the cross-server merge.
+	GatingEpochs int    `json:"gating_epochs,omitempty"`
+	GatingStage  string `json:"gating_stage,omitempty"`
+
+	// Epochs is the raw journal document for the cross-server merge; kept
+	// out of the JSON snapshot (EpochPaths carries the distilled view).
+	Epochs *journal.Doc `json:"-"`
 
 	TxnsCommitted float64 `json:"txns_committed"`
 	TxnsAborted   float64 `json:"txns_aborted"`
@@ -75,7 +95,16 @@ type ClusterSnapshot struct {
 	// ActiveStalls counts servers whose watchdog currently declares a
 	// stall; unreachable servers are counted separately above.
 	ActiveStalls int `json:"active_stalls"`
+
+	// EpochPaths are the committed epochs' critical paths, merged across
+	// every reachable server's /debug/epochs journal (newest last, capped
+	// at maxEpochPaths).
+	EpochPaths []EpochPath `json:"epoch_paths,omitempty"`
 }
+
+// maxEpochPaths caps how many merged critical paths a snapshot carries:
+// the newest are the interesting ones, and the ring can hold hundreds.
+const maxEpochPaths = 128
 
 // Scraper polls a set of ops addresses (the -metrics-addr listeners).
 type Scraper struct {
@@ -126,7 +155,38 @@ func (s *Scraper) Scrape(ctx context.Context) ClusterSnapshot {
 		}
 		first = false
 	}
+	mergeEpochPaths(&snap)
 	return snap
+}
+
+// mergeEpochPaths computes the snapshot's cluster-wide critical paths from
+// the scraped journal documents and fills each server's gating summary.
+func mergeEpochPaths(snap *ClusterSnapshot) {
+	var docs []journal.Doc
+	for _, sv := range snap.Servers {
+		if sv.Epochs != nil {
+			docs = append(docs, *sv.Epochs)
+		}
+	}
+	if len(docs) == 0 {
+		return
+	}
+	paths := MergeEpochs(docs...)
+	if len(paths) > maxEpochPaths {
+		paths = paths[len(paths)-maxEpochPaths:]
+	}
+	snap.EpochPaths = paths
+	summary := GatingSummary(paths)
+	for i := range snap.Servers {
+		sv := &snap.Servers[i]
+		if sv.Epochs == nil {
+			continue
+		}
+		if g, ok := summary[sv.ServerID]; ok {
+			sv.GatingEpochs = g.Epochs
+			sv.GatingStage = g.Stage
+		}
+	}
 }
 
 func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
@@ -159,6 +219,10 @@ func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
 	st.P99Compute, _ = m.Quantile(core.FamStageCompute, 0.99)
 	st.Goroutines, _ = m.Value(metrics.FamRuntimeGoroutines)
 	st.HeapBytes, _ = m.Value(metrics.FamRuntimeHeapBytes)
+	st.MigrationInflight, _ = m.Value(core.FamMigrationInflight)
+	if v, ok := m.Value(core.FamMigrationLastHandoff); ok {
+		st.MigrationLastHandoff = uint64(v)
+	}
 
 	// Health: non-200 means not ready; the body carries the reasons.
 	if body, code, err := s.get(ctx, addr, "/healthz"); err == nil {
@@ -189,6 +253,17 @@ func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
 				skew.TopKeys = skew.TopKeys[:5]
 			}
 			st.HotKeys = skew.TopKeys
+		}
+	}
+
+	// Epoch lifecycle journal (optional endpoint): the raw document feeds
+	// the cross-server critical-path merge.
+	st.ServerID = -1
+	if body, code, err := s.get(ctx, addr, "/debug/epochs"); err == nil && code == http.StatusOK {
+		var doc journal.Doc
+		if json.Unmarshal(body, &doc) == nil && (len(doc.Records) > 0 || len(doc.EM) > 0 || doc.Ring > 0) {
+			st.Epochs = &doc
+			st.ServerID = doc.Server
 		}
 	}
 	return st
@@ -232,7 +307,21 @@ func Delta(prev, cur ClusterSnapshot) ClusterSnapshot {
 			sv.TxnRate = d / dt
 			cur.AggTxnRate += sv.TxnRate
 		}
+		// Carry the previous scrape's journal into the merge: epochs the
+		// ring already overwrote stay attributable, and re-merging the
+		// overlap exercises the dedup path on every refresh.
+		if p.Epochs != nil {
+			if sv.Epochs == nil {
+				sv.Epochs = p.Epochs
+			} else {
+				union := *sv.Epochs
+				union.Records = append(append([]journal.Record(nil), p.Epochs.Records...), sv.Epochs.Records...)
+				union.EM = append(append([]journal.EMRecord(nil), p.Epochs.EM...), sv.Epochs.EM...)
+				sv.Epochs = &union
+			}
+		}
 	}
+	mergeEpochPaths(&cur)
 	return cur
 }
 
@@ -247,8 +336,8 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 	if snap.ActiveStalls > 0 {
 		fmt.Fprintf(w, "  STALLS %d", snap.ActiveStalls)
 	}
-	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %-4s %10s %10s %12s %12s %12s  %s\n",
-		"server", "state", "epoch", "commit", "gen", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "notes")
+	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %-4s %10s %10s %12s %12s %12s %-14s  %s\n",
+		"server", "state", "epoch", "commit", "gen", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "gating", "notes")
 	for _, sv := range snap.Servers {
 		state := "up"
 		switch {
@@ -272,9 +361,20 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 		if len(sv.HotKeys) > 0 {
 			notes = append(notes, fmt.Sprintf("hot %q ×%d", sv.HotKeys[0].Key, sv.HotKeys[0].Count))
 		}
-		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %-4d %10.0f %10.0f %12s %12s %12s  %s\n",
+		if sv.MigrationInflight > 0 {
+			note := fmt.Sprintf("migrating ×%.0f", sv.MigrationInflight)
+			if sv.MigrationLastHandoff > 0 && sv.CommittedEpoch >= sv.MigrationLastHandoff {
+				note += fmt.Sprintf(" (last handoff %d epochs ago)", sv.CommittedEpoch-sv.MigrationLastHandoff)
+			}
+			notes = append(notes, note)
+		}
+		gating := "-"
+		if sv.GatingEpochs > 0 {
+			gating = fmt.Sprintf("%d×%s", sv.GatingEpochs, sv.GatingStage)
+		}
+		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %-4d %10.0f %10.0f %12s %12s %12s %-14s  %s\n",
 			sv.Addr, state, sv.CurrentEpoch, sv.CommittedEpoch, sv.PlacementGen, sv.TxnsCommitted, sv.TxnRate,
-			fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), strings.Join(notes, "; "))
+			fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), gating, strings.Join(notes, "; "))
 	}
 }
 

@@ -1,0 +1,209 @@
+package clusterview
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"alohadb/internal/obs/journal"
+)
+
+// mk builds a complete server record for epoch e with the given stage
+// stamps (milliseconds from a fixed origin).
+func mk(e uint64, server int, ackStartMS, ackEndMS, committedMS, sealMS, visibleMS int) journal.Record {
+	ms := func(v int) int64 {
+		if v == 0 {
+			return 0
+		}
+		return int64(time.Duration(v) * time.Millisecond)
+	}
+	return journal.Record{
+		Epoch:          e,
+		Server:         server,
+		AckWaitStartNS: ms(ackStartMS),
+		AckWaitEndNS:   ms(ackEndMS),
+		CommittedNS:    ms(committedMS),
+		SealNS:         ms(sealMS),
+		VisibleNS:      ms(visibleMS),
+	}
+}
+
+func emRec(e uint64, decideMS int, ackMS []int, commitMS int) journal.EMRecord {
+	r := journal.EMRecord{
+		Epoch:    e,
+		DecideNS: int64(time.Duration(decideMS) * time.Millisecond),
+		CommitNS: int64(time.Duration(commitMS) * time.Millisecond),
+		AckNS:    make([]int64, len(ackMS)),
+	}
+	for i, ms := range ackMS {
+		if ms > 0 {
+			r.AckNS[i] = int64(time.Duration(ms) * time.Millisecond)
+		}
+	}
+	return r
+}
+
+// threeServerDocs builds a healthy 3-server epoch where server 2's ack is
+// delayed: decide at 10ms, acks arrive 11/12/40, commit 41, visibility
+// 42-43. The critical path must be server 2's ack-wait.
+func threeServerDocs(e uint64) []journal.Doc {
+	return []journal.Doc{
+		{Server: 0, Records: []journal.Record{mk(e, 0, 10, 11, 41, 41, 42)}},
+		{Server: 1, Records: []journal.Record{mk(e, 1, 10, 12, 41, 41, 42)}},
+		{Server: 2, Records: []journal.Record{mk(e, 2, 10, 39, 41, 41, 43)}},
+		{EM: []journal.EMRecord{emRec(e, 10, []int{11, 12, 40}, 41)}},
+	}
+}
+
+func TestMergeEpochsAttributesAckStraggler(t *testing.T) {
+	paths := MergeEpochs(threeServerDocs(7)...)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %+v, want 1", paths)
+	}
+	p := paths[0]
+	if p.Epoch != 7 || p.Servers != 3 {
+		t.Fatalf("identity: %+v", p)
+	}
+	if p.GatingServer != 2 || p.GatingStage != "ack-wait" {
+		t.Fatalf("critical path = server %d stage %s, want server 2 ack-wait", p.GatingServer, p.GatingStage)
+	}
+	// Decide 10ms → last ack 40ms = 30ms gating; total 10→43 = 33ms.
+	if p.GatingNS != int64(30*time.Millisecond) || p.TotalNS != int64(33*time.Millisecond) {
+		t.Fatalf("durations: gating=%d total=%d", p.GatingNS, p.TotalNS)
+	}
+}
+
+func TestMergeEpochsWithoutEMFallsBackToAckSendStamps(t *testing.T) {
+	docs := threeServerDocs(7)[:3] // no EM mirror
+	paths := MergeEpochs(docs...)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	// Server 2's AckWaitEnd (39ms) is still the latest ack approximation.
+	if paths[0].GatingServer != 2 || paths[0].GatingStage != "ack-wait" {
+		t.Fatalf("fallback path: %+v", paths[0])
+	}
+}
+
+func TestMergeEpochsInstallTailAttribution(t *testing.T) {
+	// The straggler's installs kept landing after its revoke arrived — the
+	// install tail, not the drain itself, is what dragged the ack.
+	docs := threeServerDocs(9)
+	r := &docs[2].Records[0]
+	r.FirstInstallNS = int64(1 * time.Millisecond)
+	r.LastInstallNS = int64(35 * time.Millisecond) // after ack start (10ms)
+	paths := MergeEpochs(docs...)
+	if len(paths) != 1 || paths[0].GatingServer != 2 || paths[0].GatingStage != "install" {
+		t.Fatalf("install-tail path: %+v", paths)
+	}
+}
+
+func TestMergeEpochsRaggedSnapshots(t *testing.T) {
+	// Servers scraped at different committed epochs: only server 0 has
+	// finished epoch 8. Attribution must cover epoch 8 with the one
+	// complete record — and must not fabricate a path for epoch 9, which
+	// only has an incomplete record.
+	docs := threeServerDocs(7)
+	docs[0].Records = append(docs[0].Records, mk(8, 0, 50, 52, 60, 61, 62))
+	docs[1].Records = append(docs[1].Records, journal.Record{Epoch: 9, Server: 1, AckWaitStartNS: int64(70 * time.Millisecond)})
+	paths := MergeEpochs(docs...)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %+v, want epochs 7 and 8 only", paths)
+	}
+	if paths[0].Epoch != 7 || paths[1].Epoch != 8 {
+		t.Fatalf("epochs: %+v", paths)
+	}
+	if paths[1].Servers != 1 {
+		t.Fatalf("epoch 8 should attribute among 1 complete record: %+v", paths[1])
+	}
+}
+
+func TestMergeEpochsUnreachableServer(t *testing.T) {
+	// Server 2 unreachable mid-merge: its doc is missing entirely. The
+	// epoch still attributes among the two reachable servers.
+	docs := threeServerDocs(7)
+	docs = append(docs[:2], docs[3]) // drop server 2's doc, keep EM
+	paths := MergeEpochs(docs...)
+	if len(paths) != 1 || paths[0].Servers != 2 {
+		t.Fatalf("paths = %+v, want one path over 2 servers", paths)
+	}
+	// Without server 2's record the EM still saw its ack at 40ms — but
+	// attribution only covers servers with complete records, so the
+	// straggler among those is server 1 (ack 12ms) and the path shifts to
+	// whatever dominates the visible records. It must not name server 2.
+	if paths[0].GatingServer == 2 {
+		t.Fatalf("fabricated a path for an unreachable server: %+v", paths[0])
+	}
+}
+
+func TestMergeEpochsDuplicateRecords(t *testing.T) {
+	// The double scrape delivers every record twice; output must be
+	// identical to the single-scrape merge.
+	docs := threeServerDocs(7)
+	dup := append(append([]journal.Doc(nil), docs...), docs...)
+	a, b := MergeEpochs(docs...), MergeEpochs(dup...)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("dedup: single=%+v doubled=%+v", a, b)
+	}
+}
+
+func TestMergeEpochsDuplicateKeepsMoreFinished(t *testing.T) {
+	// First scrape caught epoch 7 mid-close-out on server 2 (no visibility
+	// yet), the second caught it complete. The merge must keep the
+	// finished record, not drop the epoch or use the torn one.
+	docs := threeServerDocs(7)
+	torn := docs[2].Records[0]
+	torn.VisibleNS = 0
+	torn.CommittedNS = 0
+	docs = append(docs, journal.Doc{Server: 2, Records: []journal.Record{torn}})
+	paths := MergeEpochs(docs...)
+	if len(paths) != 1 || paths[0].Servers != 3 || paths[0].GatingServer != 2 {
+		t.Fatalf("more-finished dedup: %+v", paths)
+	}
+}
+
+func TestMergeEpochsNoCompleteRecords(t *testing.T) {
+	docs := []journal.Doc{
+		{Server: 0, Records: []journal.Record{{Epoch: 5, Server: 0, AckWaitStartNS: 1}}},
+	}
+	if paths := MergeEpochs(docs...); len(paths) != 0 {
+		t.Fatalf("fabricated a path with no complete records: %+v", paths)
+	}
+	if paths := MergeEpochs(); len(paths) != 0 {
+		t.Fatalf("empty merge: %+v", paths)
+	}
+}
+
+func TestMergeEpochsBroadcastAttribution(t *testing.T) {
+	// Fast acks, slow Committed broadcast to server 1: the gating stage is
+	// the broadcast on the visibility straggler.
+	docs := []journal.Doc{
+		{Server: 0, Records: []journal.Record{mk(3, 0, 10, 11, 13, 13, 14)}},
+		{Server: 1, Records: []journal.Record{mk(3, 1, 10, 12, 40, 41, 42)}},
+		{EM: []journal.EMRecord{emRec(3, 10, []int{11, 12}, 13)}},
+	}
+	paths := MergeEpochs(docs...)
+	if len(paths) != 1 || paths[0].GatingServer != 1 || paths[0].GatingStage != "broadcast" {
+		t.Fatalf("broadcast path: %+v", paths)
+	}
+}
+
+func TestGatingSummaryAndRender(t *testing.T) {
+	paths := MergeEpochs(threeServerDocs(7)...)
+	paths = append(paths, MergeEpochs(threeServerDocs(8)...)...)
+	sum := GatingSummary(paths)
+	if g := sum[2]; g.Epochs != 2 || g.Stage != "ack-wait" {
+		t.Fatalf("summary: %+v", sum)
+	}
+	var sb strings.Builder
+	RenderEpochs(&sb, paths, 10)
+	out := sb.String()
+	if !strings.Contains(out, "ack-wait") || !strings.Contains(out, "epoch") {
+		t.Fatalf("render:\n%s", out)
+	}
+	sb.Reset()
+	RenderEpochs(&sb, nil, 10)
+	if !strings.Contains(sb.String(), "no attributed epochs") {
+		t.Fatalf("empty render: %s", sb.String())
+	}
+}

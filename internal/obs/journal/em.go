@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// EMRecord is the epoch manager's mirror of one epoch switch: when the EM
+// decided to advance past the epoch, when each server's revoke-ack arrived
+// (indexed by server ID, zero = not yet / not seen), the ack arrival order,
+// and when the Committed broadcast went out. Merged with the servers'
+// records it exposes the ack straggler: the server record's AckWaitEnd is
+// when the ack was *sent*, AckNS is when it *arrived* — the difference is
+// the wire.
+type EMRecord struct {
+	Epoch    uint64  `json:"epoch"`
+	DecideNS int64   `json:"decide_unix_ns,omitempty"`
+	AckNS    []int64 `json:"ack_unix_ns,omitempty"`
+	AckOrder []int   `json:"ack_order,omitempty"`
+	CommitNS int64   `json:"commit_unix_ns,omitempty"`
+}
+
+type emSlot struct {
+	mu       sync.Mutex
+	epoch    uint64
+	decideNS int64
+	commitNS int64
+	ackNS    []int64 // by server ID, preallocated
+}
+
+// EM is the epoch manager's journal ring. A nil *EM is valid and inert.
+type EM struct {
+	servers int
+	ring    []emSlot
+}
+
+// NewEM builds an EM journal for a cluster of servers participants; ring
+// as in Config.Ring (<=0 takes the default — the EM journal is always on,
+// so there is no disable sentinel).
+func NewEM(servers, ring int) *EM {
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	em := &EM{servers: servers, ring: make([]emSlot, ring)}
+	for i := range em.ring {
+		em.ring[i].ackNS = make([]int64, servers)
+	}
+	return em
+}
+
+// at locks epoch e's slot, claiming it from an older epoch; nil (unlocked)
+// for a stale event, as in Journal.at.
+func (em *EM) at(e uint64) *emSlot {
+	s := &em.ring[e%uint64(len(em.ring))]
+	s.mu.Lock()
+	switch {
+	case s.epoch == e:
+		return s
+	case s.epoch < e:
+		s.epoch, s.decideNS, s.commitNS = e, 0, 0
+		for i := range s.ackNS {
+			s.ackNS[i] = 0
+		}
+		return s
+	default:
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// Decide records the switch decision: the EM is advancing past epoch e and
+// is about to issue Revokes. Nil-safe, allocation-free.
+func (em *EM) Decide(e uint64, now time.Time) {
+	if em == nil {
+		return
+	}
+	if s := em.at(e); s != nil {
+		s.decideNS = now.UnixNano()
+		s.mu.Unlock()
+	}
+}
+
+// Ack records server's revoke-ack arriving at the EM.
+func (em *EM) Ack(e uint64, server int, now time.Time) {
+	if em == nil || server < 0 || server >= em.servers {
+		return
+	}
+	if s := em.at(e); s != nil {
+		s.ackNS[server] = now.UnixNano()
+		s.mu.Unlock()
+	}
+}
+
+// Commit records the Committed broadcast for epoch e going out.
+func (em *EM) Commit(e uint64, now time.Time) {
+	if em == nil {
+		return
+	}
+	if s := em.at(e); s != nil {
+		s.commitNS = now.UnixNano()
+		s.mu.Unlock()
+	}
+}
+
+// Snapshot exports the ring oldest epoch first, computing each record's
+// ack arrival order. Nil-safe (nil).
+func (em *EM) Snapshot() []EMRecord {
+	if em == nil {
+		return nil
+	}
+	out := make([]EMRecord, 0, len(em.ring))
+	for i := range em.ring {
+		s := &em.ring[i]
+		s.mu.Lock()
+		if s.epoch == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		r := EMRecord{
+			Epoch:    s.epoch,
+			DecideNS: s.decideNS,
+			CommitNS: s.commitNS,
+			AckNS:    append([]int64(nil), s.ackNS...),
+		}
+		s.mu.Unlock()
+		for sv, ns := range r.AckNS {
+			if ns > 0 {
+				r.AckOrder = append(r.AckOrder, sv)
+			}
+		}
+		sort.Slice(r.AckOrder, func(a, b int) bool {
+			return r.AckNS[r.AckOrder[a]] < r.AckNS[r.AckOrder[b]]
+		})
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Epoch < out[b].Epoch })
+	return out
+}

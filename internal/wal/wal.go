@@ -64,6 +64,11 @@ type Log struct {
 	appendHist *metrics.Histogram // framed record sizes in bytes
 	fsyncHist  *metrics.Histogram // Sync (flush+fsync) latency
 
+	// lastSyncDur is the duration of the last completed Sync (flush+fsync);
+	// zero until the first. The epoch journal splits the durable-marker
+	// cost into fsync vs epoch ship with it.
+	lastSyncDur atomic.Int64
+
 	// lastSync is the wall time (UnixNano) of the last completed Sync;
 	// zero until the first. Readiness probes alert on its age: an epoch
 	// switch fsyncs once per epoch, so a stale fsync means commits stopped
@@ -182,8 +187,21 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.fsyncHist.ObserveDuration(time.Since(start))
+	l.lastSyncDur.Store(int64(time.Since(start)))
 	l.lastSync.Store(time.Now().UnixNano())
 	return nil
+}
+
+// LastSyncDuration reports how long the last completed Sync took; ok is
+// false before the first. core.Server detects this method on its
+// durability hook to split the epoch journal's durable-marker cost into
+// fsync vs epoch ship.
+func (l *Log) LastSyncDuration() (time.Duration, bool) {
+	ns := l.lastSyncDur.Load()
+	if ns == 0 {
+		return 0, false
+	}
+	return time.Duration(ns), true
 }
 
 // LastSyncAge reports the time since the last completed Sync; ok is false

@@ -36,6 +36,10 @@ fail() { echo "obs-smoke: $1" >&2; kill "$sim" 2>/dev/null || true; exit 1; }
 grep -q '"reachable_servers": 3' "$workdir/top.json" || fail "expected 3 reachable servers"
 grep -q '"min_epoch_monotonic": true' "$workdir/top.json" || fail "min committed epoch moved backwards"
 grep -q '"active_stalls": 0' "$workdir/top.json" || fail "healthy cluster reports active stalls"
+# The epoch journal must yield attributed critical paths: every committed
+# epoch in the merged view names a gating server and stage.
+grep -q '"epoch_paths"' "$workdir/top.json" || fail "no merged epoch critical paths in the cluster view"
+grep -q '"gating_stage":' "$workdir/top.json" || fail "epoch critical paths carry no gating-stage attribution"
 
 wait "$sim"
 echo "obs-smoke: ok"
