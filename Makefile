@@ -29,6 +29,11 @@ bench:
 bench-net:
 	$(GO) run ./cmd/aloha-bench -netbench -netbench-label current -duration 2s
 
+# Regression gate: rerun the suite and fail on a throughput regression
+# against the committed current section (no file writes).
+netbench-gate:
+	./scripts/netbench-gate.sh
+
 # Oracle-checked chaos smoke: a handful of seeds, exits non-zero on any
 # violation and prints the replay command.
 chaos:

@@ -13,12 +13,13 @@ import (
 )
 
 type chaosOptions struct {
-	seeds int   // number of consecutive seeds to run
-	seed  int64 // when non-zero, replay exactly this seed
-	base  int64 // first seed of the sweep
-	ops   int   // transactions per writer
-	crash bool  // include a mid-run crash + WAL recovery in every scenario
-	tcp   bool  // run over real TCP sockets
+	seeds int    // number of consecutive seeds to run
+	seed  int64  // when non-zero, replay exactly this seed
+	base  int64  // first seed of the sweep
+	ops   int    // transactions per writer
+	crash bool   // include a mid-run crash + WAL recovery in every scenario
+	tcp   bool   // run over real TCP sockets
+	codec string // TCP wire codec: binary, gob, or mixed
 }
 
 // runChaos executes the configured scenarios and returns an error (→
@@ -41,6 +42,7 @@ func runChaos(o chaosOptions) error {
 			OpsPerWriter: o.ops,
 			Crash:        o.crash,
 			TCP:          o.tcp,
+			WireCodec:    o.codec,
 		}
 		if o.tcp {
 			// TCP RPCs are slower; the in-memory fault mix would mostly
@@ -70,8 +72,12 @@ func runChaos(o chaosOptions) error {
 	}
 	if len(failed) > 0 {
 		for _, seed := range failed {
-			fmt.Printf("replay: go run ./cmd/aloha-bench -chaos -chaos-seed %d%s%s\n",
-				seed, boolFlag(" -chaos-crash", o.crash), boolFlag(" -chaos-tcp", o.tcp))
+			codecFlag := ""
+			if o.codec != "" {
+				codecFlag = " -chaos-codec " + o.codec
+			}
+			fmt.Printf("replay: go run ./cmd/aloha-bench -chaos -chaos-seed %d%s%s%s\n",
+				seed, boolFlag(" -chaos-crash", o.crash), boolFlag(" -chaos-tcp", o.tcp), codecFlag)
 		}
 		return fmt.Errorf("aloha-bench: %d/%d chaos seeds failed the oracle", len(failed), len(seeds))
 	}

@@ -42,6 +42,9 @@ func run() error {
 		netbench      = flag.Bool("netbench", false, "run the network-path benchmark suite (transport coalescing, remote reads, 2-server NewOrder over TCP) instead of the figures")
 		netbenchOut   = flag.String("netbench-out", "BENCH_transport.json", "netbench report path (baseline rows in the file are preserved)")
 		netbenchLabel = flag.String("netbench-label", "current", "which report section the run's rows replace: current or baseline")
+		netbenchGate  = flag.Bool("netbench-gate", false, "regression-gate mode: run the suite, compare throughput rows against the committed current section of -netbench-out, and exit non-zero on a regression beyond -netbench-gate-tolerance without writing the file")
+		netbenchTol   = flag.Float64("netbench-gate-tolerance", 0.10, "allowed fractional throughput regression in gate mode (0.10 = 10%)")
+		netbenchTraj  = flag.String("netbench-trajectory", "", "when replacing the current section, preserve the old current rows in the trajectory under this label")
 
 		chaosMode  = flag.Bool("chaos", false, "run oracle-checked chaos scenarios instead of the figures; exits non-zero on any oracle violation")
 		chaosSeeds = flag.Int("chaos-seeds", 4, "number of consecutive chaos seeds to run")
@@ -50,6 +53,7 @@ func run() error {
 		chaosOps   = flag.Int("chaos-ops", 60, "transactions per chaos writer")
 		chaosCrash = flag.Bool("chaos-crash", false, "crash the cluster mid-run and recover from the WAL in every chaos scenario")
 		chaosTCP   = flag.Bool("chaos-tcp", false, "run chaos scenarios over real TCP sockets")
+		chaosCodec = flag.String("chaos-codec", "", "TCP wire codec for chaos scenarios: binary, gob, or mixed (with -chaos-tcp)")
 
 		obsSim         = flag.Bool("obs-sim", false, "boot a live simulated cluster with the full observability stack (per-server ops listeners, epoch watchdogs, skew profiler) plus a light workload; the target for aloha-top and CI's obs smoke")
 		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
@@ -98,16 +102,21 @@ func run() error {
 			ops:   *chaosOps,
 			crash: *chaosCrash,
 			tcp:   *chaosTCP,
+			codec: *chaosCodec,
 		})
 	}
 
 	if *netbench {
-		return runNetBench(harness.Options{
+		o := harness.Options{
 			Quick:    !*full,
 			Duration: *duration,
 			Items:    *items,
 			Out:      os.Stdout,
-		}, *netbenchOut, *netbenchLabel)
+		}
+		if *netbenchGate {
+			return runNetBenchGate(o, *netbenchOut, *netbenchTol)
+		}
+		return runNetBench(o, *netbenchOut, *netbenchLabel, *netbenchTraj)
 	}
 
 	var tracer *trace.Tracer
@@ -189,7 +198,10 @@ func run() error {
 // runNetBench executes the network-path suite and merges its rows into the
 // JSON report, preserving the other section (committed baseline rows
 // survive `make bench-net` regenerating the current rows, and vice versa).
-func runNetBench(o harness.Options, path, label string) error {
+// With trajLabel set, the superseded current rows move into the trajectory
+// under that label instead of being discarded, so the committed file keeps
+// the transport's performance history.
+func runNetBench(o harness.Options, path, label, trajLabel string) error {
 	if label != "current" && label != "baseline" {
 		return fmt.Errorf("aloha-bench: -netbench-label must be current or baseline, got %q", label)
 	}
@@ -206,6 +218,12 @@ func runNetBench(o harness.Options, path, label string) error {
 	if label == "baseline" {
 		report.Baseline = rows
 	} else {
+		if trajLabel != "" && len(report.Current) > 0 {
+			report.Trajectory = append(report.Trajectory, harness.NetBenchSnapshot{
+				Label: trajLabel, Rows: report.Current,
+			})
+			fmt.Printf("# preserved %d old current rows in trajectory %q\n", len(report.Current), trajLabel)
+		}
 		report.Current = rows
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
@@ -216,5 +234,34 @@ func runNetBench(o harness.Options, path, label string) error {
 		return err
 	}
 	fmt.Printf("# wrote %d %s rows to %s\n", len(rows), label, path)
+	return nil
+}
+
+// runNetBenchGate is CI's regression gate: run the suite and compare its
+// throughput rows against the committed current section, failing on any
+// regression beyond tolerance. The report file is never written.
+func runNetBenchGate(o harness.Options, path string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("aloha-bench: gate needs a committed report: %w", err)
+	}
+	var report harness.NetBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return fmt.Errorf("aloha-bench: parse %s: %w", path, err)
+	}
+	if len(report.Current) == 0 {
+		return fmt.Errorf("aloha-bench: %s has no current section to gate against", path)
+	}
+	rows, err := harness.NetBench(o)
+	if err != nil {
+		return err
+	}
+	if fails := harness.GateFailures(report.Current, rows, tolerance); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("# GATE FAIL %s\n", f)
+		}
+		return fmt.Errorf("aloha-bench: netbench gate: %d throughput regression(s) beyond %.0f%%", len(fails), tolerance*100)
+	}
+	fmt.Printf("# netbench gate PASS against %s (tolerance %.0f%%)\n", path, tolerance*100)
 	return nil
 }

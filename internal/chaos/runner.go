@@ -55,6 +55,11 @@ type ScenarioConfig struct {
 	// TCP runs the cluster over real TCP sockets instead of the in-memory
 	// transport.
 	TCP bool
+	// WireCodec selects the TCP wire encoding: "binary" (default), "gob",
+	// or "mixed" — even nodes dial binary and odd nodes dial gob, so the
+	// handshake fallback that carries a rolling codec upgrade runs under
+	// the same faults and oracle as everything else. Requires TCP.
+	WireCodec string
 	// Dir is the WAL directory (required when Crash is set).
 	Dir string
 }
@@ -238,7 +243,23 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 			for i := 0; i < cfg.Servers; i++ {
 				addrs[transport.NodeID(i)] = "127.0.0.1:0"
 			}
-			inner = transport.NewTCPNetwork(addrs)
+			var opts []transport.TCPOption
+			switch cfg.WireCodec {
+			case "", "binary":
+				opts = append(opts, transport.WithCodec(transport.CodecBinary))
+			case "gob":
+				opts = append(opts, transport.WithCodec(transport.CodecGob))
+			case "mixed":
+				opts = append(opts, transport.WithCodecFor(func(id transport.NodeID) transport.Codec {
+					if id%2 == 0 {
+						return transport.CodecBinary
+					}
+					return transport.CodecGob
+				}))
+			default:
+				return nil, nil, fmt.Errorf("chaos: unknown wire codec %q", cfg.WireCodec)
+			}
+			inner = transport.NewTCPNetwork(addrs, opts...)
 		} else {
 			inner = transport.NewMemNetwork()
 		}

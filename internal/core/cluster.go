@@ -24,7 +24,16 @@ type ClusterConfig struct {
 	// Servers is the number of FE/BE nodes. Required.
 	Servers int
 	// EpochDuration is the unified epoch length (default 25 ms, §V-A2).
+	// With EpochMinDuration/EpochMaxDuration set it is only the adaptive
+	// interval's starting point.
 	EpochDuration time.Duration
+	// EpochMinDuration and EpochMaxDuration, when both set, enable the
+	// adaptive epoch interval: the manager retunes the epoch length after
+	// every switch from an EMA of switch durations (bounded to the
+	// [min, max] window) and drifts toward max while no transactions
+	// commit. See epoch.Config.
+	EpochMinDuration time.Duration
+	EpochMaxDuration time.Duration
 	// ManualEpochs disables the timer: epochs advance only via
 	// AdvanceEpoch. Deterministic tests use this.
 	ManualEpochs bool
@@ -158,7 +167,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.servers = append(c.servers, srv)
 	}
-	c.em = epoch.New(epoch.Config{Duration: cfg.EpochDuration, SwitchTimeout: cfg.SwitchTimeout, StartEpoch: cfg.StartEpoch})
+	servers := c.servers
+	c.em = epoch.New(epoch.Config{
+		Duration:      cfg.EpochDuration,
+		SwitchTimeout: cfg.SwitchTimeout,
+		StartEpoch:    cfg.StartEpoch,
+		MinDuration:   cfg.EpochMinDuration,
+		MaxDuration:   cfg.EpochMaxDuration,
+		CommitCount: func() uint64 {
+			var n uint64
+			for _, s := range servers {
+				n += s.stats.txnsCommitted.Load()
+			}
+			return n
+		},
+	})
 	// The manager traces as node Servers, matching the TCP address-book
 	// convention that places the EM right after the server IDs.
 	c.em.SetTracer(cfg.Tracer.ForNode(cfg.Servers))

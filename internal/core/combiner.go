@@ -80,25 +80,47 @@ type combResult struct {
 	err  error
 }
 
+// combOpPool recycles ops together with their buffered result channels:
+// every remote read otherwise pays two heap allocations before a byte
+// hits the wire, and under combining pressure those dominate the
+// client-side allocation profile. Pooled ops always carry an empty
+// channel — the happy path drains the single send before releasing, and
+// the context-cancel path abandons the op to the GC (the late send lands
+// in the buffer of an object nobody will reuse).
+var combOpPool = sync.Pool{
+	New: func() any { return &combOp{done: make(chan combResult, 1)} },
+}
+
+func newCombOp(ctx context.Context, kind combKind, k kv.Key, v tstamp.Timestamp) *combOp {
+	op := combOpPool.Get().(*combOp)
+	op.kind, op.key, op.version, op.ctx = kind, k, v, ctx
+	return op
+}
+
+func (op *combOp) release() {
+	op.key, op.ctx = "", nil
+	combOpPool.Put(op)
+}
+
 func newCombiner(s *Server, window time.Duration) *combiner {
 	return &combiner{s: s, window: window, owners: make(map[int]*ownerQueue)}
 }
 
 // read performs a remote read through the combiner.
 func (c *combiner) read(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) (funcRead, error) {
-	r := c.do(ctx, owner, &combOp{kind: combRead, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	r := c.do(ctx, owner, newCombOp(ctx, combRead, k, v))
 	return r.read, r.err
 }
 
 // ensure performs a remote MsgEnsure through the combiner.
 func (c *combiner) ensure(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) (*functor.Resolution, error) {
-	r := c.do(ctx, owner, &combOp{kind: combEnsure, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	r := c.do(ctx, owner, newCombOp(ctx, combEnsure, k, v))
 	return r.res, r.err
 }
 
 // ensureUpTo performs a remote MsgEnsureUpTo through the combiner.
 func (c *combiner) ensureUpTo(ctx context.Context, owner int, k kv.Key, v tstamp.Timestamp) error {
-	r := c.do(ctx, owner, &combOp{kind: combEnsureUpTo, key: k, version: v, ctx: ctx, done: make(chan combResult, 1)})
+	r := c.do(ctx, owner, newCombOp(ctx, combEnsureUpTo, k, v))
 	return r.err
 }
 
@@ -150,10 +172,12 @@ func (c *combiner) do(ctx context.Context, owner int, op *combOp) combResult {
 	}
 	select {
 	case r := <-op.done:
+		op.release()
 		return r
 	case <-ctx.Done():
 		// The shared dispatch proceeds for the other waiters; only this
-		// caller gives up (done is buffered, so the late send never blocks).
+		// caller gives up (done is buffered, so the late send never blocks,
+		// and the abandoned op stays out of the pool).
 		return combResult{err: ctx.Err()}
 	}
 }
@@ -202,7 +226,24 @@ func (c *combiner) dispatch(owner int, ops []*combOp) {
 		c.dispatchSingle(owner, ops[0])
 		return
 	}
-	var reads, ensures []*combOp
+	// Homogeneous batches (the common case: a burst of remote reads) go
+	// out as-is; only mixed batches pay for the split.
+	nReads := 0
+	for _, op := range ops {
+		if op.kind == combRead {
+			nReads++
+		}
+	}
+	switch nReads {
+	case len(ops):
+		c.dispatchReads(owner, ops)
+		return
+	case 0:
+		c.dispatchEnsures(owner, ops)
+		return
+	}
+	reads := make([]*combOp, 0, nReads)
+	ensures := make([]*combOp, 0, len(ops)-nReads)
 	for _, op := range ops {
 		if op.kind == combRead {
 			reads = append(reads, op)

@@ -69,14 +69,17 @@ func TestClusterConfigValidation(t *testing.T) {
 func TestWorkersConfigSemantics(t *testing.T) {
 	net := transport.NewMemNetwork()
 	defer net.Close()
-	// Default: 0 -> 2 workers; negative -> none.
+	// Default: 0 -> max(2, GOMAXPROCS) workers; negative -> none.
 	s0, err := NewServer(ServerConfig{ID: 0, NumServers: 3, Workers: 0}, net)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s0.Close()
-	if got := len(s0.proc.shards); got != 2 {
-		t.Errorf("default workers = %d, want 2", got)
+	if got, want := len(s0.proc.shards), defaultWorkers(); got != want {
+		t.Errorf("default workers = %d, want %d", got, want)
+	}
+	if defaultWorkers() < 2 {
+		t.Errorf("defaultWorkers() = %d, want >= 2", defaultWorkers())
 	}
 	s1, err := NewServer(ServerConfig{ID: 1, NumServers: 3, Workers: -1}, net)
 	if err != nil {

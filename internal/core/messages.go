@@ -5,6 +5,8 @@
 package core
 
 import (
+	"sync"
+
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/mvstore"
@@ -364,19 +366,31 @@ type (
 	}
 )
 
-// RegisterMessages registers every core message type with the transport's
-// gob codec. Call once at startup when using the TCP transport.
+// RegisterMessages registers every core message type with the transport.
+// Call once at startup when using the TCP transport (idempotent).
+//
+// Hot messages (install, read/ensure/abort batches, push, deferred
+// writes, epoch control, ping) register explicit binary codecs with
+// internal/wire — the default TCP codec never gob-encodes them. They are
+// also gob-registered because the legacy gob codec (transport.CodecGob,
+// used by mixed-codec clusters mid-upgrade and the differential codec
+// tests) still carries them reflectively. Cold messages (scans, client
+// protocol, migration control) are gob-only on purpose: they ride the
+// binary envelope's gob escape hatch.
 func RegisterMessages() {
+	registerWire.Do(registerWireCodecs)
 	for _, m := range []any{
+		// Hot messages: binary-coded by default, gob for the legacy codec.
 		MsgInstall{}, MsgInstallResp{}, MsgAbort{}, MsgAbortBatch{},
 		MsgRead{}, MsgReadResp{}, MsgReadBatch{}, MsgReadBatchResp{}, MsgPush{},
 		MsgEnsure{}, MsgEnsureResp{}, MsgEnsureUpTo{}, MsgEnsureUpToResp{},
 		MsgEnsureBatch{}, MsgEnsureBatchResp{},
 		MsgApplyDeferred{}, MsgWaitComputed{}, MsgWaitComputedResp{},
-		MsgScan{}, MsgScanResp{},
-		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},
 		MsgGrant{}, MsgRevoke{}, MsgRevokeAck{}, MsgCommitted{},
 		MsgPing{}, MsgPong{},
+		// Cold messages: gob escape hatch only.
+		MsgScan{}, MsgScanResp{},
+		MsgClientSubmit{}, MsgClientSubmitResp{}, MsgClientGet{}, MsgClientGetResp{},
 		MsgRangeSeal{}, MsgRangeSealResp{}, MsgRangeExport{}, MsgRangeExportResp{},
 		MsgRangeImport{}, MsgRangeImportResp{}, MsgMapInstall{}, MsgMapInstallResp{},
 		MsgRangeRetire{}, MsgRangeRetireResp{},
@@ -384,3 +398,5 @@ func RegisterMessages() {
 		transport.RegisterType(m)
 	}
 }
+
+var registerWire sync.Once

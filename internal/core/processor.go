@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,11 @@ type processor struct {
 	shards  []*procShard
 	wg      sync.WaitGroup
 	stopped atomic.Bool
+	// groups is enqueue's reusable per-shard grouping scratch, serialized
+	// by groupMu (epoch commits enqueue one batch at a time; the mutex
+	// only guards against overlapping callers).
+	groupMu sync.Mutex
+	groups  [][]workItem
 }
 
 type procShard struct {
@@ -53,8 +59,18 @@ type procShard struct {
 	active bool
 }
 
+// defaultWorkers sizes the pool for ServerConfig.Workers == 0: one shard
+// per core so functor computation scales with the machine, floored at 2
+// so single-core test environments still overlap compute with install.
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
 func newProcessor(s *Server, workers int) *processor {
-	p := &processor{s: s}
+	p := &processor{s: s, groups: make([][]workItem, workers)}
 	for i := 0; i < workers; i++ {
 		sh := &procShard{}
 		sh.cond = sync.NewCond(&sh.mu)
@@ -68,6 +84,11 @@ func newProcessor(s *Server, workers int) *processor {
 }
 
 // enqueue routes functor metadata to the owning worker by key hash.
+// Items are grouped per destination shard first, so an epoch's whole
+// batch takes each shard lock once instead of once per item — with
+// GOMAXPROCS-many shards the per-item locking was the enqueue path's
+// dominant cost. Grouping is stable, preserving the per-key ascending
+// version order the workers rely on (§V-B2).
 func (p *processor) enqueue(items []workItem) {
 	if len(items) == 0 || len(p.shards) == 0 {
 		return
@@ -80,17 +101,29 @@ func (p *processor) enqueue(items []workItem) {
 		sh.cond.Signal()
 		return
 	}
-	touched := make(map[*procShard]bool, len(p.shards))
+	p.groupMu.Lock()
+	groups := p.groups
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
 	for _, it := range items {
-		sh := p.shards[kv.Hash(it.key)%uint64(len(p.shards))]
+		si := kv.Hash(it.key) % uint64(len(p.shards))
+		groups[si] = append(groups[si], it)
+	}
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := p.shards[si]
 		sh.mu.Lock()
-		sh.queue = append(sh.queue, it)
+		sh.queue = append(sh.queue, g...)
 		sh.mu.Unlock()
-		touched[sh] = true
-	}
-	for sh := range touched {
 		sh.cond.Signal()
+		// Drop the record pointers so the scratch buffer does not pin
+		// records past their processing.
+		clear(g)
 	}
+	p.groupMu.Unlock()
 }
 
 // drainWait blocks until every shard's queue is empty and idle; used by

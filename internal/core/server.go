@@ -53,9 +53,12 @@ type ServerConfig struct {
 	Partitioner Partitioner
 	// Registry resolves user-defined functor handlers.
 	Registry *functor.Registry
-	// Workers sets the processor pool size; 0 means 2. A negative value
-	// disables asynchronous processing entirely so that tests can exercise
-	// the on-demand (read-triggered) computation path deterministically.
+	// Workers sets the processor pool size; 0 scales with the machine:
+	// max(2, GOMAXPROCS). Work is sharded across workers by key hash, so
+	// more workers means more keys computing concurrently (the paper's
+	// §IV-C thread pool at multi-core scale). A negative value disables
+	// asynchronous processing entirely so that tests can exercise the
+	// on-demand (read-triggered) computation path deterministically.
 	Workers int
 	// Durability, when set, receives the server's durable-state stream
 	// (installs, second-round aborts, epoch commits). internal/wal and
@@ -228,7 +231,7 @@ func NewServer(cfg ServerConfig, net transport.Network) (*Server, error) {
 	}
 	switch {
 	case cfg.Workers == 0:
-		cfg.Workers = 2
+		cfg.Workers = defaultWorkers()
 	case cfg.Workers < 0:
 		cfg.Workers = 0
 	}

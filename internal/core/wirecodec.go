@@ -1,0 +1,782 @@
+// Binary wire codecs for the hot-path messages (paper §V-A2). Every
+// message that rides the per-epoch RPC fan-out — installs, read/ensure
+// batches and their responses, aborts, pushes, deferred-write delivery,
+// epoch control, and watchdog pings — gets an explicit append/decode
+// pair registered with internal/wire, replacing reflective gob. Cold
+// messages (scans, client protocol, migration control) keep riding the
+// gob escape hatch inside the binary envelope; they are rare enough that
+// a hand codec buys nothing.
+//
+// Layout conventions: uvarint for counts, timestamps, and epochs;
+// length-prefixed bytes/strings; one presence byte ahead of nullable
+// pointers. Functors and resolutions reuse the exact layout of
+// internal/functor/codec.go (the WAL encoding), so the wire and the log
+// agree on the one format that matters.
+//
+// The decode*Into functions decode into caller-owned structs, reusing
+// slice capacity and aliasing the frame buffer for keys, values, and
+// handler names. Decoding into a reused message is therefore
+// allocation-free steady-state (CI-guarded by BenchmarkWireDecode*);
+// the registry wrappers allocate exactly one fresh message value per
+// frame, whose fields alias the frame buffer that the transport hands
+// over with it.
+package core
+
+import (
+	"fmt"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/placement"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+	"alohadb/internal/wire"
+)
+
+// Wire kinds of the hot messages. The byte values are part of the wire
+// format: never renumber, only append.
+const (
+	wireKindInstall wire.Kind = iota + 1
+	wireKindInstallResp
+	wireKindAbort
+	wireKindAbortBatch
+	wireKindRead
+	wireKindReadResp
+	wireKindReadBatch
+	wireKindReadBatchResp
+	wireKindPush
+	wireKindEnsure
+	wireKindEnsureResp
+	wireKindEnsureUpTo
+	wireKindEnsureUpToResp
+	wireKindEnsureBatch
+	wireKindEnsureBatchResp
+	wireKindApplyDeferred
+	wireKindWaitComputed
+	wireKindWaitComputedResp
+	wireKindGrant
+	wireKindRevoke
+	wireKindRevokeAck
+	wireKindCommitted
+	wireKindPing
+	wireKindPong
+)
+
+// sliceFor returns s resized to n elements, reusing capacity when it can.
+func sliceFor[T any](s []T, n int) []T {
+	if n == 0 {
+		return s[:0]
+	}
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+func appendKeySet(dst []byte, keys []kv.Key) []byte {
+	dst = appendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendString(dst, string(k))
+	}
+	return dst
+}
+
+func decodeKeySetInto(s []kv.Key, r *wire.Reader) []kv.Key {
+	n := r.Count(1)
+	if n == 0 {
+		if s == nil {
+			return nil
+		}
+		return s[:0]
+	}
+	s = sliceFor(s, n)
+	for i := range s {
+		s[i] = kv.Key(r.String())
+	}
+	return s
+}
+
+// appendUvarint mirrors binary.AppendUvarint without importing it twice.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// --- functor / resolution (same layout as internal/functor/codec.go) ---
+
+func appendFunctorPtr(dst []byte, f *functor.Functor) []byte {
+	if f == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return functor.AppendFunctor(dst, f)
+}
+
+// decodeFunctorPtrInto decodes a presence-prefixed functor into *fp,
+// reusing the pointed-to struct's slice capacity. Keys, handler, and arg
+// alias the frame buffer.
+func decodeFunctorPtrInto(fp **functor.Functor, r *wire.Reader) {
+	if !r.Bool() {
+		*fp = nil
+		return
+	}
+	if *fp == nil {
+		*fp = new(functor.Functor)
+	}
+	f := *fp
+	f.Type = functor.Type(r.Byte())
+	if r.Err() == nil && (f.Type < functor.TypeValue || f.Type > functor.TypeDepMarker) {
+		r.Fail(fmt.Errorf("functor: invalid f-type %d", f.Type))
+		return
+	}
+	f.Handler = r.String()
+	f.Arg = r.Bytes()
+	f.ReadSet = decodeKeySetInto(f.ReadSet, r)
+	f.Recipients = decodeKeySetInto(f.Recipients, r)
+	f.DependentKeys = decodeKeySetInto(f.DependentKeys, r)
+}
+
+func appendResolutionPtr(dst []byte, res *functor.Resolution) []byte {
+	if res == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return functor.AppendResolution(dst, res)
+}
+
+func decodeResolutionPtrInto(rp **functor.Resolution, r *wire.Reader) {
+	if !r.Bool() {
+		*rp = nil
+		return
+	}
+	if *rp == nil {
+		*rp = new(functor.Resolution)
+	}
+	res := *rp
+	res.Kind = functor.ResolutionKind(r.Byte())
+	if r.Err() == nil && (res.Kind < functor.Resolved || res.Kind > functor.ResolvedSkipped) {
+		r.Fail(fmt.Errorf("functor: invalid resolution kind %d", res.Kind))
+		return
+	}
+	res.Value = r.Bytes()
+	res.Reason = r.String()
+	res.DependentWrites = decodeDependentWritesInto(res.DependentWrites, r)
+}
+
+func appendDependentWrites(dst []byte, ws []functor.DependentWrite) []byte {
+	dst = appendUvarint(dst, uint64(len(ws)))
+	for _, w := range ws {
+		dst = wire.AppendString(dst, string(w.Key))
+		dst = wire.AppendBytes(dst, w.Value)
+		dst = wire.AppendBool(dst, w.Delete)
+	}
+	return dst
+}
+
+func decodeDependentWritesInto(s []functor.DependentWrite, r *wire.Reader) []functor.DependentWrite {
+	n := r.Count(3)
+	if n == 0 {
+		if s == nil {
+			return nil
+		}
+		return s[:0]
+	}
+	s = sliceFor(s, n)
+	for i := range s {
+		s[i].Key = kv.Key(r.String())
+		s[i].Value = r.Bytes()
+		s[i].Delete = r.Bool()
+	}
+	return s
+}
+
+// --- placement maps (rare on the wire: only during migration races) ---
+
+func appendPlacementPtr(dst []byte, m *placement.Map) []byte {
+	if m == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendUvarint(dst, uint64(m.Gen))
+	dst = appendUvarint(dst, uint64(len(m.Moves)))
+	for _, mv := range m.Moves {
+		dst = wire.AppendString(dst, string(mv.Range.Start))
+		dst = wire.AppendString(dst, string(mv.Range.End))
+		dst = appendUvarint(dst, uint64(mv.To))
+		dst = appendUvarint(dst, uint64(mv.From))
+	}
+	return dst
+}
+
+func decodePlacementPtr(r *wire.Reader) *placement.Map {
+	if !r.Bool() {
+		return nil
+	}
+	m := &placement.Map{Gen: placement.Generation(r.Uvarint())}
+	n := r.Count(4)
+	if n > 0 {
+		m.Moves = make([]placement.Move, n)
+		for i := range m.Moves {
+			m.Moves[i].Range.Start = kv.Key(r.String())
+			m.Moves[i].Range.End = kv.Key(r.String())
+			m.Moves[i].To = transport.NodeID(r.Uvarint())
+			m.Moves[i].From = tstamp.Epoch(r.Uvarint())
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return m
+}
+
+// --- MsgInstall / MsgInstallResp ---
+
+func appendMsgInstall(dst []byte, m *MsgInstall) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Txns)))
+	for i := range m.Txns {
+		t := &m.Txns[i]
+		dst = appendUvarint(dst, uint64(t.Version))
+		dst = appendUvarint(dst, uint64(len(t.Writes)))
+		for j := range t.Writes {
+			dst = wire.AppendString(dst, string(t.Writes[j].Key))
+			dst = appendFunctorPtr(dst, t.Writes[j].Functor)
+		}
+		dst = appendKeySet(dst, t.Requires)
+	}
+	return appendPlacementPtr(dst, m.Placement)
+}
+
+func decodeMsgInstallInto(m *MsgInstall, r *wire.Reader) {
+	n := r.Count(2)
+	m.Txns = sliceFor(m.Txns, n)
+	for i := range m.Txns {
+		t := &m.Txns[i]
+		t.Version = tstamp.Timestamp(r.Uvarint())
+		nw := r.Count(3)
+		t.Writes = sliceFor(t.Writes, nw)
+		for j := range t.Writes {
+			t.Writes[j].Key = kv.Key(r.String())
+			decodeFunctorPtrInto(&t.Writes[j].Functor, r)
+		}
+		t.Requires = decodeKeySetInto(t.Requires, r)
+	}
+	m.Placement = decodePlacementPtr(r)
+}
+
+func appendMsgInstallResp(dst []byte, m *MsgInstallResp) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Results)))
+	for i := range m.Results {
+		res := &m.Results[i]
+		var b byte
+		if res.OK {
+			b |= 1
+		}
+		if res.WrongOwner {
+			b |= 2
+		}
+		dst = append(dst, b)
+		dst = wire.AppendString(dst, res.Err)
+	}
+	return appendPlacementPtr(dst, m.Placement)
+}
+
+func decodeMsgInstallRespInto(m *MsgInstallResp, r *wire.Reader) {
+	n := r.Count(2)
+	m.Results = sliceFor(m.Results, n)
+	for i := range m.Results {
+		b := r.Byte()
+		m.Results[i].OK = b&1 != 0
+		m.Results[i].WrongOwner = b&2 != 0
+		m.Results[i].Err = r.String()
+	}
+	m.Placement = decodePlacementPtr(r)
+}
+
+// --- MsgAbort / MsgAbortBatch ---
+
+func appendMsgAbort(dst []byte, m *MsgAbort) []byte {
+	dst = appendUvarint(dst, uint64(m.Version))
+	dst = appendKeySet(dst, m.Keys)
+	return wire.AppendBool(dst, m.Fwd)
+}
+
+func decodeMsgAbortInto(m *MsgAbort, r *wire.Reader) {
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Keys = decodeKeySetInto(m.Keys, r)
+	m.Fwd = r.Bool()
+}
+
+func appendMsgAbortBatch(dst []byte, m *MsgAbortBatch) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Aborts)))
+	for i := range m.Aborts {
+		dst = appendMsgAbort(dst, &m.Aborts[i])
+	}
+	return dst
+}
+
+func decodeMsgAbortBatchInto(m *MsgAbortBatch, r *wire.Reader) {
+	n := r.Count(3)
+	m.Aborts = sliceFor(m.Aborts, n)
+	for i := range m.Aborts {
+		decodeMsgAbortInto(&m.Aborts[i], r)
+	}
+}
+
+// --- MsgRead family ---
+
+func appendMsgRead(dst []byte, m *MsgRead) []byte {
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = appendUvarint(dst, uint64(m.Version))
+	return wire.AppendBool(dst, m.Fwd)
+}
+
+func decodeMsgReadInto(m *MsgRead, r *wire.Reader) {
+	m.Key = kv.Key(r.String())
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Fwd = r.Bool()
+}
+
+func appendMsgReadResp(dst []byte, m *MsgReadResp) []byte {
+	dst = wire.AppendBytes(dst, m.Value)
+	dst = wire.AppendBool(dst, m.Found)
+	return appendUvarint(dst, uint64(m.Version))
+}
+
+func decodeMsgReadRespInto(m *MsgReadResp, r *wire.Reader) {
+	m.Value = r.Bytes()
+	m.Found = r.Bool()
+	m.Version = tstamp.Timestamp(r.Uvarint())
+}
+
+func appendMsgReadBatch(dst []byte, m *MsgReadBatch) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Reads)))
+	for i := range m.Reads {
+		dst = appendMsgRead(dst, &m.Reads[i])
+	}
+	return dst
+}
+
+func decodeMsgReadBatchInto(m *MsgReadBatch, r *wire.Reader) {
+	n := r.Count(3)
+	m.Reads = sliceFor(m.Reads, n)
+	for i := range m.Reads {
+		decodeMsgReadInto(&m.Reads[i], r)
+	}
+}
+
+func appendMsgReadBatchResp(dst []byte, m *MsgReadBatchResp) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Results)))
+	for i := range m.Results {
+		dst = appendMsgReadResp(dst, &m.Results[i].Resp)
+		dst = wire.AppendString(dst, m.Results[i].Err)
+	}
+	return dst
+}
+
+func decodeMsgReadBatchRespInto(m *MsgReadBatchResp, r *wire.Reader) {
+	n := r.Count(4)
+	m.Results = sliceFor(m.Results, n)
+	for i := range m.Results {
+		decodeMsgReadRespInto(&m.Results[i].Resp, r)
+		m.Results[i].Err = r.String()
+	}
+}
+
+// --- MsgPush ---
+
+func appendMsgPush(dst []byte, m *MsgPush) []byte {
+	dst = appendUvarint(dst, uint64(m.Version))
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = wire.AppendBytes(dst, m.Value)
+	dst = wire.AppendBool(dst, m.Found)
+	return appendUvarint(dst, uint64(m.ValueVersion))
+}
+
+func decodeMsgPushInto(m *MsgPush, r *wire.Reader) {
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Key = kv.Key(r.String())
+	m.Value = r.Bytes()
+	m.Found = r.Bool()
+	m.ValueVersion = tstamp.Timestamp(r.Uvarint())
+}
+
+// --- MsgEnsure family ---
+
+func appendMsgEnsure(dst []byte, m *MsgEnsure) []byte {
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = appendUvarint(dst, uint64(m.Version))
+	return wire.AppendBool(dst, m.Fwd)
+}
+
+func decodeMsgEnsureInto(m *MsgEnsure, r *wire.Reader) {
+	m.Key = kv.Key(r.String())
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Fwd = r.Bool()
+}
+
+func appendMsgEnsureResp(dst []byte, m *MsgEnsureResp) []byte {
+	return appendResolutionPtr(dst, m.Resolution)
+}
+
+func decodeMsgEnsureRespInto(m *MsgEnsureResp, r *wire.Reader) {
+	decodeResolutionPtrInto(&m.Resolution, r)
+}
+
+func appendMsgEnsureUpTo(dst []byte, m *MsgEnsureUpTo) []byte {
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = appendUvarint(dst, uint64(m.Version))
+	return wire.AppendBool(dst, m.Fwd)
+}
+
+func decodeMsgEnsureUpToInto(m *MsgEnsureUpTo, r *wire.Reader) {
+	m.Key = kv.Key(r.String())
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Fwd = r.Bool()
+}
+
+func appendEnsureReq(dst []byte, m *EnsureReq) []byte {
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = appendUvarint(dst, uint64(m.Version))
+	var b byte
+	if m.UpTo {
+		b |= 1
+	}
+	if m.Fwd {
+		b |= 2
+	}
+	return append(dst, b)
+}
+
+func decodeEnsureReqInto(m *EnsureReq, r *wire.Reader) {
+	m.Key = kv.Key(r.String())
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	b := r.Byte()
+	m.UpTo = b&1 != 0
+	m.Fwd = b&2 != 0
+}
+
+func appendMsgEnsureBatch(dst []byte, m *MsgEnsureBatch) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Reqs)))
+	for i := range m.Reqs {
+		dst = appendEnsureReq(dst, &m.Reqs[i])
+	}
+	return dst
+}
+
+func decodeMsgEnsureBatchInto(m *MsgEnsureBatch, r *wire.Reader) {
+	n := r.Count(3)
+	m.Reqs = sliceFor(m.Reqs, n)
+	for i := range m.Reqs {
+		decodeEnsureReqInto(&m.Reqs[i], r)
+	}
+}
+
+func appendMsgEnsureBatchResp(dst []byte, m *MsgEnsureBatchResp) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Results)))
+	for i := range m.Results {
+		dst = appendResolutionPtr(dst, m.Results[i].Resolution)
+		dst = wire.AppendString(dst, m.Results[i].Err)
+	}
+	return dst
+}
+
+func decodeMsgEnsureBatchRespInto(m *MsgEnsureBatchResp, r *wire.Reader) {
+	n := r.Count(2)
+	m.Results = sliceFor(m.Results, n)
+	for i := range m.Results {
+		decodeResolutionPtrInto(&m.Results[i].Resolution, r)
+		m.Results[i].Err = r.String()
+	}
+}
+
+// --- MsgApplyDeferred ---
+
+func appendMsgApplyDeferred(dst []byte, m *MsgApplyDeferred) []byte {
+	dst = appendUvarint(dst, uint64(m.Version))
+	dst = appendDependentWrites(dst, m.Writes)
+	dst = appendKeySet(dst, m.Dissolve)
+	var b byte
+	if m.Aborted {
+		b |= 1
+	}
+	if m.Fwd {
+		b |= 2
+	}
+	return append(dst, b)
+}
+
+func decodeMsgApplyDeferredInto(m *MsgApplyDeferred, r *wire.Reader) {
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Writes = decodeDependentWritesInto(m.Writes, r)
+	m.Dissolve = decodeKeySetInto(m.Dissolve, r)
+	b := r.Byte()
+	m.Aborted = b&1 != 0
+	m.Fwd = b&2 != 0
+}
+
+// --- MsgWaitComputed ---
+
+func appendMsgWaitComputed(dst []byte, m *MsgWaitComputed) []byte {
+	dst = wire.AppendString(dst, string(m.Key))
+	dst = appendUvarint(dst, uint64(m.Version))
+	return wire.AppendBool(dst, m.Fwd)
+}
+
+func decodeMsgWaitComputedInto(m *MsgWaitComputed, r *wire.Reader) {
+	m.Key = kv.Key(r.String())
+	m.Version = tstamp.Timestamp(r.Uvarint())
+	m.Fwd = r.Bool()
+}
+
+func appendMsgWaitComputedResp(dst []byte, m *MsgWaitComputedResp) []byte {
+	dst = append(dst, byte(m.Kind))
+	return wire.AppendString(dst, m.Reason)
+}
+
+func decodeMsgWaitComputedRespInto(m *MsgWaitComputedResp, r *wire.Reader) {
+	m.Kind = functor.ResolutionKind(r.Byte())
+	m.Reason = r.String()
+}
+
+// --- epoch control + ping ---
+
+func appendEpoch(dst []byte, e tstamp.Epoch) []byte { return appendUvarint(dst, uint64(e)) }
+
+func appendMsgPong(dst []byte, m *MsgPong) []byte {
+	dst = appendUvarint(dst, uint64(m.Node))
+	dst = appendUvarint(dst, m.CommittedEpoch)
+	return appendUvarint(dst, m.CurrentEpoch)
+}
+
+func decodeMsgPongInto(m *MsgPong, r *wire.Reader) {
+	m.Node = int(r.Uvarint())
+	m.CommittedEpoch = r.Uvarint()
+	m.CurrentEpoch = r.Uvarint()
+}
+
+// registerWireCodecs installs the binary codec of every hot message.
+// Helper generics keep each registration to one line while preserving
+// the concrete-value round trip handlers rely on for type switches.
+func registerWireCodecs() {
+	codec := func(kind wire.Kind, enc wire.AppendFunc, dec wire.DecodeFunc, proto any) {
+		wire.Register(kind, proto, enc, dec)
+	}
+
+	codec(wireKindInstall,
+		func(dst []byte, msg any) []byte { m := msg.(MsgInstall); return appendMsgInstall(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgInstall
+			r := wire.NewReader(b)
+			decodeMsgInstallInto(&m, &r)
+			return m, finish(&r)
+		}, MsgInstall{})
+	codec(wireKindInstallResp,
+		func(dst []byte, msg any) []byte { m := msg.(MsgInstallResp); return appendMsgInstallResp(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgInstallResp
+			r := wire.NewReader(b)
+			decodeMsgInstallRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgInstallResp{})
+	codec(wireKindAbort,
+		func(dst []byte, msg any) []byte { m := msg.(MsgAbort); return appendMsgAbort(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgAbort
+			r := wire.NewReader(b)
+			decodeMsgAbortInto(&m, &r)
+			return m, finish(&r)
+		}, MsgAbort{})
+	codec(wireKindAbortBatch,
+		func(dst []byte, msg any) []byte { m := msg.(MsgAbortBatch); return appendMsgAbortBatch(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgAbortBatch
+			r := wire.NewReader(b)
+			decodeMsgAbortBatchInto(&m, &r)
+			return m, finish(&r)
+		}, MsgAbortBatch{})
+	codec(wireKindRead,
+		func(dst []byte, msg any) []byte { m := msg.(MsgRead); return appendMsgRead(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgRead
+			r := wire.NewReader(b)
+			decodeMsgReadInto(&m, &r)
+			return m, finish(&r)
+		}, MsgRead{})
+	codec(wireKindReadResp,
+		func(dst []byte, msg any) []byte { m := msg.(MsgReadResp); return appendMsgReadResp(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgReadResp
+			r := wire.NewReader(b)
+			decodeMsgReadRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgReadResp{})
+	codec(wireKindReadBatch,
+		func(dst []byte, msg any) []byte { m := msg.(MsgReadBatch); return appendMsgReadBatch(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgReadBatch
+			r := wire.NewReader(b)
+			decodeMsgReadBatchInto(&m, &r)
+			return m, finish(&r)
+		}, MsgReadBatch{})
+	codec(wireKindReadBatchResp,
+		func(dst []byte, msg any) []byte {
+			m := msg.(MsgReadBatchResp)
+			return appendMsgReadBatchResp(dst, &m)
+		},
+		func(b []byte) (any, error) {
+			var m MsgReadBatchResp
+			r := wire.NewReader(b)
+			decodeMsgReadBatchRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgReadBatchResp{})
+	codec(wireKindPush,
+		func(dst []byte, msg any) []byte { m := msg.(MsgPush); return appendMsgPush(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgPush
+			r := wire.NewReader(b)
+			decodeMsgPushInto(&m, &r)
+			return m, finish(&r)
+		}, MsgPush{})
+	codec(wireKindEnsure,
+		func(dst []byte, msg any) []byte { m := msg.(MsgEnsure); return appendMsgEnsure(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgEnsure
+			r := wire.NewReader(b)
+			decodeMsgEnsureInto(&m, &r)
+			return m, finish(&r)
+		}, MsgEnsure{})
+	codec(wireKindEnsureResp,
+		func(dst []byte, msg any) []byte { m := msg.(MsgEnsureResp); return appendMsgEnsureResp(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgEnsureResp
+			r := wire.NewReader(b)
+			decodeMsgEnsureRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgEnsureResp{})
+	codec(wireKindEnsureUpTo,
+		func(dst []byte, msg any) []byte { m := msg.(MsgEnsureUpTo); return appendMsgEnsureUpTo(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgEnsureUpTo
+			r := wire.NewReader(b)
+			decodeMsgEnsureUpToInto(&m, &r)
+			return m, finish(&r)
+		}, MsgEnsureUpTo{})
+	codec(wireKindEnsureUpToResp,
+		func(dst []byte, msg any) []byte { return dst },
+		func(b []byte) (any, error) {
+			if len(b) != 0 {
+				return nil, fmt.Errorf("core: MsgEnsureUpToResp carries %d stray bytes", len(b))
+			}
+			return MsgEnsureUpToResp{}, nil
+		}, MsgEnsureUpToResp{})
+	codec(wireKindEnsureBatch,
+		func(dst []byte, msg any) []byte { m := msg.(MsgEnsureBatch); return appendMsgEnsureBatch(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgEnsureBatch
+			r := wire.NewReader(b)
+			decodeMsgEnsureBatchInto(&m, &r)
+			return m, finish(&r)
+		}, MsgEnsureBatch{})
+	codec(wireKindEnsureBatchResp,
+		func(dst []byte, msg any) []byte {
+			m := msg.(MsgEnsureBatchResp)
+			return appendMsgEnsureBatchResp(dst, &m)
+		},
+		func(b []byte) (any, error) {
+			var m MsgEnsureBatchResp
+			r := wire.NewReader(b)
+			decodeMsgEnsureBatchRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgEnsureBatchResp{})
+	codec(wireKindApplyDeferred,
+		func(dst []byte, msg any) []byte {
+			m := msg.(MsgApplyDeferred)
+			return appendMsgApplyDeferred(dst, &m)
+		},
+		func(b []byte) (any, error) {
+			var m MsgApplyDeferred
+			r := wire.NewReader(b)
+			decodeMsgApplyDeferredInto(&m, &r)
+			return m, finish(&r)
+		}, MsgApplyDeferred{})
+	codec(wireKindWaitComputed,
+		func(dst []byte, msg any) []byte {
+			m := msg.(MsgWaitComputed)
+			return appendMsgWaitComputed(dst, &m)
+		},
+		func(b []byte) (any, error) {
+			var m MsgWaitComputed
+			r := wire.NewReader(b)
+			decodeMsgWaitComputedInto(&m, &r)
+			return m, finish(&r)
+		}, MsgWaitComputed{})
+	codec(wireKindWaitComputedResp,
+		func(dst []byte, msg any) []byte {
+			m := msg.(MsgWaitComputedResp)
+			return appendMsgWaitComputedResp(dst, &m)
+		},
+		func(b []byte) (any, error) {
+			var m MsgWaitComputedResp
+			r := wire.NewReader(b)
+			decodeMsgWaitComputedRespInto(&m, &r)
+			return m, finish(&r)
+		}, MsgWaitComputedResp{})
+	codec(wireKindGrant,
+		func(dst []byte, msg any) []byte { return appendEpoch(dst, msg.(MsgGrant).E) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := MsgGrant{E: tstamp.Epoch(r.Uvarint())}
+			return m, finish(&r)
+		}, MsgGrant{})
+	codec(wireKindRevoke,
+		func(dst []byte, msg any) []byte { return appendEpoch(dst, msg.(MsgRevoke).E) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := MsgRevoke{E: tstamp.Epoch(r.Uvarint())}
+			return m, finish(&r)
+		}, MsgRevoke{})
+	codec(wireKindRevokeAck,
+		func(dst []byte, msg any) []byte { return appendEpoch(dst, msg.(MsgRevokeAck).E) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := MsgRevokeAck{E: tstamp.Epoch(r.Uvarint())}
+			return m, finish(&r)
+		}, MsgRevokeAck{})
+	codec(wireKindCommitted,
+		func(dst []byte, msg any) []byte { return appendEpoch(dst, msg.(MsgCommitted).E) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := MsgCommitted{E: tstamp.Epoch(r.Uvarint())}
+			return m, finish(&r)
+		}, MsgCommitted{})
+	codec(wireKindPing,
+		func(dst []byte, msg any) []byte { return dst },
+		func(b []byte) (any, error) {
+			if len(b) != 0 {
+				return nil, fmt.Errorf("core: MsgPing carries %d stray bytes", len(b))
+			}
+			return MsgPing{}, nil
+		}, MsgPing{})
+	codec(wireKindPong,
+		func(dst []byte, msg any) []byte { m := msg.(MsgPong); return appendMsgPong(dst, &m) },
+		func(b []byte) (any, error) {
+			var m MsgPong
+			r := wire.NewReader(b)
+			decodeMsgPongInto(&m, &r)
+			return m, finish(&r)
+		}, MsgPong{})
+}
+
+// finish validates that a decoder consumed its payload exactly.
+func finish(r *wire.Reader) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("core: %d stray bytes after message", n)
+	}
+	return nil
+}

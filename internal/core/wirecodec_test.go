@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/placement"
+	"alohadb/internal/tstamp"
+	"alohadb/internal/wire"
+)
+
+func init() { RegisterMessages() }
+
+// hotSamples returns one fully populated sample per hot message type.
+// Slices that would be empty are nil (not []T{}): the binary codec
+// matches gob's convention of decoding zero-length sequences as nil, so
+// DeepEqual round trips hold for both codecs.
+func hotSamples() []any {
+	ts := tstamp.Make(7, 42, 3)
+	fn := &functor.Functor{
+		Type:          functor.TypeUser,
+		Handler:       "neworder",
+		Arg:           []byte{0x01, 0x02, 0x03},
+		ReadSet:       []kv.Key{"w:1", "i:77"},
+		Recipients:    []kv.Key{"o:9"},
+		DependentKeys: []kv.Key{"ol:9:1"},
+	}
+	put := &functor.Functor{Type: functor.TypeValue, Arg: []byte("v")}
+	pm := &placement.Map{
+		Gen: 4,
+		Moves: []placement.Move{
+			{Range: placement.Range{Start: "a", End: "m"}, To: 2, From: 6},
+			{Range: placement.Range{Start: "m"}, To: 0, From: 6},
+		},
+	}
+	return []any{
+		MsgInstall{
+			Txns: []InstallTxn{
+				{
+					Version:  ts,
+					Writes:   []Write{{Key: "w:1", Functor: fn}, {Key: "o:9", Functor: put}},
+					Requires: []kv.Key{"i:77"},
+				},
+				{Version: ts + 1, Writes: []Write{{Key: "x", Functor: put}}},
+			},
+			Placement: pm,
+		},
+		MsgInstall{Txns: []InstallTxn{{Version: ts}}},
+		MsgInstallResp{
+			Results: []InstallResult{
+				{OK: true},
+				{Err: "missing key i:404"},
+				{WrongOwner: true},
+			},
+			Placement: pm,
+		},
+		MsgInstallResp{Results: []InstallResult{{OK: true}}},
+		MsgAbort{Version: ts, Keys: []kv.Key{"a", "b"}, Fwd: true},
+		MsgAbortBatch{Aborts: []MsgAbort{
+			{Version: ts, Keys: []kv.Key{"a"}},
+			{Version: ts + 5, Keys: []kv.Key{"c", "d"}, Fwd: true},
+		}},
+		MsgRead{Key: "stock:3:42", Version: ts, Fwd: true},
+		MsgReadResp{Value: kv.Value("val"), Found: true, Version: ts},
+		MsgReadResp{},
+		MsgReadBatch{Reads: []MsgRead{
+			{Key: "k1", Version: ts},
+			{Key: "k2", Version: ts, Fwd: true},
+		}},
+		MsgReadBatchResp{Results: []ReadResult{
+			{Resp: MsgReadResp{Value: kv.Value("x"), Found: true, Version: ts}},
+			{Err: "not owner"},
+		}},
+		MsgPush{Version: ts, Key: "k", Value: kv.Value("pushed"), Found: true, ValueVersion: ts - 1},
+		MsgEnsure{Key: "det", Version: ts},
+		MsgEnsureResp{Resolution: &functor.Resolution{
+			Kind:  functor.Resolved,
+			Value: kv.Value("r"),
+			DependentWrites: []functor.DependentWrite{
+				{Key: "dep1", Value: kv.Value("dv")},
+				{Key: "dep2", Delete: true},
+			},
+		}},
+		MsgEnsureResp{},
+		MsgEnsureUpTo{Key: "det", Version: ts, Fwd: true},
+		MsgEnsureUpToResp{},
+		MsgEnsureBatch{Reqs: []EnsureReq{
+			{Key: "d1", Version: ts, UpTo: true},
+			{Key: "d2", Version: ts, Fwd: true},
+		}},
+		MsgEnsureBatchResp{Results: []EnsureResult{
+			{Resolution: &functor.Resolution{Kind: functor.ResolvedAborted, Reason: "constraint"}},
+			{Err: "timeout"},
+			{},
+		}},
+		MsgApplyDeferred{
+			Version: ts,
+			Writes: []functor.DependentWrite{
+				{Key: "dep", Value: kv.Value("v")},
+			},
+			Dissolve: []kv.Key{"gone"},
+			Aborted:  true,
+			Fwd:      true,
+		},
+		MsgWaitComputed{Key: "k", Version: ts},
+		MsgWaitComputedResp{Kind: functor.ResolvedAborted, Reason: "why"},
+		MsgGrant{E: 300},
+		MsgRevoke{E: 301},
+		MsgRevokeAck{E: 301},
+		MsgCommitted{E: 299},
+		MsgPing{},
+		MsgPong{Node: 3, CommittedEpoch: 11, CurrentEpoch: 12},
+	}
+}
+
+func binaryRoundTrip(t testing.TB, msg any) any {
+	t.Helper()
+	env := wire.Envelope{ID: 1, Kind: 1, Msg: msg}
+	b, gobFallback, err := wire.AppendEnvelope(nil, &env)
+	if err != nil {
+		t.Fatalf("%T: AppendEnvelope: %v", msg, err)
+	}
+	if gobFallback {
+		t.Fatalf("%T: hot message took the gob fallback", msg)
+	}
+	got, err := wire.DecodeEnvelope(b[wire.FrameLenSize:])
+	if err != nil {
+		t.Fatalf("%T: DecodeEnvelope: %v", msg, err)
+	}
+	return got.Msg
+}
+
+func gobRoundTrip(t testing.TB, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	boxed := msg
+	if err := gob.NewEncoder(&buf).Encode(&boxed); err != nil {
+		t.Fatalf("%T: gob encode: %v", msg, err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("%T: gob decode: %v", msg, err)
+	}
+	return out
+}
+
+func TestHotMessagesRoundTrip(t *testing.T) {
+	for _, msg := range hotSamples() {
+		t.Run(fmt.Sprintf("%T", msg), func(t *testing.T) {
+			got := binaryRoundTrip(t, msg)
+			if !reflect.DeepEqual(got, msg) {
+				t.Errorf("binary round trip:\n got %#v\nwant %#v", got, msg)
+			}
+		})
+	}
+}
+
+// TestHotMessagesDifferential asserts the binary codec and gob decode
+// every hot message to identical structs — the property that lets a
+// mixed-codec cluster interoperate during a rolling upgrade.
+func TestHotMessagesDifferential(t *testing.T) {
+	for _, msg := range hotSamples() {
+		t.Run(fmt.Sprintf("%T", msg), func(t *testing.T) {
+			viaBinary := binaryRoundTrip(t, msg)
+			viaGob := gobRoundTrip(t, msg)
+			if !reflect.DeepEqual(viaBinary, viaGob) {
+				t.Errorf("codecs disagree:\nbinary %#v\n   gob %#v", viaBinary, viaGob)
+			}
+		})
+	}
+}
+
+func TestHotMessagesRegistered(t *testing.T) {
+	for _, msg := range hotSamples() {
+		if !wire.Registered(msg) {
+			t.Errorf("%T has no binary codec", msg)
+		}
+	}
+	// Cold messages deliberately ride the gob escape hatch.
+	for _, msg := range []any{MsgScan{}, MsgClientSubmit{}, MsgMapInstall{}} {
+		if wire.Registered(msg) {
+			t.Errorf("%T unexpectedly has a binary codec", msg)
+		}
+	}
+}
+
+// TestWireKindsStable locks the kind bytes: they are wire format, shared
+// across versions in a mixed cluster. Append new kinds, never renumber.
+func TestWireKindsStable(t *testing.T) {
+	want := map[wire.Kind]wire.Kind{
+		wireKindInstall:          1,
+		wireKindInstallResp:      2,
+		wireKindAbort:            3,
+		wireKindAbortBatch:       4,
+		wireKindRead:             5,
+		wireKindReadResp:         6,
+		wireKindReadBatch:        7,
+		wireKindReadBatchResp:    8,
+		wireKindPush:             9,
+		wireKindEnsure:           10,
+		wireKindEnsureResp:       11,
+		wireKindEnsureUpTo:       12,
+		wireKindEnsureUpToResp:   13,
+		wireKindEnsureBatch:      14,
+		wireKindEnsureBatchResp:  15,
+		wireKindApplyDeferred:    16,
+		wireKindWaitComputed:     17,
+		wireKindWaitComputedResp: 18,
+		wireKindGrant:            19,
+		wireKindRevoke:           20,
+		wireKindRevokeAck:        21,
+		wireKindCommitted:        22,
+		wireKindPing:             23,
+		wireKindPong:             24,
+	}
+	for got, w := range want {
+		if got != w {
+			t.Errorf("kind constant renumbered: got %d, want %d", got, w)
+		}
+	}
+}
+
+// TestMessageGolden locks the full frame bytes of representative hot
+// messages. A mismatch means the wire format changed: that breaks mixed
+// clusters, so bump wire.Version instead of editing the bytes.
+func TestMessageGolden(t *testing.T) {
+	t.Run("MsgRead", func(t *testing.T) {
+		env := wire.Envelope{ID: 5, From: 2, Kind: 1, Msg: MsgRead{Key: "k1", Version: 9}}
+		b, _, err := wire.AppendEnvelope(nil, &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{
+			0x8a, 0x80, 0x80, 0x00, // frame len 10
+			0x01,     // envelope kind: request
+			0x05,     // id 5
+			0x02,     // from 2
+			0x00,     // flags: none
+			0x05,     // msgKind: wireKindRead
+			0x02,     // len("k1")
+			'k', '1', // key
+			0x09, // version 9
+			0x00, // fwd = false
+		}
+		if !bytes.Equal(b, want) {
+			t.Errorf("golden mismatch:\n got % x\nwant % x", b, want)
+		}
+	})
+	t.Run("MsgGrant", func(t *testing.T) {
+		env := wire.Envelope{ID: 1, From: 6, Kind: 3, Msg: MsgGrant{E: 300}}
+		b, _, err := wire.AppendEnvelope(nil, &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{
+			0x87, 0x80, 0x80, 0x00, // frame len 7
+			0x03,       // envelope kind: oneway
+			0x01,       // id 1
+			0x06,       // from 6
+			0x00,       // flags: none
+			0x13,       // msgKind: wireKindGrant (19)
+			0xac, 0x02, // epoch 300
+		}
+		if !bytes.Equal(b, want) {
+			t.Errorf("golden mismatch:\n got % x\nwant % x", b, want)
+		}
+	})
+}
+
+// Benchmark messages sized like a hot TPC-C steady state: a 16-read batch
+// and a 2-txn install. The CI alloc guards grep these for "0 allocs/op";
+// encode appends into a reused buffer, decode fills a reused struct from a
+// stable byte slice — exactly the flusher's and reader's steady state.
+
+func benchReadBatch() MsgReadBatch {
+	m := MsgReadBatch{Reads: make([]MsgRead, 16)}
+	for i := range m.Reads {
+		m.Reads[i] = MsgRead{Key: kv.Key(fmt.Sprintf("stock:%d:%d", i%4, i)), Version: tstamp.Make(9, uint32(i), 1)}
+	}
+	return m
+}
+
+func benchInstall() MsgInstall {
+	ts := tstamp.Make(9, 7, 1)
+	fn := &functor.Functor{Type: functor.TypeAdd, Arg: []byte{0, 0, 0, 0, 0, 0, 0, 5}}
+	return MsgInstall{Txns: []InstallTxn{
+		{Version: ts, Writes: []Write{{Key: "a", Functor: fn}, {Key: "b", Functor: fn}}},
+		{Version: ts + 1, Writes: []Write{{Key: "c", Functor: fn}}, Requires: []kv.Key{"i:1"}},
+	}}
+}
+
+func BenchmarkWireEncodeMsgReadBatch(b *testing.B) {
+	m := benchReadBatch()
+	buf := appendMsgReadBatch(nil, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendMsgReadBatch(buf[:0], &m)
+	}
+	_ = buf
+}
+
+func BenchmarkWireDecodeMsgReadBatch(b *testing.B) {
+	src := benchReadBatch()
+	buf := appendMsgReadBatch(nil, &src)
+	var m MsgReadBatch
+	// Warm up so the decode target's slices reach steady-state capacity.
+	r := wire.NewReader(buf)
+	decodeMsgReadBatchInto(&m, &r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := wire.NewReader(buf)
+		decodeMsgReadBatchInto(&m, &r)
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}
+
+func BenchmarkWireEncodeMsgInstall(b *testing.B) {
+	m := benchInstall()
+	buf := appendMsgInstall(nil, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendMsgInstall(buf[:0], &m)
+	}
+	_ = buf
+}
+
+func BenchmarkWireDecodeMsgInstall(b *testing.B) {
+	src := benchInstall()
+	buf := appendMsgInstall(nil, &src)
+	var m MsgInstall
+	r := wire.NewReader(buf)
+	decodeMsgInstallInto(&m, &r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := wire.NewReader(buf)
+		decodeMsgInstallInto(&m, &r)
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}

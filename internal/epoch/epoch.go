@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alohadb/internal/metrics"
@@ -48,7 +49,8 @@ type Participant interface {
 // Config tunes a Manager.
 type Config struct {
 	// Duration is the epoch length for the timer-driven Run loop. The
-	// paper's default deployment uses 25 ms.
+	// paper's default deployment uses 25 ms. With MinDuration/MaxDuration
+	// set it is only the starting point of the adaptive interval.
 	Duration time.Duration
 	// SwitchTimeout bounds how long the manager waits for revoke acks
 	// before proceeding anyway (crash-stop straggler escape hatch).
@@ -58,6 +60,26 @@ type Config struct {
 	// restarts a cluster at the epoch after the last durably committed
 	// one; every epoch up to StartEpoch-1 is announced as committed.
 	StartEpoch tstamp.Epoch
+
+	// MinDuration and MaxDuration, when both set (0 < Min <= Max), enable
+	// the adaptive epoch interval: after every switch, Run's next interval
+	// is retuned from an EMA of observed switch durations so the switch
+	// overhead stays near TargetSwitchFraction of the epoch, clamped to
+	// [MinDuration, MaxDuration]. A slow cluster (long ack waits) gets
+	// longer epochs — lower commit-latency overhead per transaction — and
+	// a fast one converges down toward MinDuration for fresher visibility.
+	MinDuration time.Duration
+	MaxDuration time.Duration
+	// TargetSwitchFraction is the switch-duration share of the epoch the
+	// tuner aims for; default 0.05 (the switch costs at most ~5% of the
+	// epoch). Only meaningful with MinDuration/MaxDuration.
+	TargetSwitchFraction float64
+	// CommitCount, when set, returns the cluster's cumulative committed
+	// transaction count. The tuner uses it for idle detection: an epoch
+	// that committed nothing drifts the interval toward MaxDuration,
+	// halving switch churn on quiet clusters; the first busy epoch snaps
+	// it back to the EMA target.
+	CommitCount func() uint64
 }
 
 // DefaultDuration is the paper's default unified epoch duration (§V-A2).
@@ -85,6 +107,14 @@ type Manager struct {
 	// (revoke broadcast through the Committed+Grant broadcast), the
 	// manager-side view of epoch-switch jitter.
 	switchHist *metrics.Histogram
+
+	// adaptive-interval state. intervalNs is the Run loop's next epoch
+	// length, retuned after every switch when adaptive is set; emaSwitch
+	// and lastCommits are touched only by the (serialized) Advance path.
+	adaptive    bool
+	intervalNs  atomic.Int64
+	emaSwitchNs float64
+	lastCommits uint64
 
 	// tr, when set, records each Advance as an epoch.switch trace root with
 	// the ack-wait broken out. The Participant interface carries no context,
@@ -131,12 +161,28 @@ func New(cfg Config) *Manager {
 	if cfg.StartEpoch == 0 {
 		cfg.StartEpoch = 1
 	}
-	return &Manager{
+	if cfg.TargetSwitchFraction <= 0 {
+		cfg.TargetSwitchFraction = 0.05
+	}
+	m := &Manager{
 		cfg:        cfg,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		switchHist: metrics.NewHistogram(metrics.LatencyBounds()),
 	}
+	m.adaptive = cfg.MinDuration > 0 && cfg.MaxDuration >= cfg.MinDuration
+	m.intervalNs.Store(int64(clampDuration(cfg.Duration, cfg.MinDuration, cfg.MaxDuration)))
+	return m
+}
+
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if lo > 0 && d < lo {
+		return lo
+	}
+	if hi > 0 && d > hi {
+		return hi
+	}
+	return d
 }
 
 // Register attaches a participant. All participants must be registered
@@ -240,12 +286,52 @@ func (m *Manager) Advance() (tstamp.Epoch, error) {
 		p.Committed(e)
 		p.Grant(next)
 	}
-	m.switchHist.ObserveDuration(time.Since(begin))
+	elapsed := time.Since(begin)
+	m.switchHist.ObserveDuration(elapsed)
+	m.retune(elapsed)
 	m.mu.Lock()
 	m.current = next
 	m.switching = false
 	m.mu.Unlock()
 	return next, nil
+}
+
+// retune adapts the Run loop's next epoch interval from switch feedback.
+// Called on the (serialized) Advance path before the switching flag
+// clears, so the unsynchronized EMA state is safe: the flag's mutex
+// handoff orders successive calls.
+func (m *Manager) retune(switchDur time.Duration) {
+	if !m.adaptive {
+		return
+	}
+	// EMA over switch durations (alpha 0.25): responsive to load shifts,
+	// damped against one straggler's outlier ack.
+	if m.emaSwitchNs == 0 {
+		m.emaSwitchNs = float64(switchDur)
+	} else {
+		m.emaSwitchNs = 0.25*float64(switchDur) + 0.75*m.emaSwitchNs
+	}
+	target := time.Duration(m.emaSwitchNs / m.cfg.TargetSwitchFraction)
+	if m.cfg.CommitCount != nil {
+		commits := m.cfg.CommitCount()
+		idle := commits == m.lastCommits
+		m.lastCommits = commits
+		if idle {
+			// Nothing committed this epoch: no one is waiting on
+			// visibility, so drift toward MaxDuration to halve the
+			// switch churn of a quiet cluster.
+			if doubled := 2 * time.Duration(m.intervalNs.Load()); doubled > target {
+				target = doubled
+			}
+		}
+	}
+	m.intervalNs.Store(int64(clampDuration(target, m.cfg.MinDuration, m.cfg.MaxDuration)))
+}
+
+// Interval returns the Run loop's next epoch interval: the adaptive
+// tuner's current value, or the fixed configured Duration.
+func (m *Manager) Interval() time.Duration {
+	return time.Duration(m.intervalNs.Load())
 }
 
 // waitAcks waits for all revoke acks, bounded by SwitchTimeout. Returns
@@ -286,14 +372,17 @@ func (m *Manager) Run() error {
 	}
 	go func() {
 		defer close(m.done)
-		ticker := time.NewTicker(m.cfg.Duration)
-		defer ticker.Stop()
+		// A resettable timer instead of a ticker: the adaptive tuner may
+		// pick a different interval after every switch.
+		timer := time.NewTimer(m.Interval())
+		defer timer.Stop()
 		for {
 			select {
-			case <-ticker.C:
+			case <-timer.C:
 				if _, err := m.Advance(); err != nil {
 					return
 				}
+				timer.Reset(m.Interval())
 			case <-m.stop:
 				return
 			}
@@ -331,6 +420,9 @@ const (
 	FamSwitch = "aloha_em_switch_seconds"
 	// FamCurrentEpoch is the currently granted epoch number.
 	FamCurrentEpoch = "aloha_epoch_current"
+	// FamEpochInterval is the Run loop's next epoch interval in seconds —
+	// constant when fixed, moving when the adaptive tuner is active.
+	FamEpochInterval = "aloha_epoch_interval_seconds"
 )
 
 // MetricFamilies returns the manager's metric snapshot: the epoch-switch
@@ -348,6 +440,12 @@ func (m *Manager) MetricFamilies() []metrics.Family {
 			Help:   "Currently granted epoch.",
 			Kind:   metrics.KindGauge,
 			Series: []metrics.Series{metrics.GaugeSeries(int64(m.Current()))},
+		},
+		{
+			Name: FamEpochInterval,
+			Help: "Next epoch interval of the Run loop (adaptive when min/max are set).",
+			Kind: metrics.KindGauge, Unit: metrics.UnitSeconds,
+			Series: []metrics.Series{{Value: m.Interval().Seconds()}},
 		},
 	}
 }

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateFailures(t *testing.T) {
+	committed := []NetBenchRow{
+		{Name: "remote_read_tcp_2s", Metric: "reads_per_s", Value: 1000},
+		{Name: "remote_read_tcp_2s", Metric: "msgs_per_read", Value: 2},
+		{Name: "neworder_tcp_2s_1w", Metric: "txn_per_s", Value: 500},
+	}
+	t.Run("pass within tolerance", func(t *testing.T) {
+		fresh := []NetBenchRow{
+			{Name: "remote_read_tcp_2s", Metric: "reads_per_s", Value: 950},
+			{Name: "neworder_tcp_2s_1w", Metric: "txn_per_s", Value: 600},
+		}
+		if fails := GateFailures(committed, fresh, 0.10); len(fails) != 0 {
+			t.Errorf("unexpected failures: %v", fails)
+		}
+	})
+	t.Run("regression fails", func(t *testing.T) {
+		fresh := []NetBenchRow{
+			{Name: "remote_read_tcp_2s", Metric: "reads_per_s", Value: 800},
+			{Name: "neworder_tcp_2s_1w", Metric: "txn_per_s", Value: 510},
+		}
+		fails := GateFailures(committed, fresh, 0.10)
+		if len(fails) != 1 || !strings.Contains(fails[0], "reads_per_s") {
+			t.Errorf("fails = %v, want one reads_per_s regression", fails)
+		}
+	})
+	t.Run("ungated metrics ignored", func(t *testing.T) {
+		fresh := []NetBenchRow{
+			{Name: "remote_read_tcp_2s", Metric: "reads_per_s", Value: 1000},
+			{Name: "remote_read_tcp_2s", Metric: "msgs_per_read", Value: 99},
+			{Name: "neworder_tcp_2s_1w", Metric: "txn_per_s", Value: 500},
+		}
+		if fails := GateFailures(committed, fresh, 0.10); len(fails) != 0 {
+			t.Errorf("ungated metric gated: %v", fails)
+		}
+	})
+	t.Run("missing gated row fails", func(t *testing.T) {
+		fresh := []NetBenchRow{
+			{Name: "remote_read_tcp_2s", Metric: "reads_per_s", Value: 1000},
+		}
+		fails := GateFailures(committed, fresh, 0.10)
+		if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+			t.Errorf("fails = %v, want one missing-row failure", fails)
+		}
+	})
+}

@@ -15,9 +15,11 @@ import (
 	"alohadb/internal/trace"
 )
 
-// RegisterType makes a concrete message type encodable on the TCP
-// transport. Applications register every message struct once at startup
-// (the in-memory transport needs no registration).
+// RegisterType makes a concrete message type encodable by the gob paths
+// of the TCP transport: the legacy CodecGob stream and the binary
+// envelope's escape hatch for cold messages. Hot messages additionally
+// register explicit binary codecs with internal/wire (see
+// core.RegisterMessages); the in-memory transport needs no registration.
 func RegisterType(v any) { gob.Register(v) }
 
 const (
@@ -53,6 +55,7 @@ type tcpConfig struct {
 	flushInterval  time.Duration
 	sendQueue      int
 	inboundWorkers int
+	codecFor       func(NodeID) Codec
 }
 
 // TCPOption configures a TCPNetwork.
@@ -101,11 +104,30 @@ func WithInboundWorkers(n int) TCPOption {
 	}
 }
 
+// WithCodec sets the wire codec this process's nodes use when dialing
+// peers (default CodecBinary). Inbound connections always auto-detect
+// the sender's codec and replies mirror it, so meshes with differently
+// configured nodes interoperate.
+func WithCodec(codec Codec) TCPOption {
+	return func(c *tcpConfig) { c.codecFor = func(NodeID) Codec { return codec } }
+}
+
+// WithCodecFor sets the dialing codec per destination node — the hook
+// mixed-codec chaos scenarios use to pin half the mesh on each codec.
+func WithCodecFor(f func(NodeID) Codec) TCPOption {
+	return func(c *tcpConfig) {
+		if f != nil {
+			c.codecFor = f
+		}
+	}
+}
+
 // TCPNetwork is a mesh over TCP with a static address book. Each attached
 // node listens on its own address; peers dial lazily and keep one
-// connection per direction. Messages are gob-encoded envelopes, coalesced
-// per peer: senders enqueue onto a bounded per-peer queue and a dedicated
-// flusher drains many envelopes per socket write.
+// connection per direction. Messages are length-prefixed binary envelopes
+// (internal/wire; gob with WithCodec(CodecGob)), coalesced per peer:
+// senders enqueue onto a bounded per-peer queue and a dedicated flusher
+// encodes many envelopes into one buffer per socket write.
 type TCPNetwork struct {
 	addrs   map[NodeID]string
 	cfg     tcpConfig
@@ -126,6 +148,7 @@ func NewTCPNetwork(addrs map[NodeID]string, opts ...TCPOption) *TCPNetwork {
 		flushBytes:     defaultFlushBytes,
 		sendQueue:      defaultSendQueue,
 		inboundWorkers: defaultInboundWorkers,
+		codecFor:       func(NodeID) Codec { return CodecBinary },
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -254,6 +277,12 @@ type tcpPeer struct {
 	sendq chan *envelope
 	dead  chan struct{}
 	once  sync.Once
+	// codec is the encoding of this peer's outbound stream. Dialed peers
+	// set it from the mesh config before the flusher starts; inbound
+	// reply peers learn it from the connection's negotiated inbound codec,
+	// which serveInbound stores before any request can be dispatched (and
+	// therefore before any reply can be enqueued).
+	codec atomic.Uint32
 }
 
 func newTCPPeer(conn net.Conn, queue int) *tcpPeer {
@@ -340,7 +369,7 @@ func (c *tcpConn) acceptLoop() {
 
 // serveInbound reads requests from one accepted connection and dispatches
 // them to the worker pool; responses ride the same connection through the
-// peer's flusher.
+// peer's flusher, mirroring the codec the sender negotiated.
 func (c *tcpConn) serveInbound(conn net.Conn, out *tcpPeer) {
 	defer c.wg.Done()
 	defer func() {
@@ -349,18 +378,25 @@ func (c *tcpConn) serveInbound(conn net.Conn, out *tcpPeer) {
 		delete(c.inbound, conn)
 		c.inboundMu.Unlock()
 	}()
-	dec := gob.NewDecoder(countingReader{r: conn, m: c.net.metrics})
+	br := bufio.NewReaderSize(countingReader{r: conn, m: c.net.metrics}, c.net.cfg.flushBytes)
+	dec, codec, err := negotiateDecoder(br, c.net.metrics)
+	if err != nil {
+		return
+	}
+	out.codec.Store(uint32(codec))
+	// One envelope is reused for the connection's lifetime; dispatch
+	// copies it by value, and both decoders reset it per frame.
+	env := new(envelope)
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if err := dec.decode(env); err != nil {
 			return
 		}
 		c.net.metrics.recordRecv()
 		switch env.Kind {
 		case kindOneway:
-			c.dispatchInbound(inboundReq{env: env})
+			c.dispatchInbound(inboundReq{env: *env})
 		case kindRequest:
-			c.dispatchInbound(inboundReq{env: env, out: out})
+			c.dispatchInbound(inboundReq{env: *env, out: out})
 		default:
 			// A response on an inbound connection is a protocol violation;
 			// drop it.
@@ -406,26 +442,35 @@ func (c *tcpConn) handleInbound(req inboundReq) {
 		return
 	}
 	resp, err := c.handler(ctx, env.From, env.Payload)
-	reply := &envelope{ID: env.ID, From: c.id, Kind: kindResponse, Payload: resp}
+	reply := getEnvelope()
+	reply.ID = env.ID
+	reply.From = c.id
+	reply.Kind = kindResponse
+	reply.Payload = resp
 	if err != nil {
 		reply.ErrText = err.Error()
 		reply.Payload = nil
 	}
-	_ = req.out.enqueue(reply, c.net.metrics)
+	if req.out.enqueue(reply, c.net.metrics) != nil {
+		putEnvelope(reply) // never reached the queue
+	}
 }
 
-// flushLoop is the peer's dedicated writer: it drains the send queue into
-// a buffered gob stream and flushes many envelopes per socket write. A
-// flush happens when the queue momentarily drains (plus an optional linger
-// window) or when flushBytes of encoded data accumulate. onErr, when
-// non-nil, reports a write failure (outbound peers drop the link and fail
-// pending calls); inbound reply paths just close the connection, which
-// terminates the serve loop too.
+// flushLoop is the peer's dedicated writer: it drains the send queue
+// through the peer's codec into a coalescing buffer and flushes many
+// envelopes per socket write. A flush happens when the queue momentarily
+// drains (plus an optional linger window) or when flushBytes of encoded
+// data accumulate. onErr, when non-nil, reports a write failure (outbound
+// peers drop the link and fail pending calls); inbound reply paths just
+// close the connection, which terminates the serve loop too.
 func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
 	defer c.wg.Done()
 	cfg := c.net.cfg
-	bw := bufio.NewWriterSize(countingWriter{w: p.conn, m: c.net.metrics}, cfg.flushBytes)
-	enc := gob.NewEncoder(bw)
+	// The encoder is created at the first envelope, not at connection
+	// start: an inbound reply peer only learns its codec once the serve
+	// loop has negotiated the connection's inbound stream, which strictly
+	// precedes the first enqueued reply.
+	var enc envEncoder
 	for {
 		var env *envelope
 		select {
@@ -433,12 +478,20 @@ func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
 		case <-p.dead:
 			return
 		}
+		if enc == nil {
+			if Codec(p.codec.Load()) == CodecGob {
+				enc = newGobEnvEncoder(countingWriter{w: p.conn, m: c.net.metrics}, cfg.flushBytes)
+			} else {
+				enc = newBinEnvEncoder(countingWriter{w: p.conn, m: c.net.metrics}, c.net.metrics, cfg.flushBytes)
+			}
+		}
 		var err error
 		batch := 0
 		encode := func(e *envelope) {
 			if err == nil {
-				if err = enc.Encode(e); err == nil {
+				if err = enc.encode(e); err == nil {
 					batch++
+					putEnvelope(e)
 				}
 			}
 		}
@@ -446,7 +499,7 @@ func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
 		var linger *time.Timer
 		yields := 0
 	drain:
-		for err == nil && bw.Buffered() < cfg.flushBytes {
+		for err == nil && enc.buffered() < cfg.flushBytes {
 			select {
 			case e := <-p.sendq:
 				encode(e)
@@ -486,9 +539,9 @@ func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
 		if linger != nil {
 			linger.Stop()
 		}
-		buffered := int64(bw.Buffered())
+		buffered := int64(enc.buffered())
 		if err == nil {
-			err = bw.Flush()
+			err = enc.flush()
 		}
 		if err != nil {
 			p.kill()
@@ -503,12 +556,20 @@ func (c *tcpConn) flushLoop(p *tcpPeer, onErr func(error)) {
 }
 
 // readResponses consumes responses arriving on an outbound connection.
+// The response stream's codec mirrors what this node dialed with, but it
+// is negotiated from the stream itself — responders always prefix binary
+// response streams with the preamble — so the reader never guesses.
 func (c *tcpConn) readResponses(to NodeID, conn net.Conn) {
 	defer c.wg.Done()
-	dec := gob.NewDecoder(countingReader{r: conn, m: c.net.metrics})
+	br := bufio.NewReaderSize(countingReader{r: conn, m: c.net.metrics}, c.net.cfg.flushBytes)
+	dec, _, err := negotiateDecoder(br, c.net.metrics)
+	if err != nil {
+		c.dropPeer(to, err)
+		return
+	}
+	env := new(envelope)
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if err := dec.decode(env); err != nil {
 			c.dropPeer(to, err)
 			return
 		}
@@ -565,6 +626,7 @@ func (c *tcpConn) peerFor(to NodeID) (*tcpPeer, error) {
 		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
 	}
 	p := newTCPPeer(conn, c.net.cfg.sendQueue)
+	p.codec.Store(uint32(c.net.cfg.codecFor(to)))
 	c.peers[to] = p
 	c.wg.Add(2)
 	go c.readResponses(to, conn)
@@ -589,8 +651,14 @@ func (c *tcpConn) Call(ctx context.Context, to NodeID, req any) (any, error) {
 		c.pending.Delete(id)
 		return nil, ErrClosed
 	}
-	env := envelope{ID: id, From: c.id, Kind: kindRequest, Trace: trace.FromContext(ctx), Payload: req}
-	if err := p.enqueue(&env, c.net.metrics); err != nil {
+	env := getEnvelope()
+	env.ID = id
+	env.From = c.id
+	env.Kind = kindRequest
+	env.Trace = trace.FromContext(ctx)
+	env.Payload = req
+	if err := p.enqueue(env, c.net.metrics); err != nil {
+		putEnvelope(env) // never reached the queue
 		c.pending.Delete(id)
 		return nil, fmt.Errorf("transport: send to node %d: %w", to, err)
 	}
@@ -614,8 +682,13 @@ func (c *tcpConn) Send(ctx context.Context, to NodeID, req any) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{From: c.id, Kind: kindOneway, Trace: trace.FromContext(ctx), Payload: req}
-	if err := p.enqueue(&env, c.net.metrics); err != nil {
+	env := getEnvelope()
+	env.From = c.id
+	env.Kind = kindOneway
+	env.Trace = trace.FromContext(ctx)
+	env.Payload = req
+	if err := p.enqueue(env, c.net.metrics); err != nil {
+		putEnvelope(env) // never reached the queue
 		return fmt.Errorf("transport: send to node %d: %w", to, err)
 	}
 	return nil

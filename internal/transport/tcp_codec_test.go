@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alohadb/internal/wire"
+)
+
+// hotPing has a registered binary codec, standing in for the engine's
+// hot messages; binary meshes must carry it without a gob fallback.
+type hotPing struct {
+	Key string
+	N   uint64
+}
+
+type hotPong struct {
+	Key string
+	N   uint64
+}
+
+const (
+	kindHotPing wire.Kind = 210
+	kindHotPong wire.Kind = 211
+)
+
+func init() {
+	RegisterType(hotPing{})
+	RegisterType(hotPong{})
+	enc := func(dst []byte, key string, n uint64) []byte {
+		dst = wire.AppendString(dst, key)
+		return binary.AppendUvarint(dst, n)
+	}
+	wire.Register(kindHotPing, hotPing{},
+		func(dst []byte, msg any) []byte { m := msg.(hotPing); return enc(dst, m.Key, m.N) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := hotPing{Key: r.String(), N: r.Uvarint()}
+			return m, r.Err()
+		})
+	wire.Register(kindHotPong, hotPong{},
+		func(dst []byte, msg any) []byte { m := msg.(hotPong); return enc(dst, m.Key, m.N) },
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := hotPong{Key: r.String(), N: r.Uvarint()}
+			return m, r.Err()
+		})
+}
+
+// hotEchoHandler answers hotPing with hotPong and counts one-way
+// deliveries of both hot and cold (gob-only) messages.
+func hotEchoHandler(oneways *atomic.Int64) Handler {
+	return func(_ context.Context, from NodeID, msg any) (any, error) {
+		switch m := msg.(type) {
+		case hotPing:
+			if m.Key == "fail" {
+				return nil, errors.New("requested failure")
+			}
+			return hotPong{Key: m.Key, N: m.N + 1}, nil
+		case ping: // cold type: no binary codec, rides the escape hatch
+			if oneways != nil {
+				oneways.Add(1)
+			}
+			return pong{N: m.N + 1}, nil
+		default:
+			return nil, fmt.Errorf("unexpected message %T", msg)
+		}
+	}
+}
+
+// codecMeshes builds three-node TCP meshes per codec configuration. The
+// mixed mesh dials binary from even nodes and gob from odd ones, the
+// rolling-upgrade shape the handshake fallback exists for.
+func codecMeshes() map[string]func() *TCPNetwork {
+	addrs := func() map[NodeID]string {
+		return map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	}
+	return map[string]func() *TCPNetwork{
+		"binary": func() *TCPNetwork { return NewTCPNetwork(addrs(), WithCodec(CodecBinary)) },
+		"gob":    func() *TCPNetwork { return NewTCPNetwork(addrs(), WithCodec(CodecGob)) },
+		"mixed": func() *TCPNetwork {
+			return NewTCPNetwork(addrs(), WithCodecFor(func(id NodeID) Codec {
+				if id%2 == 0 {
+					return CodecBinary
+				}
+				return CodecGob
+			}))
+		},
+	}
+}
+
+func TestTCPCodecMeshes(t *testing.T) {
+	for name, mk := range codecMeshes() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			var oneways atomic.Int64
+			conns := make([]Conn, 3)
+			for id := NodeID(0); id < 3; id++ {
+				c, err := n.Node(id, hotEchoHandler(&oneways))
+				if err != nil {
+					t.Fatal(err)
+				}
+				conns[id] = c
+			}
+			ctx := context.Background()
+			// Every ordered pair calls every other node: requests and
+			// responses cross every codec combination the mesh offers.
+			for from := range conns {
+				for to := range conns {
+					if from == to {
+						continue
+					}
+					resp, err := conns[from].Call(ctx, NodeID(to), hotPing{Key: "k", N: uint64(from)})
+					if err != nil {
+						t.Fatalf("%d->%d: %v", from, to, err)
+					}
+					if got, ok := resp.(hotPong); !ok || got.N != uint64(from)+1 || got.Key != "k" {
+						t.Fatalf("%d->%d: resp = %#v", from, to, resp)
+					}
+					// Remote errors must cross codecs too.
+					if _, err := conns[from].Call(ctx, NodeID(to), hotPing{Key: "fail"}); err == nil {
+						t.Fatalf("%d->%d: error did not propagate", from, to)
+					}
+					// Cold gob-only messages ride the escape hatch.
+					if err := conns[from].Send(ctx, NodeID(to), ping{N: 7}); err != nil {
+						t.Fatalf("%d->%d send: %v", from, to, err)
+					}
+				}
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for oneways.Load() < 6 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if got := oneways.Load(); got != 6 {
+				t.Errorf("one-way deliveries = %d, want 6", got)
+			}
+		})
+	}
+}
+
+// TestTCPBinaryNoGobFallback drives registered hot messages over a
+// binary mesh and asserts none of them rode the gob escape hatch — the
+// regression signal for a hot message losing its codec.
+func TestTCPBinaryNoGobFallback(t *testing.T) {
+	n := NewTCPNetwork(
+		map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"},
+		WithCodec(CodecBinary),
+	)
+	defer n.Close()
+	if _, err := n.Node(1, hotEchoHandler(nil)); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := n.Node(0, hotEchoHandler(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := c0.Call(ctx, 1, hotPing{Key: "stock:1:2", N: uint64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.NetMetrics().GobFallbacks(); got != 0 {
+		t.Errorf("GobFallbacks = %d, want 0 for registered hot traffic", got)
+	}
+	if sent := n.NetMetrics().MsgsSent(); sent < 800 {
+		t.Errorf("MsgsSent = %d, want >= 800", sent)
+	}
+}

@@ -1,0 +1,485 @@
+// Package wire is ALOHA-DB's hand-rolled binary wire format. It replaces
+// reflective encoding/gob on the hot RPC path (paper §V-A2) with explicit
+// append/decode codecs: length-prefixed frames, varint integers, and
+// zero-copy byte/string views into the frame buffer, so steady-state
+// encode and decode allocate nothing beyond the frame itself.
+//
+// # Frame layout
+//
+//	preamble (once per stream direction): 0x00 'A' 'W' version
+//	frame:   len(4, fixed-width uvarint) | body
+//	body:    kind(1) | id(uvarint) | from(uvarint) | flags(1)
+//	         [trace id(8) span id(8)]   when flags&TRACED
+//	         [errtext(str)]             when flags&ERRTEXT
+//	         msgKind(1) | payload(*)
+//
+// The frame length counts the body only. It is written as a fixed-width
+// 4-byte uvarint (continuation bits forced on the first three bytes) so
+// the encoder can reserve the field, append the body, and patch the
+// length in place without shifting; binary.Uvarint accepts the padded
+// form. Four bytes bound a frame at 2^28-1 bytes.
+//
+// The preamble's leading 0x00 cannot begin a legacy gob stream (gob
+// frames start with a non-zero uvarint byte count), so a receiver peeks
+// one byte to tell a binary peer from a gob peer — that is the whole
+// codec negotiation, and it is what lets mixed-codec clusters
+// interoperate during a rolling upgrade.
+//
+// # Message payloads
+//
+// Hot message types register an explicit AppendFunc/DecodeFunc pair under
+// a Kind byte (see Register). Unregistered (cold) payloads ride a
+// self-contained gob stream under KindGob — the escape hatch that keeps
+// rarely-sent control messages working without hand-written codecs.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"alohadb/internal/trace"
+)
+
+// Stream preamble. A binary sender writes these four bytes once, before
+// its first frame; version bumps make incompatible layout changes
+// detectable at accept time instead of as garbled decodes.
+const (
+	// PreambleByte is the first byte of every binary stream. Zero is
+	// unreachable as the first byte of a gob stream, which is what makes
+	// one-byte peek detection sound.
+	PreambleByte = 0x00
+	// Version is the wire-format version carried in the preamble.
+	Version = 0x01
+)
+
+// Preamble is the full stream preamble for the current version.
+var Preamble = [4]byte{PreambleByte, 'A', 'W', Version}
+
+// CheckPreamble validates a received preamble.
+func CheckPreamble(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("wire: short preamble (%d bytes)", len(b))
+	}
+	if b[0] != Preamble[0] || b[1] != Preamble[1] || b[2] != Preamble[2] {
+		return fmt.Errorf("wire: bad preamble % x", b[:4])
+	}
+	if b[3] != Version {
+		return fmt.Errorf("wire: version %d not supported (want %d)", b[3], Version)
+	}
+	return nil
+}
+
+// MaxFrameLen bounds one frame's body; it is what fits the fixed 4-byte
+// length field.
+const MaxFrameLen = 1<<28 - 1
+
+// FrameLenSize is the size of the frame length field.
+const FrameLenSize = 4
+
+// PutFrameLen writes l into the 4-byte length field at the front of b as
+// a fixed-width (continuation-padded) uvarint.
+func PutFrameLen(b []byte, l int) {
+	b[0] = byte(l)&0x7f | 0x80
+	b[1] = byte(l>>7)&0x7f | 0x80
+	b[2] = byte(l>>14)&0x7f | 0x80
+	b[3] = byte(l >> 21)
+}
+
+// GetFrameLen reads the 4-byte length field.
+func GetFrameLen(b []byte) (int, error) {
+	if len(b) < FrameLenSize {
+		return 0, fmt.Errorf("wire: short frame length (%d bytes)", len(b))
+	}
+	if b[3]&0x80 != 0 {
+		return 0, fmt.Errorf("wire: corrupt frame length % x", b[:4])
+	}
+	l := int(b[0]&0x7f) | int(b[1]&0x7f)<<7 | int(b[2]&0x7f)<<14 | int(b[3])<<21
+	return l, nil
+}
+
+// Envelope flag bits.
+const (
+	flagTraced  = 1 << 0
+	flagSampled = 1 << 1
+	flagErrText = 1 << 2
+)
+
+// Envelope is the transport-level message wrapper: request/response
+// correlation, sender identity, error text for failed calls, and the
+// propagated trace context. Msg holds the decoded payload (a registered
+// message value, or whatever the gob escape hatch produced).
+type Envelope struct {
+	ID      uint64
+	From    int
+	Kind    uint8
+	ErrText string
+	Trace   trace.SpanContext
+	Msg     any
+}
+
+// AppendEnvelope appends one length-prefixed frame carrying env to dst.
+// gobFallback reports that the payload had no registered codec and rode
+// the gob escape hatch. On error dst is returned truncated to its
+// original length, leaving the stream clean.
+func AppendEnvelope(dst []byte, env *Envelope) (out []byte, gobFallback bool, err error) {
+	off := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, env.Kind)
+	dst = binary.AppendUvarint(dst, env.ID)
+	dst = binary.AppendUvarint(dst, uint64(env.From))
+	var flags byte
+	if env.Trace.Valid() {
+		flags |= flagTraced
+		if env.Trace.Sampled {
+			flags |= flagSampled
+		}
+	}
+	if env.ErrText != "" {
+		flags |= flagErrText
+	}
+	dst = append(dst, flags)
+	if flags&flagTraced != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(env.Trace.Trace))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(env.Trace.Span))
+	}
+	if flags&flagErrText != 0 {
+		dst = AppendString(dst, env.ErrText)
+	}
+	switch {
+	case env.Msg == nil:
+		dst = append(dst, byte(KindNone))
+	default:
+		if e, ok := loadRegistry().enc[reflect.TypeOf(env.Msg)]; ok {
+			dst = append(dst, byte(e.kind))
+			dst = e.fn(dst, env.Msg)
+		} else {
+			gobFallback = true
+			dst = append(dst, byte(KindGob))
+			dst, err = appendGobPayload(dst, env.Msg)
+			if err != nil {
+				return dst[:off], true, err
+			}
+		}
+	}
+	l := len(dst) - off - FrameLenSize
+	if l > MaxFrameLen {
+		return dst[:off], gobFallback, fmt.Errorf("wire: frame of %d bytes exceeds limit", l)
+	}
+	PutFrameLen(dst[off:], l)
+	return dst, gobFallback, nil
+}
+
+// DecodeEnvelope decodes one frame body (the length field already
+// stripped). The returned envelope's Msg, ErrText, and any byte/string
+// fields of a registered payload alias b: the caller must hand ownership
+// of b to the envelope and never reuse it. That aliasing is what makes
+// decode allocation-free; frames are read into exact-size buffers whose
+// lifetime the decoded message controls.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	r := NewReader(b)
+	var env Envelope
+	env.Kind = r.Byte()
+	env.ID = r.Uvarint()
+	env.From = int(r.Uvarint())
+	flags := r.Byte()
+	if flags&flagTraced != 0 {
+		env.Trace.Trace = trace.TraceID(r.U64())
+		env.Trace.Span = trace.SpanID(r.U64())
+		env.Trace.Sampled = flags&flagSampled != 0
+	}
+	if flags&flagErrText != 0 {
+		env.ErrText = r.String()
+	}
+	mk := Kind(r.Byte())
+	if err := r.Err(); err != nil {
+		return env, err
+	}
+	payload := r.Rest()
+	switch mk {
+	case KindNone:
+		if len(payload) != 0 {
+			return env, fmt.Errorf("wire: %d stray bytes after empty payload", len(payload))
+		}
+	case KindGob:
+		msg, err := decodeGobPayload(payload)
+		if err != nil {
+			return env, fmt.Errorf("wire: gob payload: %w", err)
+		}
+		env.Msg = msg
+	default:
+		dec := loadRegistry().dec[mk]
+		if dec == nil {
+			return env, fmt.Errorf("wire: no decoder registered for kind %d", mk)
+		}
+		msg, err := dec(payload)
+		if err != nil {
+			return env, fmt.Errorf("wire: kind %d: %w", mk, err)
+		}
+		env.Msg = msg
+	}
+	return env, nil
+}
+
+// Kind tags a payload codec inside the envelope. KindGob and KindNone are
+// reserved; applications register kinds in between.
+type Kind uint8
+
+const (
+	// KindGob marks a payload encoded by the self-contained gob escape
+	// hatch (cold or unregistered message types).
+	KindGob Kind = 0
+	// KindNone marks an absent payload (error-only responses).
+	KindNone Kind = 255
+)
+
+// AppendFunc appends msg's payload encoding to dst. The msg is the same
+// value the sender passed (a registered concrete type).
+type AppendFunc func(dst []byte, msg any) []byte
+
+// DecodeFunc decodes one payload. The returned value must be the same
+// concrete type the encoder accepts (handlers type-switch on it), and it
+// may alias b.
+type DecodeFunc func(b []byte) (any, error)
+
+type encEntry struct {
+	kind Kind
+	fn   AppendFunc
+}
+
+type registryState struct {
+	enc map[reflect.Type]encEntry
+	dec [256]DecodeFunc
+}
+
+var (
+	regMu sync.Mutex
+	reg   atomic.Pointer[registryState]
+)
+
+func init() {
+	reg.Store(&registryState{enc: map[reflect.Type]encEntry{}})
+}
+
+func loadRegistry() *registryState { return reg.Load() }
+
+// Register installs the codec for one message type under kind. The
+// registry is copy-on-write: lookups on the hot path are a single atomic
+// load, registration happens once at startup. Re-registering the same
+// type/kind replaces the functions (idempotent startup paths call this
+// repeatedly).
+func Register(kind Kind, prototype any, enc AppendFunc, dec DecodeFunc) {
+	if kind == KindGob || kind == KindNone {
+		panic(fmt.Sprintf("wire: kind %d is reserved", kind))
+	}
+	t := reflect.TypeOf(prototype)
+	regMu.Lock()
+	defer regMu.Unlock()
+	old := reg.Load()
+	if e, ok := old.enc[t]; ok && e.kind != kind {
+		panic(fmt.Sprintf("wire: %v already registered as kind %d (re-register as %d)", t, e.kind, kind))
+	}
+	next := &registryState{enc: make(map[reflect.Type]encEntry, len(old.enc)+1), dec: old.dec}
+	for k, v := range old.enc {
+		next.enc[k] = v
+	}
+	next.enc[t] = encEntry{kind: kind, fn: enc}
+	next.dec[kind] = dec
+	reg.Store(next)
+}
+
+// Registered reports whether msg's concrete type has a binary codec —
+// i.e. whether it avoids the gob escape hatch.
+func Registered(msg any) bool {
+	_, ok := loadRegistry().enc[reflect.TypeOf(msg)]
+	return ok
+}
+
+// The gob escape hatch frames a payload as a self-contained gob stream
+// (descriptor + value), so cold messages cost a fresh encoder — exactly
+// the overhead the binary codec removes from hot messages.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func appendGobPayload(dst []byte, msg any) ([]byte, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&msg); err != nil {
+		return dst, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+func decodeGobPayload(b []byte) (any, error) {
+	var msg any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Reader is a sticky-error cursor over one payload. All accessors return
+// zero values once an error is latched, so codecs chain reads without
+// per-field error checks and inspect Err once at the end. Bytes and
+// String alias the underlying buffer — see DecodeEnvelope's ownership
+// rule.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) Reader { return Reader{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches err (first one wins). Codecs use it to reject semantic
+// errors (bad enum values, absurd counts) through the same path as
+// truncation.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s at offset %d", what, r.off)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.b) - r.off
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads one byte as a boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads one varint-encoded unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U64 reads a fixed-width 8-byte little-endian integer.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || len(r.b)-r.off < 8 {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes reads a length-prefixed byte slice ALIASING the underlying
+// buffer (no copy). Zero length decodes as nil, matching gob's treatment
+// of empty slices.
+func (r *Reader) Bytes() []byte {
+	l := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if l > uint64(len(r.b)-r.off) {
+		r.fail("bytes")
+		return nil
+	}
+	if l == 0 {
+		return nil
+	}
+	b := r.b[r.off : r.off+int(l) : r.off+int(l)]
+	r.off += int(l)
+	return b
+}
+
+// String reads a length-prefixed string ALIASING the underlying buffer.
+func (r *Reader) String() string {
+	b := r.Bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Count reads a uvarint element count and validates it against the
+// remaining payload (each element costs at least min bytes), bounding
+// allocation on corrupt or adversarial input.
+func (r *Reader) Count(min int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64((len(r.b)-r.off)/min) {
+		r.Fail(fmt.Errorf("wire: count %d exceeds remaining payload", n))
+		return 0
+	}
+	return int(n)
+}
+
+// Rest returns every unread byte and advances to the end.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.b[r.off:]
+	r.off = len(r.b)
+	return b
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBool appends a boolean as one byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendU64 appends a fixed-width 8-byte little-endian integer.
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}

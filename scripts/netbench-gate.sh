@@ -1,0 +1,20 @@
+#!/bin/sh
+# Netbench regression gate, shared by `make netbench-gate` and CI: run the
+# network-path benchmark suite and compare its throughput rows
+# (reads_per_s, txn_per_s, calls_per_s) against the committed current
+# section of BENCH_transport.json, failing on any regression beyond the
+# tolerance. Shared-runner loopback benchmarks are noisy, so the default
+# tolerance is deliberately loose; tighten locally with TOLERANCE=0.10.
+#
+# Usage: scripts/netbench-gate.sh [duration] (default 2s)
+set -eu
+
+duration="${1:-2s}"
+tolerance="${TOLERANCE:-0.10}"
+report="${REPORT:-BENCH_transport.json}"
+
+exec go run ./cmd/aloha-bench \
+	-netbench -netbench-gate \
+	-netbench-out "$report" \
+	-netbench-gate-tolerance "$tolerance" \
+	-duration "$duration"
