@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke migrate-smoke clean
+.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke migrate-smoke scenarios soak clean
 
 all: build test
 
@@ -64,6 +64,20 @@ obs-smoke:
 # assert throughput recovery plus a sane aloha-top view across the move.
 migrate-smoke:
 	./scripts/migrate-smoke.sh
+
+# Scenario matrix smoke: every smoke-tagged scenario from the declarative
+# registry (high-contention workloads + ported harnesses) under light
+# fault injection, oracle-checked. `-scenario-list` shows the catalog.
+scenarios:
+	$(GO) run ./cmd/aloha-bench -scenarios smoke
+
+# Nightly-scale soak: loop the soak-tagged scenarios with rotating seeds
+# for SOAK_DURATION (default 20m). A failure writes a replayable artifact
+# (scenario name, seed, log tail) to SCENARIO_ARTIFACT when set.
+SOAK_DURATION ?= 20m
+SCENARIO_ARTIFACT ?=
+soak:
+	$(GO) run ./cmd/aloha-bench -scenarios soak -soak-duration $(SOAK_DURATION) $(if $(SCENARIO_ARTIFACT),-scenario-artifact $(SCENARIO_ARTIFACT))
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -12,6 +12,7 @@ import (
 	"alohadb/internal/kv"
 	"alohadb/internal/obs/clusterview"
 	"alohadb/internal/obs/journal"
+	"alohadb/internal/scenario"
 )
 
 // epochReportOptions configures the -epoch-report run.
@@ -68,8 +69,12 @@ func runEpochReport(o epochReportOptions) error {
 		}
 		time.Sleep(500 * time.Microsecond)
 	}
-	// Let the tail of the workload commit and publish before snapshotting.
-	time.Sleep(50 * time.Millisecond)
+	// Let the tail of the workload commit and publish before snapshotting:
+	// wait for the commit frontier to pass the current epoch rather than
+	// sleeping a guessed number of epoch durations.
+	if err := scenario.WaitCommitted(c, 2*time.Second); err != nil {
+		return err
+	}
 
 	docs := make([]journal.Doc, 0, o.servers+1)
 	for i := 0; i < o.servers; i++ {

@@ -55,6 +55,13 @@ func run() error {
 		chaosTCP   = flag.Bool("chaos-tcp", false, "run chaos scenarios over real TCP sockets")
 		chaosCodec = flag.String("chaos-codec", "", "TCP wire codec for chaos scenarios: binary, gob, or mixed (with -chaos-tcp)")
 
+		scenarios        = flag.String("scenarios", "", "run the declarative scenario matrix: an attribute expression over the catalog (e.g. smoke, 'chaos && !crash', 'name:feed-*'); exits non-zero on any failure and writes a replay artifact")
+		scenarioList     = flag.Bool("scenario-list", false, "list the scenario catalog (names, attributes, summaries) and exit")
+		scenarioSeed     = flag.Int64("scenario-seed", 1, "deterministic base seed for the scenario matrix (recorded in the replay artifact)")
+		scenarioWindow   = flag.Duration("scenario-window", 0, "per-scenario workload window override (default 800ms)")
+		scenarioArtifact = flag.String("scenario-artifact", "", "replay artifact path for failing scenarios (default $SCENARIO_ARTIFACT)")
+		soakDuration     = flag.Duration("soak-duration", 0, "soak mode: divide this total budget across the selected scenarios and run each as a long-window soak gated on p99 SLOs and zero stalls")
+
 		obsSim         = flag.Bool("obs-sim", false, "boot a live simulated cluster with the full observability stack (per-server ops listeners, epoch watchdogs, skew profiler) plus a light workload; the target for aloha-top and CI's obs smoke")
 		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
 		obsSimAddrFile = flag.String("obs-sim-addr-file", "", "write the comma-separated ops addresses to this file once the listeners are up")
@@ -68,6 +75,17 @@ func run() error {
 		migrateSimRatio    = flag.Float64("migrate-sim-ratio", 0.9, "required post-split throughput as a fraction of baseline")
 	)
 	flag.Parse()
+
+	if *scenarios != "" || *scenarioList {
+		return runScenarios(scenarioOptions{
+			expr:     *scenarios,
+			list:     *scenarioList,
+			seed:     *scenarioSeed,
+			window:   *scenarioWindow,
+			soak:     *soakDuration,
+			artifact: *scenarioArtifact,
+		})
+	}
 
 	if *epochReport > 0 {
 		return runEpochReport(epochReportOptions{

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -16,9 +14,8 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
-	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
-	"alohadb/internal/placement"
+	"alohadb/internal/scenario"
 	"alohadb/internal/tstamp"
 )
 
@@ -51,63 +48,27 @@ func runMigrateSim(o migrateSimOptions) error {
 	if o.minRatio <= 0 {
 		o.minRatio = 0.9
 	}
-	skew := obs.NewSkew(obs.SkewConfig{SampleEvery: 1, TopK: 32, Partitions: o.servers})
-	c, err := core.NewCluster(core.ClusterConfig{
+	// Ops listeners so aloha-top can watch the split happen (ownership
+	// generation, migration counters, per-partition skew). Retention is
+	// bounded: the workload appends tens of thousands of versions per key,
+	// and unbounded chains make every epoch seal (a copy-on-write merge of
+	// the full chain) grow linearly with phase count, which would skew the
+	// before/after throughput comparison.
+	env, err := scenario.BuildEnv(scenario.EnvConfig{
 		Servers:       o.servers,
 		EpochDuration: 5 * time.Millisecond,
 		Registry:      functor.NewRegistry(),
-		Skew:          skew,
+		Retention:     8,
+		Skew:          &obs.SkewConfig{SampleEvery: 1, TopK: 32},
+		Ops:           true,
 	})
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	if err := c.Start(); err != nil {
-		return err
-	}
-	// Bound the version history: the workload appends tens of thousands of
-	// versions per key, and unbounded chains make every epoch seal (a
-	// copy-on-write merge of the full chain) grow linearly with phase
-	// count, which would skew the before/after throughput comparison.
-	c.SetRetention(8)
-
-	// Ops listeners so aloha-top can watch the split happen (ownership
-	// generation, migration counters, per-partition skew).
-	addrs := make([]string, o.servers)
-	var httpServers []*http.Server
-	defer func() {
-		for _, s := range httpServers {
-			s.Close()
-		}
-	}()
-	for i := 0; i < o.servers; i++ {
-		srv := c.Server(i)
-		wd := srv.NewWatchdog(obs.WatchdogConfig{Threshold: 2 * time.Second})
-		wd.Start()
-		defer wd.Stop()
-		gather := func() []metrics.Family {
-			fams := srv.MetricFamilies()
-			fams = append(fams, metrics.RuntimeFamilies()...)
-			fams = append(fams, wd.MetricFamilies()...)
-			fams = append(fams, skew.MetricFamilies()...)
-			fams = append(fams, c.Rebalancer().MetricFamilies()...)
-			return fams
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		addrs[i] = ln.Addr().String()
-		hs := &http.Server{Handler: metrics.OpsHandler(gather,
-			metrics.WithDebug("stall", wd.Handler()),
-			metrics.WithDebug("hotkeys", skew.Handler()),
-			metrics.WithDebug("placement", placement.Handler(srv.PlacementTable())),
-			metrics.WithHealth("watchdog", wd.Health),
-		)}
-		httpServers = append(httpServers, hs)
-		go func() { _ = hs.Serve(ln) }()
-	}
-	list := strings.Join(addrs, ",")
+	defer env.Close()
+	c := env.Cluster
+	skew := env.Skew
+	list := strings.Join(env.OpsAddrs, ",")
 	fmt.Printf("migrate-sim: %d servers ready at %s\n", o.servers, list)
 	if o.addrFile != "" {
 		tmp := o.addrFile + ".tmp"

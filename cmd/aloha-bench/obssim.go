@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -13,9 +11,8 @@ import (
 	"alohadb/internal/core"
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
-	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
-	"alohadb/internal/obs/journal"
+	"alohadb/internal/scenario"
 )
 
 // obsSimOptions configures the observability simulation cluster.
@@ -38,63 +35,22 @@ func runObsSim(o obsSimOptions) error {
 	if o.duration <= 0 {
 		o.duration = 30 * time.Second
 	}
-	skew := obs.NewSkew(obs.SkewConfig{SampleEvery: 4, TopK: 16, Partitions: o.servers})
-	c, err := core.NewCluster(core.ClusterConfig{
+	// One watchdog and one ops listener per server, like aloha-server —
+	// all wired by the scenario env builder.
+	env, err := scenario.BuildEnv(scenario.EnvConfig{
 		Servers:       o.servers,
 		EpochDuration: 5 * time.Millisecond,
 		Registry:      functor.NewRegistry(),
-		Skew:          skew,
+		Skew:          &obs.SkewConfig{SampleEvery: 4, TopK: 16},
+		Ops:           true,
 	})
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	if err := c.Start(); err != nil {
-		return err
-	}
+	defer env.Close()
+	c := env.Cluster
 
-	// One watchdog and one ops listener per server, like aloha-server.
-	addrs := make([]string, o.servers)
-	var servers []*http.Server
-	defer func() {
-		for _, s := range servers {
-			s.Close()
-		}
-	}()
-	for i := 0; i < o.servers; i++ {
-		srv := c.Server(i)
-		wd := srv.NewWatchdog(obs.WatchdogConfig{Threshold: 2 * time.Second})
-		wd.Start()
-		defer wd.Stop()
-		gather := func() []metrics.Family {
-			fams := srv.MetricFamilies()
-			fams = append(fams, metrics.RuntimeFamilies()...)
-			fams = append(fams, wd.MetricFamilies()...)
-			fams = append(fams, skew.MetricFamilies()...)
-			if reb := c.Rebalancer(); reb != nil {
-				fams = append(fams, reb.MetricFamilies()...)
-			}
-			return fams
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		addrs[i] = ln.Addr().String()
-		// Embedded cluster: the EM is in-process, so each server's
-		// /debug/epochs carries the EM mirror too (harmless duplication —
-		// the clusterview merge dedups EM records by epoch).
-		hs := &http.Server{Handler: metrics.OpsHandler(gather,
-			metrics.WithDebug("stall", wd.Handler()),
-			metrics.WithDebug("hotkeys", skew.Handler()),
-			metrics.WithDebug("epochs", journal.DocHandler(srv.Journal(), c.EpochManager().Journal())),
-			metrics.WithHealth("watchdog", wd.Health),
-		)}
-		servers = append(servers, hs)
-		go func() { _ = hs.Serve(ln) }()
-	}
-
-	list := strings.Join(addrs, ",")
+	list := strings.Join(env.OpsAddrs, ",")
 	fmt.Printf("obs-sim: %d servers ready at %s for %s\n", o.servers, list, o.duration)
 	if o.addrFile != "" {
 		// Written atomically (rename) so a watcher never reads a partial list.

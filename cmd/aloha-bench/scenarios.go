@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"alohadb/internal/scenario"
+	"alohadb/internal/scenario/catalog"
+)
+
+// scenarioOptions configures a -scenarios matrix run.
+type scenarioOptions struct {
+	expr     string
+	list     bool
+	seed     int64
+	window   time.Duration
+	soak     time.Duration
+	artifact string
+}
+
+// runScenarios selects scenarios from the catalog by attribute expression
+// and runs them through the matrix runner: `-scenarios smoke` is CI's
+// quick matrix, `-scenarios soak -soak-duration 30m` is the nightly soak.
+// Any failure writes a replayable artifact and exits non-zero.
+func runScenarios(o scenarioOptions) error {
+	catalog.Register()
+	if o.list {
+		scenario.List(os.Stdout, scenario.Default())
+		return nil
+	}
+	scns, err := scenario.Default().Select(o.expr)
+	if err != nil {
+		return err
+	}
+	if len(scns) == 0 {
+		return fmt.Errorf("aloha-bench: -scenarios %q selected nothing (try -scenario-list)", o.expr)
+	}
+	start := time.Now()
+	_, err = scenario.Run(context.Background(), scns, scenario.RunOptions{
+		Seed:         o.seed,
+		Window:       o.window,
+		Soak:         o.soak,
+		Out:          os.Stdout,
+		ArtifactPath: o.artifact,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %d scenario(s) passed in %s\n", len(scns), time.Since(start).Round(time.Millisecond))
+	return nil
+}

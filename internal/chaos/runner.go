@@ -14,6 +14,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/mvstore"
+	"alohadb/internal/scenario"
 	"alohadb/internal/transport"
 	"alohadb/internal/tstamp"
 	"alohadb/internal/wal"
@@ -236,41 +237,15 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 	var migrations atomic.Int64
 
 	build := func(phase int, stores []*mvstore.Store, start tstamp.Epoch) (*core.Cluster, *Network, error) {
-		var inner transport.Network
-		if cfg.TCP {
-			core.RegisterMessages()
-			addrs := make(map[transport.NodeID]string, cfg.Servers)
-			for i := 0; i < cfg.Servers; i++ {
-				addrs[transport.NodeID(i)] = "127.0.0.1:0"
-			}
-			var opts []transport.TCPOption
-			switch cfg.WireCodec {
-			case "", "binary":
-				opts = append(opts, transport.WithCodec(transport.CodecBinary))
-			case "gob":
-				opts = append(opts, transport.WithCodec(transport.CodecGob))
-			case "mixed":
-				opts = append(opts, transport.WithCodecFor(func(id transport.NodeID) transport.Codec {
-					if id%2 == 0 {
-						return transport.CodecBinary
-					}
-					return transport.CodecGob
-				}))
-			default:
-				return nil, nil, fmt.Errorf("chaos: unknown wire codec %q", cfg.WireCodec)
-			}
-			inner = transport.NewTCPNetwork(addrs, opts...)
-		} else {
-			inner = transport.NewMemNetwork()
-		}
-		// Each phase gets a derived sub-seed so the post-crash network has
-		// its own (still seed-determined) schedule.
-		net := Wrap(inner, Config{Seed: cfg.Seed + int64(phase)*0x9e3779b9, Probabilities: probs, LogCap: -1})
-		ccfg := core.ClusterConfig{
+		// The shared env builder owns transport and cluster construction;
+		// the injector slots in through the WrapNet hook. The env's own
+		// lifecycle helpers go unused on purpose: chaos teardown is
+		// explicit (a crash is precisely not an orderly Close).
+		var net *Network
+		ecfg := scenario.EnvConfig{
 			Servers:       cfg.Servers,
 			EpochDuration: cfg.EpochDuration,
 			Registry:      reg,
-			Network:       net,
 			// The abort retry budget bounds submit latency; the switch
 			// timeout is only a backstop against a wedged revoke.
 			SwitchTimeout:     time.Second,
@@ -278,24 +253,28 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 			AbortRetryBackoff: 2 * time.Millisecond,
 			Stores:            stores,
 			StartEpoch:        start,
+			// Each phase gets a derived sub-seed so the post-crash network
+			// has its own (still seed-determined) schedule.
+			WrapNet: func(inner transport.Network) transport.Network {
+				net = Wrap(inner, Config{Seed: cfg.Seed + int64(phase)*0x9e3779b9, Probabilities: probs, LogCap: -1})
+				return net
+			},
+		}
+		if cfg.TCP {
+			ecfg.Transport = "tcp"
+			ecfg.WireCodec = cfg.WireCodec
 		}
 		if cfg.Crash {
 			dir := cfg.Dir
-			ccfg.DurabilityFactory = func(id int) (core.DurabilityHook, error) {
+			ecfg.DurabilityFactory = func(id int) (core.DurabilityHook, error) {
 				return wal.Open(wal.LogPath(dir, id))
 			}
 		}
-		c, err := core.NewCluster(ccfg)
+		env, err := scenario.BuildEnv(ecfg)
 		if err != nil {
-			net.Close()
 			return nil, nil, err
 		}
-		if err := c.Start(); err != nil {
-			c.Close()
-			net.Close()
-			return nil, nil, err
-		}
-		return c, net, nil
+		return env.Cluster, net, nil
 	}
 
 	// runPhase drives writers to completion while readers and the link
@@ -458,8 +437,13 @@ func RunScenario(cfg ScenarioConfig) (*Report, error) {
 	finish := func(c *core.Cluster, net *Network) error {
 		net.SetEnabled(false)
 		net.HealAll()
-		// Let in-flight epochs commit and processors settle.
-		time.Sleep(4*cfg.EpochDuration + 20*time.Millisecond)
+		// Wait on the engine's own commit frontier rather than sleeping a
+		// guessed number of epoch durations: once every server has
+		// committed past the epoch that was current here, all workload
+		// writes are visible.
+		if err := scenario.WaitCommitted(c, 10*time.Second); err != nil {
+			return err
+		}
 		c.DrainProcessors()
 		for _, k := range keys {
 			var (

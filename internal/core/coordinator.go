@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -42,6 +43,22 @@ type TxnResult struct {
 	// partition may expose the installs once its epoch commits, unless
 	// crash recovery replays the abort from the coordinator's log.
 	AbortIncomplete bool
+}
+
+// ErrRerouteExhausted is the abort reason recorded when a transaction's
+// installs kept bouncing off stale-ownership rejections past the
+// wrongOwnerRetries budget — every round adopted a newer placement map and
+// resent, and the last round was still told WrongOwner. Seeing it means
+// placement is churning faster than the coordinator can chase it (or a
+// partition is stuck answering with a map it never updates).
+var ErrRerouteExhausted = errors.New("core: install rerouting exhausted its retry budget")
+
+// RerouteExhausted reports whether this abort was the WrongOwner
+// retry-budget fallback rather than a phase-1 conflict or constraint
+// failure. Callers that drive live migration can treat it as a retryable
+// routing failure instead of a semantic abort.
+func (r TxnResult) RerouteExhausted() bool {
+	return r.Aborted && r.Reason == ErrRerouteExhausted.Error()
 }
 
 // Submit runs one read-write transaction's write-only phase: assign a
@@ -432,7 +449,7 @@ func (s *Server) retryWrongOwner(ctx context.Context, pending []installSlice, re
 	for _, sl := range pending {
 		if !results[sl.txnIdx].Aborted {
 			results[sl.txnIdx].Aborted = true
-			results[sl.txnIdx].Reason = "core: install rerouting exhausted its retry budget"
+			results[sl.txnIdx].Reason = ErrRerouteExhausted.Error()
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/placement"
+)
+
+// TestWrongOwnerRetryExhaustion pins the coordinator's behavior when
+// install rerouting can never converge: a range sealed by a migration
+// fence that is never lifted rejects every install with WrongOwner and
+// the same placement map, so each retry round routes the slice straight
+// back to the rejecting owner. The transaction must come back as a
+// bounded, cleanly-typed abort — not hang, not error — and be
+// distinguishable from a semantic abort via RerouteExhausted.
+func TestWrongOwnerRetryExhaustion(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Servers:       3,
+		EpochDuration: 2 * time.Millisecond,
+		Registry:      testRegistry(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	key := kv.Key("stuck-key")
+	owner := c.Server(0).Owner(key)
+	// Fence the key's range on its owner as the rebalancer's barrier
+	// would, but never lift it — the stuck-migration failure mode.
+	c.Server(owner).handleRangeSeal(MsgRangeSeal{Ranges: []placement.Range{placement.KeyRange(key)}})
+
+	fe := (owner + 1) % 3
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	results, _, err := c.Server(fe).SubmitBatch(ctx, []Txn{{Writes: []Write{
+		{Key: key, Functor: functor.User("append", []byte("x"), nil)},
+	}}})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("submit through a sealed range must abort, not error: %v", err)
+	}
+	res := results[0]
+	if !res.Aborted {
+		t.Fatalf("transaction committed through a sealed range: %+v", res)
+	}
+	if !res.RerouteExhausted() {
+		t.Fatalf("abort reason %q; want the typed reroute-exhaustion reason %q",
+			res.Reason, ErrRerouteExhausted.Error())
+	}
+	if res.AbortIncomplete {
+		t.Errorf("nothing was installed, yet the abort is marked incomplete: %+v", res)
+	}
+	// The retry budget is wrongOwnerRetries rounds with backoff capped in
+	// the tens of milliseconds; exhaustion must be prompt, not minutes of
+	// spinning.
+	if elapsed > 2*time.Second {
+		t.Errorf("reroute exhaustion took %v; want bounded well under 2s", elapsed)
+	}
+
+	// A semantic abort (missing Requires key) must NOT claim reroute
+	// exhaustion: the predicate distinguishes routing failures from
+	// constraint failures.
+	results, _, err = c.Server(fe).SubmitBatch(ctx, []Txn{{
+		Writes:   []Write{{Key: kv.Key("other-key"), Functor: functor.User("append", []byte("x"), nil)}},
+		Requires: []kv.Key{kv.Key("never-loaded")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Aborted {
+		t.Fatal("missing Requires key must abort")
+	}
+	if results[0].RerouteExhausted() {
+		t.Errorf("constraint abort %q misclassified as reroute exhaustion", results[0].Reason)
+	}
+
+	// The cluster stays healthy for keys outside the sealed range.
+	h, err := c.Server(fe).Submit(ctx, Txn{Writes: []Write{
+		{Key: kv.Key("other-key"), Functor: functor.User("append", []byte("y"), nil)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed, _, err := h.Await(ctx); err != nil || !committed {
+		t.Fatalf("healthy key failed after exhaustion test: committed=%v err=%v", committed, err)
+	}
+}

@@ -1,0 +1,134 @@
+package epoch
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests drive the interval tuner (retune) directly with crafted
+// switch durations, pinning its arithmetic deterministically — no
+// participants, no wall-clock switches. Manager-level behavior (idle
+// drift across real Advances, ack-delay tracking) is covered in
+// epoch_test.go.
+
+// tunerForTest builds an adaptive manager without starting it; retune
+// only touches the EMA state and the interval atomic.
+func tunerForTest(min, max time.Duration) *Manager {
+	return New(Config{Duration: min, MinDuration: min, MaxDuration: max})
+}
+
+func TestRetuneConvergesToTargetFraction(t *testing.T) {
+	m := tunerForTest(time.Millisecond, time.Second)
+	// A steady 1ms switch at the default 5% target fraction should pin
+	// the interval at 20ms. The first call seeds the EMA exactly, so
+	// convergence is immediate and stays put.
+	for i := 0; i < 10; i++ {
+		m.retune(time.Millisecond)
+		if got := m.Interval(); got != 20*time.Millisecond {
+			t.Fatalf("retune %d: interval = %v, want 20ms (1ms / 0.05)", i+1, got)
+		}
+	}
+}
+
+func TestRetuneDampsOutliers(t *testing.T) {
+	m := tunerForTest(time.Millisecond, 10*time.Second)
+	for i := 0; i < 10; i++ {
+		m.retune(time.Millisecond)
+	}
+	// One straggler ack makes a 100ms switch. Undamped, the interval
+	// would jump to 100ms/0.05 = 2s; the alpha-0.25 EMA must keep it
+	// far below that (ema = 0.25*100ms + 0.75*1ms = 25.75ms -> 515ms).
+	m.retune(100 * time.Millisecond)
+	got := m.Interval()
+	if got >= time.Second {
+		t.Fatalf("one outlier moved the interval to %v; EMA damping lost", got)
+	}
+	if got <= 20*time.Millisecond {
+		t.Fatalf("outlier ignored entirely: interval still %v", got)
+	}
+	// Recovery: steady 1ms switches pull the interval back down.
+	for i := 0; i < 30; i++ {
+		m.retune(time.Millisecond)
+	}
+	if got := m.Interval(); got > 25*time.Millisecond {
+		t.Errorf("interval stuck at %v after the outlier aged out", got)
+	}
+}
+
+func TestRetuneClampsToBounds(t *testing.T) {
+	m := tunerForTest(5*time.Millisecond, 50*time.Millisecond)
+	// Near-zero switches: target ~0, clamped at the floor.
+	for i := 0; i < 5; i++ {
+		m.retune(time.Microsecond)
+	}
+	if got := m.Interval(); got != 5*time.Millisecond {
+		t.Errorf("fast switches: interval = %v, want the 5ms floor", got)
+	}
+	// Huge switches: target in the seconds, clamped at the ceiling.
+	for i := 0; i < 10; i++ {
+		m.retune(time.Second)
+	}
+	if got := m.Interval(); got != 50*time.Millisecond {
+		t.Errorf("slow switches: interval = %v, want the 50ms ceiling", got)
+	}
+}
+
+func TestRetuneIdleDoublingLadder(t *testing.T) {
+	commits := uint64(0)
+	m := New(Config{
+		Duration:    10 * time.Millisecond,
+		MinDuration: 10 * time.Millisecond,
+		MaxDuration: 160 * time.Millisecond,
+		CommitCount: func() uint64 { return commits },
+	})
+	// Every epoch is idle (CommitCount frozen): the interval climbs the
+	// doubling ladder and parks at MaxDuration, regardless of the switch
+	// EMA staying tiny.
+	for i, want := range []time.Duration{20, 40, 80, 160, 160} {
+		m.retune(100 * time.Microsecond)
+		if got := m.Interval(); got != want*time.Millisecond {
+			t.Fatalf("idle retune %d: interval = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+}
+
+func TestRetuneBurstAfterIdleShrinks(t *testing.T) {
+	// Regression guard for the burst-after-idle path: a cluster that
+	// drifted to MaxDuration while quiet must snap back to the EMA
+	// target on the first busy epoch — not keep the doubled interval one
+	// epoch longer, and not ratchet down one halving at a time.
+	commits := uint64(0)
+	m := New(Config{
+		Duration:    10 * time.Millisecond,
+		MinDuration: time.Millisecond,
+		MaxDuration: 500 * time.Millisecond,
+		CommitCount: func() uint64 { return commits },
+	})
+	for i := 0; i < 8; i++ {
+		m.retune(time.Millisecond) // idle: drifts to the 500ms ceiling
+	}
+	if got := m.Interval(); got != 500*time.Millisecond {
+		t.Fatalf("idle drift parked at %v, want the 500ms ceiling", got)
+	}
+	commits++ // the burst arrives
+	m.retune(time.Millisecond)
+	if got := m.Interval(); got != 20*time.Millisecond {
+		t.Fatalf("first busy retune: interval = %v, want the 20ms EMA target", got)
+	}
+	// And it stays at the target while traffic continues.
+	commits++
+	m.retune(time.Millisecond)
+	if got := m.Interval(); got != 20*time.Millisecond {
+		t.Errorf("second busy retune: interval = %v, want 20ms", got)
+	}
+}
+
+func TestRetuneNoopWhenNotAdaptive(t *testing.T) {
+	m := New(Config{Duration: 25 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		m.retune(time.Second)
+	}
+	if got := m.Interval(); got != 25*time.Millisecond {
+		t.Errorf("non-adaptive manager retuned itself to %v", got)
+	}
+}

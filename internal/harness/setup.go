@@ -8,6 +8,7 @@ import (
 	"alohadb/internal/functor"
 	"alohadb/internal/kv"
 	"alohadb/internal/placement"
+	"alohadb/internal/scenario"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
 	"alohadb/internal/workload/tpcc"
@@ -52,30 +53,25 @@ func NewAlohaTPCCOn(net transport.Network, cfg tpcc.Config, epochDur time.Durati
 	if epochDur <= 0 {
 		epochDur = AlohaEpoch
 	}
-	c, err := core.NewCluster(core.ClusterConfig{
+	env, err := scenario.BuildEnv(scenario.EnvConfig{
 		Servers:        cfg.Servers,
+		Network:        net,
 		EpochDuration:  epochDur,
 		Registry:       reg,
 		Workers:        workers,
 		Router:         placement.NewStatic(cfg.Servers, core.Partitioner(cfg.Partitioner())),
 		DependencyRule: cfg.DependencyRule(),
-		Network:        net,
 		Tracer:         tracer,
+		Load: func(c *core.Cluster) error {
+			return cfg.Load(func(p kv.Pair) error {
+				return c.Load([]kv.Pair{p})
+			})
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.Load(func(p kv.Pair) error {
-		return c.Load([]kv.Pair{p})
-	}); err != nil {
-		c.Close()
-		return nil, err
-	}
-	if err := c.Start(); err != nil {
-		c.Close()
-		return nil, err
-	}
-	return c, nil
+	return env.Cluster, nil
 }
 
 // NewCalvinTPCC assembles a started Calvin cluster loaded with the TPC-C
@@ -116,22 +112,19 @@ func NewAlohaYCSB(cfg ycsb.Config, epochDur time.Duration, workers int, tracer *
 	if epochDur <= 0 {
 		epochDur = AlohaEpoch
 	}
-	c, err := core.NewCluster(core.ClusterConfig{
+	env, err := scenario.BuildEnv(scenario.EnvConfig{
 		Servers:       cfg.Partitions,
+		NetLatency:    SimLatency,
+		NetJitter:     SimJitter,
 		EpochDuration: epochDur,
 		Workers:       workers,
 		Router:        placement.NewStatic(cfg.Partitions, ycsb.Partitioner),
-		Network:       simNetwork(),
 		Tracer:        tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Start(); err != nil {
-		c.Close()
-		return nil, err
-	}
-	return c, nil
+	return env.Cluster, nil
 }
 
 // NewCalvinYCSB assembles a started Calvin cluster for the microbenchmark.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"alohadb/internal/functor"
 	"alohadb/internal/tstamp"
 )
 
@@ -213,8 +214,15 @@ func (c *Chain) between(from, to tstamp.Timestamp) []*Record {
 }
 
 // compact drops sealed records whose versions are strictly below bound,
-// keeping the newest such record so reads at old-but-live snapshots still
-// resolve. Only final records below the watermark may be dropped. Returns
+// keeping the newest *visible* such record so reads at old-but-live
+// snapshots still resolve. Aborted and skipped records are invisible to
+// reads — collapsing the history onto one of them would erase the key's
+// latest surviving value, turning a fully committed key into not-found —
+// so the retained record is the newest below bound whose resolution a
+// read would return (any aborted records above it inside the bound are
+// retained with it). When everything below bound is invisible the whole
+// prefix is dropped: reads there found nothing before and still find
+// nothing. Only final records below the watermark may be dropped. Returns
 // the number of records removed.
 func (c *Chain) compact(bound tstamp.Timestamp) int {
 	c.mu.Lock()
@@ -224,10 +232,23 @@ func (c *Chain) compact(bound tstamp.Timestamp) int {
 	}
 	old := *c.view.Load()
 	i := sort.Search(len(old), func(i int) bool { return old[i].Version >= bound })
-	if i <= 1 {
+	if i < 1 {
 		return 0
 	}
-	keepFrom := i - 1 // retain the newest record below bound
+	keepFrom := i // if no record below bound is visible, drop them all
+	for j := i - 1; j >= 0; j-- {
+		res := old[j].Resolution()
+		// A nil resolution below the watermark is a lazily-resolved final
+		// functor (VALUE/DELETED placeholders resolve on first read);
+		// treat it as visible.
+		if res == nil || res.Kind == functor.Resolved || res.Kind == functor.ResolvedDeleted {
+			keepFrom = j
+			break
+		}
+	}
+	if keepFrom == 0 {
+		return 0
+	}
 	neu := make([]*Record, len(old)-keepFrom)
 	copy(neu, old[keepFrom:])
 	c.view.Store(&neu)

@@ -264,6 +264,61 @@ func TestCompact(t *testing.T) {
 	}
 }
 
+// TestCompactSkipsInvisibleRecords is the regression guard for a
+// history-erasing compaction bug: when the newest record below the bound
+// was an aborted (computed-ABORT) version, compaction collapsed the whole
+// visible history onto that invisible record and the key read as
+// not-found at every snapshot. The retained record must be the newest
+// VISIBLE one below the bound.
+func TestCompactSkipsInvisibleRecords(t *testing.T) {
+	s := New()
+	for seq := uint32(1); seq <= 5; seq++ {
+		if _, err := s.Put("k", ts(1, seq, 0), functor.Value(kv.EncodeInt64(int64(seq)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// seq 6 and 7: transactions whose functors computed to ABORTED (e.g. a
+	// failed constraint); they sit in the chain but reads skip them.
+	for seq := uint32(6); seq <= 7; seq++ {
+		if _, err := s.Put("k", ts(1, seq, 0), functor.Aborted()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SealAll(tstamp.Max)
+	for _, r := range s.View("k") {
+		if r.Version > ts(1, 5, 0) {
+			r.Resolve(functor.AbortResolution("constraint failed"))
+		}
+	}
+	s.AdvanceWatermark("k", ts(1, 7, 0))
+
+	// Compact past the whole history: the newest records below the bound
+	// are the two aborted ones; the survivor must be visible seq 5.
+	s.Compact(ts(2, 0, 0))
+	view := s.View("k")
+	if len(view) == 0 {
+		t.Fatal("key vanished: compaction collapsed history onto an aborted record")
+	}
+	if view[0].Version != ts(1, 5, 0) {
+		t.Fatalf("oldest surviving version = %v, want seq 5 (newest visible)", view[0].Version)
+	}
+
+	// All-invisible prefix: a key whose every record below the bound is
+	// aborted compacts to empty — reads found nothing there before either.
+	if _, err := s.Put("dead", ts(1, 1, 0), functor.Aborted()); err != nil {
+		t.Fatal(err)
+	}
+	s.SealAll(tstamp.Max)
+	for _, r := range s.View("dead") {
+		r.Resolve(functor.AbortResolution("constraint failed"))
+	}
+	s.AdvanceWatermark("dead", ts(1, 2, 0))
+	s.Compact(ts(2, 0, 0))
+	if n := len(s.View("dead")); n != 0 {
+		t.Errorf("all-aborted chain kept %d records after compaction", n)
+	}
+}
+
 func TestCompactRespectsWatermark(t *testing.T) {
 	s := New()
 	for seq := uint32(1); seq <= 5; seq++ {

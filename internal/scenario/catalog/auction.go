@@ -1,0 +1,182 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/scenario"
+)
+
+// Auction sniping: every writer hammers ONE key with MAX functors — the
+// most extreme single-key contention the engine can see, and exactly the
+// shape the paper's functor argument is about (a lock-based system would
+// serialize on the item's lock; functors commute at the partition). An
+// audit append in the same transaction keeps each bid visible to the
+// history oracle, and the settled high bid must lie between the largest
+// committed bid and the largest bid whose outcome might have applied.
+const (
+	auctionWriters = 8
+	auctionReaders = 4
+)
+
+var auctionItem = kv.Key("auction:item")
+
+func registerAuction(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "auction-snipe",
+		Summary: "extreme single-key contention: concurrent MAX bids on one item under light chaos",
+		Attrs:   []string{"contention", "chaos", "soak", "smoke"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("auction-append", appendTag)
+			cfg := chaosEnv(3, p.Seed)
+			cfg.Registry = reg
+			// The item's version chain grows with every bid; retention keeps
+			// an hour-long soak from pinning the whole history.
+			cfg.Retention = 8
+			cfg.Load = func(c *core.Cluster) error {
+				return c.Load([]kv.Pair{{Key: auctionItem, Value: kv.EncodeInt64(0)}})
+			}
+			return cfg
+		},
+		Run: runAuctionSnipe,
+	})
+}
+
+func auctionAudit(w int) kv.Key { return kv.Key(fmt.Sprintf("auction:audit:w%d", w)) }
+
+func runAuctionSnipe(ctx context.Context, env *scenario.Env) error {
+	lat := newLatencies()
+	deadline := time.Now().Add(env.Window)
+
+	var (
+		mu           sync.Mutex
+		tagSeq       int
+		maxCommitted int64
+		maxApplied   int64 // committed or indeterminate: anything that may surface
+	)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < auctionReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(env.Seed*6151 + int64(r)))
+			srv := env.Cluster.Server(r % env.Cluster.NumServers())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(time.Duration(rng.Intn(2500)) * time.Microsecond)
+				// Snapshot two audit trails; the oracle's torn-transaction
+				// and monotonic checks run over them.
+				a := rng.Intn(auctionWriters)
+				b := (a + 1 + rng.Intn(auctionWriters-1)) % auctionWriters
+				rkeys := []kv.Key{auctionAudit(a), auctionAudit(b)}
+				rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				vals, snap, err := srv.ReadMany(rctx, rkeys)
+				cancel()
+				if err != nil {
+					continue
+				}
+				env.Oracle.Observe(r, snap, rkeys, vals)
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < auctionWriters; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(env.Seed*31337 + int64(w)))
+			srv := env.Cluster.Server(w % env.Cluster.NumServers())
+			audit := auctionAudit(w)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				time.Sleep(time.Duration(rng.Intn(800)) * time.Microsecond)
+				mu.Lock()
+				tagSeq++
+				tag := fmt.Sprintf("a%d", tagSeq)
+				mu.Unlock()
+				bid := int64(1 + rng.Intn(1_000_000))
+				txn := core.Txn{Writes: []core.Write{
+					{Key: auctionItem, Functor: functor.Max(bid)},
+					{Key: audit, Functor: functor.User("auction-append", []byte(tag+";"), nil)},
+				}}
+				// A sliver of bids requires a key that cannot exist, forcing
+				// the second-round abort path while the item stays hot.
+				if rng.Float64() < 0.05 {
+					txn.Requires = []kv.Key{kv.Key("auction:missing:" + tag)}
+				}
+				env.Oracle.Begin(tag, []kv.Key{audit})
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				start := time.Now()
+				results, _, err := srv.SubmitBatch(sctx, []core.Txn{txn})
+				lat.observe(time.Since(start))
+				cancel()
+				var res core.TxnResult
+				if err == nil {
+					res = results[0]
+				}
+				finishSubmit(env.Oracle, tag, res, err)
+				mu.Lock()
+				switch {
+				case err == nil && !res.Aborted:
+					if bid > maxCommitted {
+						maxCommitted = bid
+					}
+					if bid > maxApplied {
+						maxApplied = bid
+					}
+				case err == nil && res.AbortIncomplete:
+					if bid > maxApplied {
+						maxApplied = bid
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if err := settle(ctx, env); err != nil {
+		return err
+	}
+	audits := make([]kv.Key, auctionWriters)
+	for w := range audits {
+		audits[w] = auctionAudit(w)
+	}
+	if err := observeFinals(ctx, env, audits); err != nil {
+		return err
+	}
+	v, found, err := env.Cluster.Server(0).Get(ctx, auctionItem)
+	if err != nil || !found {
+		return fmt.Errorf("final high bid read: err=%v found=%v", err, found)
+	}
+	final, _ := kv.DecodeInt64(v)
+
+	txns, committed, aborted, indeterminate, _ := env.Oracle.Counts()
+	env.Logf("bids: %d (%d committed, %d aborted, %d indeterminate); high bid %d (committed max %d)",
+		txns, committed, aborted, indeterminate, final, maxCommitted)
+	if final < maxCommitted {
+		return fmt.Errorf("high bid %d lost a committed bid of %d", final, maxCommitted)
+	}
+	if final > maxApplied {
+		return fmt.Errorf("high bid %d exceeds every bid that could have applied (max %d)", final, maxApplied)
+	}
+	if committed == 0 {
+		return fmt.Errorf("no bid committed in a %s window", env.Window)
+	}
+	return requireP99(env, "bid", lat, 400*time.Millisecond)
+}

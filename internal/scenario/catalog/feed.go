@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/scenario"
+)
+
+// Social-feed fanout: a read-heavy workload where every post is a
+// multi-key transaction appending to one celebrity timeline and a few
+// follower timelines. A handful of celebrity keys absorb most writes, so
+// their functor chains are long and contended while reader snapshots
+// race the fanout — the oracle's torn-transaction check is exactly the
+// "did a reader see half a fanout" question.
+const (
+	feedCelebs  = 4
+	feedUsers   = 48
+	feedWriters = 4
+	feedReaders = 8
+)
+
+func registerFeed(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "feed-fanout",
+		Summary: "read-heavy social-feed fanout with hot celebrity timelines under light chaos",
+		Attrs:   []string{"contention", "chaos", "soak", "smoke"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("feed-append", appendTag)
+			cfg := chaosEnv(3, p.Seed)
+			cfg.Registry = reg
+			cfg.Retention = 16
+			return cfg
+		},
+		Run: runFeedFanout,
+	})
+}
+
+func feedKeys() (celebs, users, all []kv.Key) {
+	for i := 0; i < feedCelebs; i++ {
+		celebs = append(celebs, kv.Key(fmt.Sprintf("feed:celeb:%d", i)))
+	}
+	for i := 0; i < feedUsers; i++ {
+		users = append(users, kv.Key(fmt.Sprintf("feed:user:%02d", i)))
+	}
+	all = append(append(all, celebs...), users...)
+	return
+}
+
+// pickCeleb skews writes toward celebrity 0: the minimum of two uniform
+// draws lands on the low indices most of the time.
+func pickCeleb(rng *rand.Rand) int {
+	a, b := rng.Intn(feedCelebs), rng.Intn(feedCelebs)
+	if b < a {
+		a = b
+	}
+	return a
+}
+
+func runFeedFanout(ctx context.Context, env *scenario.Env) error {
+	celebs, users, all := feedKeys()
+	lat := newLatencies()
+	deadline := time.Now().Add(env.Window)
+
+	var (
+		tagMu  sync.Mutex
+		tagSeq int
+	)
+	nextTag := func() string {
+		tagMu.Lock()
+		defer tagMu.Unlock()
+		tagSeq++
+		return fmt.Sprintf("f%d", tagSeq)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < feedReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(env.Seed*7919 + int64(r)))
+			srv := env.Cluster.Server(r % env.Cluster.NumServers())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				rkeys := []kv.Key{
+					celebs[pickCeleb(rng)],
+					users[rng.Intn(feedUsers)],
+					users[rng.Intn(feedUsers)],
+				}
+				rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				vals, snap, err := srv.ReadMany(rctx, rkeys)
+				cancel()
+				if err != nil {
+					continue
+				}
+				env.Oracle.Observe(r, snap, rkeys, vals)
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < feedWriters; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(env.Seed*1000003 + int64(w)))
+			srv := env.Cluster.Server(w % env.Cluster.NumServers())
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				time.Sleep(time.Duration(rng.Intn(1500)) * time.Microsecond)
+				tag := nextTag()
+				// One post fans out to the celebrity timeline plus two
+				// distinct follower timelines.
+				u1 := rng.Intn(feedUsers)
+				u2 := (u1 + 1 + rng.Intn(feedUsers-1)) % feedUsers
+				wkeys := []kv.Key{celebs[pickCeleb(rng)], users[u1], users[u2]}
+				txn := core.Txn{}
+				for _, k := range wkeys {
+					txn.Writes = append(txn.Writes, core.Write{
+						Key:     k,
+						Functor: functor.User("feed-append", []byte(tag+";"), nil),
+					})
+				}
+				env.Oracle.Begin(tag, wkeys)
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				start := time.Now()
+				results, _, err := srv.SubmitBatch(sctx, []core.Txn{txn})
+				lat.observe(time.Since(start))
+				cancel()
+				var res core.TxnResult
+				if err == nil {
+					res = results[0]
+				}
+				finishSubmit(env.Oracle, tag, res, err)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if err := settle(ctx, env); err != nil {
+		return err
+	}
+	if err := observeFinals(ctx, env, all); err != nil {
+		return err
+	}
+	total, committed, aborted, indeterminate, _ := env.Oracle.Counts()
+	env.Logf("posts: %d (%d committed, %d aborted, %d indeterminate); reads: %d",
+		total, committed, aborted, indeterminate, env.Oracle.Reads())
+	if committed == 0 {
+		return fmt.Errorf("no post committed in a %s window", env.Window)
+	}
+	return requireP99(env, "post", lat, 400*time.Millisecond)
+}

@@ -1,0 +1,224 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"alohadb/internal/chaos/oracle"
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/scenario"
+)
+
+// Payment ledger: dependent transactions with constraint aborts. Each
+// transfer is three functors — debit the source, credit the destination,
+// and append an audit tag — that all read the source balance and must
+// reach the same keep-or-abort decision (paper §IV-C: decision-relevant
+// keys in every functor's read set). The audit keys feed the history
+// oracle; the balances feed a conservation check: money neither appears
+// nor vanishes, modulo transfers whose rollback is indeterminate.
+const (
+	ledgerAccounts = 12
+	ledgerWriters  = 6
+	ledgerInitial  = int64(1000)
+	// ledgerDoomed exceeds the whole system's balance, so a doomed
+	// transfer can never find sufficient funds: one committing is a bug,
+	// not bad luck.
+	ledgerDoomed = int64(10_000_000)
+)
+
+func registerLedger(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "payment-ledger",
+		Summary: "dependent-transaction transfers with constraint aborts and a conservation invariant",
+		Attrs:   []string{"contention", "chaos", "soak", "smoke"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("pay-out", payOut)
+			reg.MustRegister("pay-in", payIn)
+			reg.MustRegister("pay-audit", payAudit)
+			cfg := chaosEnv(3, p.Seed)
+			cfg.Registry = reg
+			cfg.Retention = 16
+			cfg.Load = func(c *core.Cluster) error {
+				pairs := make([]kv.Pair, ledgerAccounts)
+				for i := range pairs {
+					pairs[i] = kv.Pair{Key: ledgerAcct(i), Value: kv.EncodeInt64(ledgerInitial)}
+				}
+				return c.Load(pairs)
+			}
+			return cfg
+		},
+		Run: runPaymentLedger,
+	})
+}
+
+func ledgerAcct(i int) kv.Key  { return kv.Key(fmt.Sprintf("pay:acct:%02d", i)) }
+func ledgerAudit(w int) kv.Key { return kv.Key(fmt.Sprintf("pay:audit:w%d", w)) }
+
+// payOut debits the source account (self = src). Arg: amount.
+func payOut(fc *functor.Context) (*functor.Resolution, error) {
+	amt, _ := kv.DecodeInt64(fc.Arg)
+	bal, _ := kv.DecodeInt64(fc.Reads[fc.Key].Value)
+	if bal < amt {
+		return functor.AbortResolution("insufficient funds"), nil
+	}
+	return functor.ValueResolution(kv.EncodeInt64(bal - amt)), nil
+}
+
+// payIn credits the destination (self = dst). Arg: amount ++ src key.
+// The source balance is in the read set so the credit reaches the same
+// decision as the debit.
+func payIn(fc *functor.Context) (*functor.Resolution, error) {
+	amt, _ := kv.DecodeInt64(fc.Arg[:8])
+	src := kv.Key(fc.Arg[8:])
+	srcBal, _ := kv.DecodeInt64(fc.Reads[src].Value)
+	if srcBal < amt {
+		return functor.AbortResolution("insufficient funds"), nil
+	}
+	bal, _ := kv.DecodeInt64(fc.Reads[fc.Key].Value)
+	return functor.ValueResolution(kv.EncodeInt64(bal + amt)), nil
+}
+
+// payAudit appends the transfer's tag to the writer's audit trail (self
+// = audit key), deciding from the same source read as the other two.
+// Arg: amount ++ tag ++ ';' ++ src key.
+func payAudit(fc *functor.Context) (*functor.Resolution, error) {
+	amt, _ := kv.DecodeInt64(fc.Arg[:8])
+	rest := fc.Arg[8:]
+	i := bytes.IndexByte(rest, ';')
+	tagged, src := rest[:i+1], kv.Key(rest[i+1:])
+	srcBal, _ := kv.DecodeInt64(fc.Reads[src].Value)
+	if srcBal < amt {
+		return functor.AbortResolution("insufficient funds"), nil
+	}
+	prev := fc.Reads[fc.Key]
+	out := make([]byte, 0, len(prev.Value)+len(tagged))
+	out = append(out, prev.Value...)
+	out = append(out, tagged...)
+	return functor.ValueResolution(out), nil
+}
+
+func runPaymentLedger(ctx context.Context, env *scenario.Env) error {
+	lat := newLatencies()
+	deadline := time.Now().Add(env.Window)
+
+	var (
+		mu              sync.Mutex
+		tagSeq          int
+		indetAmts       int64
+		doomedCommitted int
+	)
+
+	var writers sync.WaitGroup
+	for w := 0; w < ledgerWriters; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(env.Seed*104729 + int64(w)))
+			srv := env.Cluster.Server(w % env.Cluster.NumServers())
+			audit := ledgerAudit(w)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				time.Sleep(time.Duration(rng.Intn(1500)) * time.Microsecond)
+				mu.Lock()
+				tagSeq++
+				tag := fmt.Sprintf("p%d", tagSeq)
+				mu.Unlock()
+				si := rng.Intn(ledgerAccounts)
+				di := (si + 1 + rng.Intn(ledgerAccounts-1)) % ledgerAccounts
+				src, dst := ledgerAcct(si), ledgerAcct(di)
+				amt := int64(1 + rng.Intn(50))
+				if rng.Float64() < 0.10 {
+					amt = ledgerDoomed
+				}
+				auditArg := append(kv.EncodeInt64(amt), []byte(tag+";")...)
+				auditArg = append(auditArg, src...)
+				txn := core.Txn{Writes: []core.Write{
+					{Key: src, Functor: functor.User("pay-out", kv.EncodeInt64(amt), nil)},
+					{Key: dst, Functor: functor.User("pay-in", append(kv.EncodeInt64(amt), src...), []kv.Key{src})},
+					{Key: audit, Functor: functor.User("pay-audit", auditArg, []kv.Key{src})},
+				}}
+				env.Oracle.Begin(tag, []kv.Key{audit})
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				start := time.Now()
+				h, err := srv.Submit(sctx, txn)
+				lat.observe(time.Since(start))
+				if err != nil {
+					cancel()
+					finishSubmit(env.Oracle, tag, core.TxnResult{}, err)
+					continue
+				}
+				// The constraint decision is made at compute time, so the
+				// ledger must use acknowledgment option 2 (fully computed)
+				// to learn each transfer's real outcome.
+				committed, _, aerr := h.Await(sctx)
+				cancel()
+				switch {
+				case aerr != nil:
+					env.Oracle.Finish(tag, h.Version(), oracle.StatusIndeterminate)
+					mu.Lock()
+					indetAmts += amt
+					mu.Unlock()
+				case committed:
+					env.Oracle.Finish(tag, h.Version(), oracle.StatusCommitted)
+					if amt == ledgerDoomed {
+						mu.Lock()
+						doomedCommitted++
+						mu.Unlock()
+					}
+				case h.AbortIncomplete():
+					env.Oracle.Finish(tag, h.Version(), oracle.StatusIndeterminate)
+					mu.Lock()
+					indetAmts += amt
+					mu.Unlock()
+				default:
+					env.Oracle.Finish(tag, h.Version(), oracle.StatusAborted)
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+
+	if err := settle(ctx, env); err != nil {
+		return err
+	}
+	var total int64
+	for i := 0; i < ledgerAccounts; i++ {
+		v, found, err := env.Cluster.Server(0).Get(ctx, ledgerAcct(i))
+		if err != nil || !found {
+			return fmt.Errorf("final balance of %s: err=%v found=%v", ledgerAcct(i), err, found)
+		}
+		bal, _ := kv.DecodeInt64(v)
+		total += bal
+	}
+	audits := make([]kv.Key, ledgerWriters)
+	for w := range audits {
+		audits[w] = ledgerAudit(w)
+	}
+	if err := observeFinals(ctx, env, audits); err != nil {
+		return err
+	}
+
+	initial := ledgerInitial * ledgerAccounts
+	drift := total - initial
+	txns, committed, aborted, indeterminate, _ := env.Oracle.Counts()
+	env.Logf("transfers: %d (%d committed, %d aborted, %d indeterminate); balance drift %+d (slack %d)",
+		txns, committed, aborted, indeterminate, drift, indetAmts)
+	if doomedCommitted > 0 {
+		return fmt.Errorf("%d doomed transfer(s) committed despite insufficient funds", doomedCommitted)
+	}
+	// Committed transfers conserve by construction; only a transfer whose
+	// rollback is indeterminate may have moved money one-sidedly.
+	if drift > indetAmts || drift < -indetAmts {
+		return fmt.Errorf("conservation violated: balances drifted %+d with only %d indeterminate", drift, indetAmts)
+	}
+	if committed == 0 {
+		return fmt.Errorf("no transfer committed in a %s window", env.Window)
+	}
+	return requireP99(env, "transfer", lat, 400*time.Millisecond)
+}

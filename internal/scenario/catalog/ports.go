@@ -1,0 +1,331 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"alohadb/internal/chaos"
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/harness"
+	"alohadb/internal/kv"
+	"alohadb/internal/obs"
+	"alohadb/internal/scenario"
+	"alohadb/internal/tstamp"
+)
+
+// registerPorts puts the pre-registry harnesses — the paper-figure
+// sweeps, the network-path benchmarks, the oracle-checked chaos suites,
+// the observability boot, and the hot-spot split — under the same
+// declarative roof, so one attribute expression can select across all of
+// them.
+func registerPorts(r *scenario.Registry) {
+	registerFigures(r)
+	registerNetBench(r)
+	registerChaosPorts(r)
+	registerObsView(r)
+	registerMigrateSplit(r)
+}
+
+// figureWindow maps the scenario window onto a per-point measurement
+// duration; the sweeps visit several parameter points per figure.
+func figureWindow(w time.Duration) time.Duration {
+	d := w / 4
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+func registerFigures(r *scenario.Registry) {
+	figs := []struct {
+		n   string
+		sum string
+		run func(harness.Options) error
+	}{
+		{"6", "TPC-C NewOrder scaling over cluster size", func(o harness.Options) error { _, err := harness.Figure6(o); return err }},
+		{"7", "TPC-C throughput under growing multi-partition rate", func(o harness.Options) error { _, err := harness.Figure7(o); return err }},
+		{"8", "latency/throughput frontier", func(o harness.Options) error { _, err := harness.Figure8(o); return err }},
+		{"9", "YCSB contention sweep vs Calvin", func(o harness.Options) error { _, err := harness.Figure9(o); return err }},
+		{"10", "per-stage commit latency breakdown", func(o harness.Options) error { _, err := harness.Figure10(o); return err }},
+		{"11", "scaled TPC-C districts sweep", func(o harness.Options) error { _, err := harness.Figure11(o); return err }},
+	}
+	for _, f := range figs {
+		f := f
+		r.MustRegister(&scenario.Scenario{
+			Name:    "figure-" + f.n,
+			Summary: "paper figure " + f.n + ": " + f.sum,
+			Attrs:   []string{"bench"},
+			Timeout: 10 * time.Minute,
+			Run: func(ctx context.Context, env *scenario.Env) error {
+				return f.run(harness.Options{
+					Quick:    true,
+					Duration: figureWindow(env.Window),
+					Out:      env.Out,
+				})
+			},
+		})
+	}
+}
+
+func registerNetBench(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "netbench",
+		Summary: "network-path suite: transport coalescing, remote reads, NewOrder over TCP",
+		Attrs:   []string{"bench", "net"},
+		Timeout: 10 * time.Minute,
+		Run: func(ctx context.Context, env *scenario.Env) error {
+			rows, err := harness.NetBench(harness.Options{
+				Quick:    true,
+				Duration: figureWindow(env.Window),
+				Out:      env.Out,
+			})
+			if err != nil {
+				return err
+			}
+			env.Logf("netbench: %d rows (regression gating stays with -netbench-gate)", len(rows))
+			return nil
+		},
+	})
+}
+
+// chaosPort wraps one chaos suite configuration as a scenario: ops per
+// writer scale with the window, the report prints through the runner,
+// and any oracle violation fails the scenario.
+func chaosPort(name, summary string, attrs []string, shape func(cfg *chaos.ScenarioConfig)) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:    name,
+		Summary: summary,
+		Attrs:   attrs,
+		Timeout: 5 * time.Minute,
+		Run: func(ctx context.Context, env *scenario.Env) error {
+			ops := int(60 * env.Window.Seconds())
+			if ops < 20 {
+				ops = 20
+			}
+			if ops > 2000 {
+				ops = 2000
+			}
+			cfg := chaos.ScenarioConfig{Seed: env.Seed, OpsPerWriter: ops}
+			shape(&cfg)
+			if cfg.Crash {
+				dir, err := os.MkdirTemp("", "aloha-scn-chaos-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(dir)
+				cfg.Dir = dir
+			}
+			rep, err := chaos.RunScenario(cfg)
+			if err != nil {
+				return err
+			}
+			env.Logf("%s", rep)
+			if !rep.OK() {
+				return fmt.Errorf("oracle found %d violation(s)", len(rep.Violations))
+			}
+			return nil
+		},
+	}
+}
+
+func registerChaosPorts(r *scenario.Registry) {
+	tcpProbs := func(cfg *chaos.ScenarioConfig) {
+		// TCP RPCs are slower; the in-memory fault mix would mostly
+		// measure retry latency (same tuning as the -chaos CLI path).
+		probs := chaos.DefaultProbabilities()
+		probs.DropCall, probs.DropSend = 0.01, 0.03
+		cfg.Probabilities = &probs
+	}
+	r.MustRegister(chaosPort("chaos-quick",
+		"oracle-checked fault injection with link chaos on the in-memory transport",
+		[]string{"chaos", "smoke"},
+		func(cfg *chaos.ScenarioConfig) { cfg.LinkChaos = true }))
+	r.MustRegister(chaosPort("chaos-crash",
+		"mid-run cluster crash with WAL recovery and gray-band reclassification",
+		[]string{"chaos", "crash"},
+		func(cfg *chaos.ScenarioConfig) { cfg.LinkChaos = true; cfg.Crash = true }))
+	r.MustRegister(chaosPort("chaos-tcp",
+		"oracle-checked fault injection over real TCP sockets",
+		[]string{"chaos", "net"},
+		func(cfg *chaos.ScenarioConfig) { cfg.TCP = true; tcpProbs(cfg) }))
+	r.MustRegister(chaosPort("chaos-mixed-codec",
+		"fault injection across a rolling codec upgrade (binary and gob peers)",
+		[]string{"chaos", "net"},
+		func(cfg *chaos.ScenarioConfig) { cfg.TCP = true; cfg.WireCodec = "mixed"; tcpProbs(cfg) }))
+	r.MustRegister(chaosPort("chaos-migrate",
+		"live key migration racing the workload under faults",
+		[]string{"chaos", "migration"},
+		func(cfg *chaos.ScenarioConfig) { cfg.LinkChaos = true; cfg.Migrate = true }))
+}
+
+// registerObsView ports the obs-sim boot: a cluster with the full
+// observability stack, a light workload, then assertions over the same
+// scrape surface aloha-top renders.
+func registerObsView(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "obs-view",
+		Summary: "full observability stack boot: ops listeners, watchdogs, skew profiler, scrape",
+		Attrs:   []string{"smoke", "obs"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("obs-append", appendTag)
+			return scenario.EnvConfig{
+				Servers:       3,
+				EpochDuration: 3 * time.Millisecond,
+				Registry:      reg,
+				Skew:          &obs.SkewConfig{SampleEvery: 4, TopK: 16},
+				Ops:           true,
+			}
+		},
+		Run: func(ctx context.Context, env *scenario.Env) error {
+			rng := rand.New(rand.NewSource(env.Seed))
+			deadline := time.Now().Add(env.Window)
+			n := 0
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				k := kv.Key(fmt.Sprintf("obs:k%02d", rng.Intn(16)))
+				tag := fmt.Sprintf("o%d", n)
+				n++
+				env.Oracle.Begin(tag, []kv.Key{k})
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				results, _, err := env.Cluster.Server(n%env.Cluster.NumServers()).SubmitBatch(sctx, []core.Txn{{
+					Writes: []core.Write{{Key: k, Functor: functor.User("obs-append", []byte(tag+";"), nil)}},
+				}})
+				cancel()
+				var res core.TxnResult
+				if err == nil {
+					res = results[0]
+				}
+				finishSubmit(env.Oracle, tag, res, err)
+				time.Sleep(500 * time.Microsecond)
+			}
+			if err := settle(ctx, env); err != nil {
+				return err
+			}
+			snap := env.Scraper().Scrape(ctx)
+			env.Logf("obs: %d txns; scrape: %d servers, frontier %d..%d, %d epoch paths",
+				n, snap.ReachableServers, snap.MinCommittedEpoch, snap.MaxCommittedEpoch, len(snap.EpochPaths))
+			if snap.ReachableServers != env.Cluster.NumServers() {
+				return fmt.Errorf("scrape reached %d of %d servers", snap.ReachableServers, env.Cluster.NumServers())
+			}
+			if snap.MinCommittedEpoch == 0 {
+				return fmt.Errorf("commit frontier never advanced")
+			}
+			if env.Skew.Snapshot().Observed == 0 {
+				return fmt.Errorf("skew profiler observed no accesses")
+			}
+			return nil
+		},
+	})
+}
+
+// registerMigrateSplit ports migrate-sim's core move: hammer a hot key,
+// find it through the skew profiler (not by construction), split it off
+// its partition live, and prove the history stays clean across the
+// epoch-fenced handoff.
+func registerMigrateSplit(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "migrate-split",
+		Summary: "profiler-guided live split of a hot key, oracle-checked across the handoff",
+		Attrs:   []string{"migration", "smoke", "obs"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("mg-append", appendTag)
+			return scenario.EnvConfig{
+				Servers:           3,
+				EpochDuration:     2 * time.Millisecond,
+				Registry:          reg,
+				Retention:         8,
+				Skew:              &obs.SkewConfig{SampleEvery: 1, TopK: 8},
+				Watchdog:          true,
+				WatchdogThreshold: 5 * time.Second,
+			}
+		},
+		Run: runMigrateSplit,
+	})
+}
+
+func runMigrateSplit(ctx context.Context, env *scenario.Env) error {
+	keys := make([]kv.Key, 16)
+	for i := range keys {
+		keys[i] = kv.Key(fmt.Sprintf("mg:k%02d", i))
+	}
+	hot := keys[0]
+	rng := rand.New(rand.NewSource(env.Seed))
+	tagSeq := 0
+	drive := func(until time.Time) error {
+		for time.Now().Before(until) && ctx.Err() == nil {
+			// Zipf-ish: most writes land on the hot key.
+			k := hot
+			if rng.Float64() > 0.7 {
+				k = keys[1+rng.Intn(len(keys)-1)]
+			}
+			tagSeq++
+			tag := fmt.Sprintf("g%d", tagSeq)
+			env.Oracle.Begin(tag, []kv.Key{k})
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			results, _, err := env.Cluster.Server(tagSeq%env.Cluster.NumServers()).SubmitBatch(sctx, []core.Txn{{
+				Writes: []core.Write{{Key: k, Functor: functor.User("mg-append", []byte(tag+";"), nil)}},
+			}})
+			cancel()
+			var res core.TxnResult
+			if err == nil {
+				res = results[0]
+			}
+			finishSubmit(env.Oracle, tag, res, err)
+			time.Sleep(300 * time.Microsecond)
+		}
+		return ctx.Err()
+	}
+
+	// Phase 1: build up heat so the profiler, not the test, names the
+	// hot key.
+	half := env.Window / 2
+	if err := drive(time.Now().Add(half)); err != nil {
+		return err
+	}
+	snap := env.Skew.Snapshot()
+	if len(snap.TopKeys) == 0 {
+		return fmt.Errorf("skew profiler ranked no keys")
+	}
+	hottest := kv.Key(snap.TopKeys[0].Key)
+	if hottest != hot {
+		return fmt.Errorf("profiler ranked %q hottest, want %q", hottest, hot)
+	}
+	cur := int(env.Cluster.PlacementTable().Route(hottest, tstamp.MaxEpoch))
+	to := (cur + 1) % env.Cluster.NumServers()
+	ticket, err := env.Cluster.Rebalancer().MoveKey(hottest, to)
+	if err != nil {
+		return fmt.Errorf("enqueue split: %w", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	epoch, err := ticket.Wait(wctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("handoff never completed: %w", err)
+	}
+	env.Logf("split %s: server %d -> %d at epoch %d", hottest, cur, to, epoch)
+
+	// Phase 2: keep writing through and past the handoff.
+	if err := drive(time.Now().Add(half)); err != nil {
+		return err
+	}
+	if got := int(env.Cluster.PlacementTable().Route(hottest, tstamp.MaxEpoch)); got != to {
+		return fmt.Errorf("after the split %s routes to %d, want %d", hottest, got, to)
+	}
+	if err := settle(ctx, env); err != nil {
+		return err
+	}
+	if err := observeFinals(ctx, env, keys); err != nil {
+		return err
+	}
+	_, committed, _, _, _ := env.Oracle.Counts()
+	env.Logf("migration survived %d txns (%d committed)", tagSeq, committed)
+	if committed == 0 {
+		return fmt.Errorf("no transaction committed in a %s window", env.Window)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/obs"
+	"alohadb/internal/obs/clusterview"
+	"alohadb/internal/scenario"
+)
+
+// Multi-tenant mix: three tenants with very different profiles share one
+// cluster — gold (light, latency-sensitive), silver (moderate), and
+// bronze (heavy, hot-keyed). Each tenant gets its own submit-latency SLO,
+// and the cluster is asserted through the same clusterview scrape an
+// operator would use: every server reachable via its ops listener, the
+// commit frontier advancing, zero active stalls.
+type tenant struct {
+	name    string
+	keys    int
+	writers int
+	// pause is the max inter-op think time; smaller = heavier load.
+	pause time.Duration
+	slo   time.Duration
+}
+
+var tenants = []tenant{
+	{name: "gold", keys: 8, writers: 2, pause: 3 * time.Millisecond, slo: 400 * time.Millisecond},
+	{name: "silver", keys: 8, writers: 2, pause: 1500 * time.Microsecond, slo: 600 * time.Millisecond},
+	{name: "bronze", keys: 4, writers: 4, pause: 600 * time.Microsecond, slo: 800 * time.Millisecond},
+}
+
+func registerTenants(r *scenario.Registry) {
+	r.MustRegister(&scenario.Scenario{
+		Name:    "tenant-mix",
+		Summary: "three-tenant mixed load with per-tenant p99 SLOs asserted via clusterview scrape",
+		Attrs:   []string{"contention", "soak", "smoke", "obs"},
+		Shape: func(p scenario.Params) scenario.EnvConfig {
+			reg := functor.NewRegistry()
+			reg.MustRegister("tenant-append", appendTag)
+			return scenario.EnvConfig{
+				Servers:       3,
+				EpochDuration: 2 * time.Millisecond,
+				NetLatency:    100 * time.Microsecond,
+				NetJitter:     50 * time.Microsecond,
+				Registry:      reg,
+				Retention:     16,
+				Skew:          &obs.SkewConfig{SampleEvery: 4, TopK: 16},
+				Ops:           true,
+			}
+		},
+		Run: runTenantMix,
+	})
+}
+
+func tenantKey(t tenant, j int) kv.Key {
+	return kv.Key(fmt.Sprintf("ten:%s:k%02d", t.name, j))
+}
+
+func runTenantMix(ctx context.Context, env *scenario.Env) error {
+	before := env.Scraper().Scrape(ctx)
+	deadline := time.Now().Add(env.Window)
+
+	lats := make(map[string]*latencies, len(tenants))
+	for _, t := range tenants {
+		lats[t.name] = newLatencies()
+	}
+	var (
+		tagMu  sync.Mutex
+		tagSeq int
+	)
+
+	var wg sync.WaitGroup
+	client := 0
+	for ti, t := range tenants {
+		lat := lats[t.name]
+		for w := 0; w < t.writers; w++ {
+			wg.Add(1)
+			client++
+			go func(t tenant, seed int64, cli int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(env.Seed*99991 + seed))
+				srv := env.Cluster.Server(cli % env.Cluster.NumServers())
+				for time.Now().Before(deadline) && ctx.Err() == nil {
+					time.Sleep(time.Duration(rng.Int63n(int64(t.pause))))
+					tagMu.Lock()
+					tagSeq++
+					tag := fmt.Sprintf("m%d", tagSeq)
+					tagMu.Unlock()
+					k := tenantKey(t, rng.Intn(t.keys))
+					env.Oracle.Begin(tag, []kv.Key{k})
+					sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+					start := time.Now()
+					results, _, err := srv.SubmitBatch(sctx, []core.Txn{{Writes: []core.Write{
+						{Key: k, Functor: functor.User("tenant-append", []byte(tag+";"), nil)},
+					}}})
+					lat.observe(time.Since(start))
+					cancel()
+					var res core.TxnResult
+					if err == nil {
+						res = results[0]
+					}
+					finishSubmit(env.Oracle, tag, res, err)
+					// Occasionally read back own tenant's keys for the
+					// oracle's monotonic-session checks.
+					if rng.Float64() < 0.2 {
+						rkeys := []kv.Key{tenantKey(t, rng.Intn(t.keys)), tenantKey(t, rng.Intn(t.keys))}
+						rctx, rcancel := context.WithTimeout(ctx, 2*time.Second)
+						vals, snap, rerr := srv.ReadMany(rctx, rkeys)
+						rcancel()
+						if rerr == nil {
+							env.Oracle.Observe(cli, snap, rkeys, vals)
+						}
+					}
+				}
+			}(t, int64(ti*100+w), client)
+		}
+	}
+	wg.Wait()
+
+	if err := settle(ctx, env); err != nil {
+		return err
+	}
+	var all []kv.Key
+	for _, t := range tenants {
+		for j := 0; j < t.keys; j++ {
+			all = append(all, tenantKey(t, j))
+		}
+	}
+	if err := observeFinals(ctx, env, all); err != nil {
+		return err
+	}
+
+	// The operator's view: one scrape across every ops listener, deltas
+	// against the pre-workload snapshot.
+	after := env.Scraper().Scrape(ctx)
+	d := clusterview.Delta(before, after)
+	env.Logf("clusterview: %d/%d servers reachable, commit frontier %d..%d, +%.0f txns committed",
+		after.ReachableServers, env.Cluster.NumServers(),
+		after.MinCommittedEpoch, after.MaxCommittedEpoch, d.AggTxnsCommitted)
+	if after.ReachableServers != env.Cluster.NumServers() {
+		return fmt.Errorf("scrape reached %d of %d servers", after.ReachableServers, env.Cluster.NumServers())
+	}
+	if after.MinCommittedEpoch <= before.MinCommittedEpoch {
+		return fmt.Errorf("commit frontier did not advance (%d -> %d)", before.MinCommittedEpoch, after.MinCommittedEpoch)
+	}
+	if d.AggTxnsCommitted <= 0 {
+		return fmt.Errorf("scrape saw no committed transactions during the window")
+	}
+	if after.ActiveStalls != 0 {
+		return fmt.Errorf("scrape saw %d active stalls", after.ActiveStalls)
+	}
+
+	for _, t := range tenants {
+		if err := requireP99(env, "tenant "+t.name, lats[t.name], t.slo); err != nil {
+			return err
+		}
+	}
+	_, committed, _, _, _ := env.Oracle.Counts()
+	if committed == 0 {
+		return fmt.Errorf("no transaction committed in a %s window", env.Window)
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"alohadb/internal/chaos/oracle"
+	"alohadb/internal/core"
+	"alohadb/internal/functor"
+	"alohadb/internal/kv"
+	"alohadb/internal/metrics"
+	"alohadb/internal/mvstore"
+	"alohadb/internal/obs"
+	"alohadb/internal/obs/clusterview"
+	"alohadb/internal/obs/journal"
+	"alohadb/internal/placement"
+	"alohadb/internal/trace"
+	"alohadb/internal/transport"
+	"alohadb/internal/tstamp"
+)
+
+// EnvConfig declares a scenario's cluster shape. BuildEnv turns it into a
+// started cluster plus the observability stack, replacing the hand-rolled
+// construction the chaos runner, netbench, obs-sim, and migrate-sim each
+// used to carry.
+type EnvConfig struct {
+	// Servers is the cluster size. Required.
+	Servers int
+	// Transport selects "mem" (default) or "tcp" (real loopback sockets
+	// with the binary wire codec). Ignored when Network is set.
+	Transport string
+	// WireCodec selects the TCP wire encoding: "binary" (default), "gob",
+	// or "mixed" (even nodes binary, odd nodes gob — the rolling-upgrade
+	// handshake path).
+	WireCodec string
+	// Network overrides transport construction entirely (callers that
+	// pre-build a network, e.g. netbench sharing one across phases). The
+	// env does not close it.
+	Network transport.Network
+	// NetLatency/NetJitter add simulated one-way delay to the in-memory
+	// transport ("mem" only).
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	// WrapNet, when set, decorates the freshly built transport before the
+	// cluster attaches — the chaos injector's hook. The wrapped network is
+	// what Env.Net exposes, so bodies can reach fault controls through a
+	// type assertion without this package importing the chaos package.
+	WrapNet func(transport.Network) transport.Network
+
+	// EpochDuration, EpochMinDuration, EpochMaxDuration, ManualEpochs,
+	// SwitchTimeout: see core.ClusterConfig.
+	EpochDuration    time.Duration
+	EpochMinDuration time.Duration
+	EpochMaxDuration time.Duration
+	ManualEpochs     bool
+	SwitchTimeout    time.Duration
+
+	// Registry, Router, DependencyRule, Workers, Tracer, ReadBatchWindow,
+	// AbortRetries, AbortRetryBackoff, Stores, StartEpoch,
+	// DurabilityFactory: see core.ClusterConfig.
+	AbortRetries      int
+	AbortRetryBackoff time.Duration
+	Workers           int
+	Registry          *functor.Registry
+	Router            placement.Router
+	DependencyRule    func(k kv.Key) (kv.Key, bool)
+	Tracer            *trace.Tracer
+	ReadBatchWindow   time.Duration
+	Stores            []*mvstore.Store
+	StartEpoch        tstamp.Epoch
+	DurabilityFactory func(serverID int) (core.DurabilityHook, error)
+
+	// Retention bounds per-key version history (Cluster.SetRetention);
+	// zero keeps the default unbounded chains. Hot-key workloads set it so
+	// hour-long soaks don't grow one key's chain without bound.
+	Retention int
+
+	// Skew, when set, attaches a shared hot-key profiler (Partitions
+	// defaults to Servers).
+	Skew *obs.SkewConfig
+	// Watchdog attaches one epoch-progress watchdog per server; the
+	// runner's zero-stall gate and the /debug/stall endpoint need it.
+	Watchdog bool
+	// WatchdogThreshold overrides the stall threshold (default 2s; chaos
+	// shapes use a larger one so injected faults below the epoch switch
+	// timeout never count as stalls).
+	WatchdogThreshold time.Duration
+	// Ops starts one loopback HTTP ops listener per server — /metrics,
+	// /healthz, /debug/stall|hotkeys|epochs|placement — the same surface
+	// aloha-server exposes, so clusterview can scrape the env. Implies
+	// Watchdog.
+	Ops bool
+
+	// Load runs between construction and Start, while bulk Load is still
+	// legal; scenario preloads (TPC-C tables, account balances) go here.
+	Load func(c *core.Cluster) error
+}
+
+// Env is the pre-wired world a scenario body runs in.
+type Env struct {
+	// Name and Seed identify the run; Window and Soak tell the body how
+	// long and how hard to drive it.
+	Name   string
+	Seed   int64
+	Window time.Duration
+	Soak   bool
+
+	// Cluster is started and loaded (nil for scenarios that build their
+	// own clusters per phase).
+	Cluster *core.Cluster
+	// Net is the cluster's transport, after WrapNet decoration.
+	Net transport.Network
+	// Skew is the shared profiler (nil unless configured).
+	Skew *obs.Skew
+	// Watchdogs holds one started watchdog per server (empty unless
+	// configured).
+	Watchdogs []*obs.Watchdog
+	// OpsAddrs lists the per-server ops listener addresses (empty unless
+	// Ops was set).
+	OpsAddrs []string
+	// Oracle is a fresh history oracle; bodies that run tag-append
+	// workloads record into it and the runner reports its verdict.
+	Oracle *oracle.History
+	// Out receives scenario-body reporting (figure rows, progress lines).
+	Out io.Writer
+
+	ownNet    bool
+	httpSrvs  []*http.Server
+	logf      func(format string, args ...any)
+	artifacts []Artifact
+}
+
+// Logf writes one line of run output through the runner's writer.
+func (e *Env) Logf(format string, args ...any) {
+	if e.logf != nil {
+		e.logf(format, args...)
+	}
+}
+
+// Scraper returns a clusterview scraper over the env's ops listeners.
+func (e *Env) Scraper() *clusterview.Scraper {
+	return &clusterview.Scraper{Addrs: e.OpsAddrs}
+}
+
+// StallsTotal sums stall episodes across every watchdog; the runner gates
+// soak and smoke runs on it staying zero.
+func (e *Env) StallsTotal() uint64 {
+	var n uint64
+	for _, wd := range e.Watchdogs {
+		n += wd.Status().StallsTotal
+	}
+	return n
+}
+
+// Close tears the env down: watchdogs, ops listeners, cluster, and (when
+// the env built it) the network. Safe to call more than once.
+func (e *Env) Close() {
+	for _, wd := range e.Watchdogs {
+		wd.Stop()
+	}
+	e.Watchdogs = nil
+	for _, hs := range e.httpSrvs {
+		hs.Close()
+	}
+	e.httpSrvs = nil
+	if e.Cluster != nil {
+		e.Cluster.Close()
+		e.Cluster = nil
+	}
+	if e.ownNet && e.Net != nil {
+		e.Net.Close()
+		e.Net = nil
+	}
+}
+
+// BuildEnv constructs and starts the declared cluster shape. On success
+// the caller owns the env and must Close it.
+func BuildEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("scenario: env needs at least one server")
+	}
+	env := &Env{Oracle: oracle.New(), Out: io.Discard}
+
+	inner := cfg.Network
+	if inner == nil {
+		switch cfg.Transport {
+		case "", "mem":
+			inner = transport.NewMemNetwork(transport.WithLatency(cfg.NetLatency, cfg.NetJitter))
+		case "tcp":
+			core.RegisterMessages()
+			addrs := make(map[transport.NodeID]string, cfg.Servers)
+			for i := 0; i < cfg.Servers; i++ {
+				addrs[transport.NodeID(i)] = "127.0.0.1:0"
+			}
+			var opts []transport.TCPOption
+			switch cfg.WireCodec {
+			case "", "binary":
+				opts = append(opts, transport.WithCodec(transport.CodecBinary))
+			case "gob":
+				opts = append(opts, transport.WithCodec(transport.CodecGob))
+			case "mixed":
+				opts = append(opts, transport.WithCodecFor(func(id transport.NodeID) transport.Codec {
+					if id%2 == 0 {
+						return transport.CodecBinary
+					}
+					return transport.CodecGob
+				}))
+			default:
+				return nil, fmt.Errorf("scenario: unknown wire codec %q", cfg.WireCodec)
+			}
+			inner = transport.NewTCPNetwork(addrs, opts...)
+		default:
+			return nil, fmt.Errorf("scenario: unknown transport %q", cfg.Transport)
+		}
+		env.ownNet = true
+	}
+	netw := inner
+	if cfg.WrapNet != nil {
+		netw = cfg.WrapNet(inner)
+	}
+	env.Net = netw
+
+	var skew *obs.Skew
+	if cfg.Skew != nil {
+		sc := *cfg.Skew
+		if sc.Partitions == 0 {
+			sc.Partitions = cfg.Servers
+		}
+		skew = obs.NewSkew(sc)
+	}
+	env.Skew = skew
+
+	c, err := core.NewCluster(core.ClusterConfig{
+		Servers:           cfg.Servers,
+		EpochDuration:     cfg.EpochDuration,
+		EpochMinDuration:  cfg.EpochMinDuration,
+		EpochMaxDuration:  cfg.EpochMaxDuration,
+		ManualEpochs:      cfg.ManualEpochs,
+		Router:            cfg.Router,
+		Registry:          cfg.Registry,
+		Workers:           cfg.Workers,
+		Network:           netw,
+		DurabilityFactory: cfg.DurabilityFactory,
+		Stores:            cfg.Stores,
+		StartEpoch:        cfg.StartEpoch,
+		DependencyRule:    cfg.DependencyRule,
+		Tracer:            cfg.Tracer,
+		ReadBatchWindow:   cfg.ReadBatchWindow,
+		SwitchTimeout:     cfg.SwitchTimeout,
+		AbortRetries:      cfg.AbortRetries,
+		AbortRetryBackoff: cfg.AbortRetryBackoff,
+		Skew:              skew,
+	})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Cluster = c
+	if cfg.Retention > 0 {
+		c.SetRetention(tstamp.Epoch(cfg.Retention))
+	}
+	if cfg.Load != nil {
+		if err := cfg.Load(c); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+
+	if cfg.Watchdog || cfg.Ops {
+		threshold := cfg.WatchdogThreshold
+		if threshold <= 0 {
+			threshold = 2 * time.Second
+		}
+		for i := 0; i < cfg.Servers; i++ {
+			wd := c.Server(i).NewWatchdog(obs.WatchdogConfig{Threshold: threshold})
+			wd.Start()
+			env.Watchdogs = append(env.Watchdogs, wd)
+		}
+	}
+	if cfg.Ops {
+		if err := env.startOps(c); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+
+	if err := c.Start(); err != nil {
+		env.Close()
+		return nil, err
+	}
+	return env, nil
+}
+
+// startOps brings up one loopback ops listener per server, serving the
+// same endpoint set as aloha-server's -metrics-addr.
+func (e *Env) startOps(c *core.Cluster) error {
+	n := c.NumServers()
+	e.OpsAddrs = make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := c.Server(i)
+		wd := e.Watchdogs[i]
+		gather := func() []metrics.Family {
+			fams := srv.MetricFamilies()
+			fams = append(fams, metrics.RuntimeFamilies()...)
+			fams = append(fams, wd.MetricFamilies()...)
+			if e.Skew != nil {
+				fams = append(fams, e.Skew.MetricFamilies()...)
+			}
+			if reb := c.Rebalancer(); reb != nil {
+				fams = append(fams, reb.MetricFamilies()...)
+			}
+			return fams
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		e.OpsAddrs[i] = ln.Addr().String()
+		opts := []metrics.OpsOption{
+			metrics.WithDebug("stall", wd.Handler()),
+			// Embedded cluster: the EM is in-process, so each server's
+			// /debug/epochs carries the EM mirror too (harmless duplication
+			// — the clusterview merge dedups EM records by epoch).
+			metrics.WithDebug("epochs", journal.DocHandler(srv.Journal(), c.EpochManager().Journal())),
+			metrics.WithDebug("placement", placement.Handler(srv.PlacementTable())),
+			metrics.WithHealth("watchdog", wd.Health),
+		}
+		if e.Skew != nil {
+			opts = append(opts, metrics.WithDebug("hotkeys", e.Skew.Handler()))
+		}
+		hs := &http.Server{Handler: metrics.OpsHandler(gather, opts...)}
+		e.httpSrvs = append(e.httpSrvs, hs)
+		go func() { _ = hs.Serve(ln) }()
+	}
+	return nil
+}
+
+// WaitCommitted blocks until every server has committed the epoch that
+// was current when the call was made — the epoch-progress signal that
+// replaces "sleep a few epoch durations and hope" quiesce waits: any
+// transaction submitted before the call drew a timestamp at or below that
+// epoch, so once the commit frontier passes it the transaction's effects
+// are visible everywhere. Returns an error if the frontier does not reach
+// the target within the timeout (wedged manager, manual epochs).
+func WaitCommitted(c *core.Cluster, timeout time.Duration) error {
+	target := c.CurrentEpoch()
+	deadline := time.Now().Add(timeout)
+	for {
+		frontier := tstamp.MaxEpoch
+		for i := 0; i < c.NumServers(); i++ {
+			if e := c.Server(i).CommittedEpoch(); e < frontier {
+				frontier = e
+			}
+		}
+		if frontier >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: commit frontier stuck at %d, want >= %d after %v", frontier, target, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Quiesce settles the env's cluster: waits for the commit frontier to
+// pass every in-flight epoch, then drains the functor processors. Bodies
+// call it before final-state checks.
+func (e *Env) Quiesce(ctx context.Context) error {
+	timeout := 10 * time.Second
+	if d, ok := ctx.Deadline(); ok {
+		if until := time.Until(d); until < timeout {
+			timeout = until
+		}
+	}
+	if err := WaitCommitted(e.Cluster, timeout); err != nil {
+		return err
+	}
+	e.Cluster.DrainProcessors()
+	return nil
+}

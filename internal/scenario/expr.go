@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Matcher decides whether a scenario is selected by an expression.
+type Matcher func(s *Scenario) bool
+
+// CompileExpr compiles a selection expression into a matcher. The grammar
+// is a small boolean language over attribute and name terms:
+//
+//	expr   = or
+//	or     = and { ("||" | ",") and }
+//	and    = unary { "&&" unary }
+//	unary  = "!" unary | "(" expr ")" | term
+//	term   = "attr:" IDENT | "name:" GLOB | IDENT-or-GLOB
+//
+// A bare term matches a scenario when it equals one of its attributes or
+// when, interpreted as a path glob, it matches the scenario name — so
+// "smoke" selects the smoke matrix and "auction-*" selects by name.
+// Commas are a convenience alias for "||". An empty expression matches
+// nothing.
+func CompileExpr(expr string) (Matcher, error) {
+	toks, err := lexExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks}
+	if len(toks) == 0 {
+		return func(*Scenario) bool { return false }, nil
+	}
+	m, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("scenario: unexpected %q in expression %q", p.toks[p.pos], expr)
+	}
+	return m, nil
+}
+
+func lexExpr(expr string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '!' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '&' || c == '|':
+			if i+1 >= len(expr) || expr[i+1] != c {
+				return nil, fmt.Errorf("scenario: single %q in expression %q", string(c), expr)
+			}
+			toks = append(toks, string(c)+string(c))
+			i += 2
+		default:
+			j := i
+			for j < len(expr) && !strings.ContainsRune(" \t\n()!&|,", rune(expr[j])) {
+				j++
+			}
+			toks = append(toks, expr[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type exprParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *exprParser) parseOr() (Matcher, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "||" || p.peek() == "," {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(s *Scenario) bool { return l(s) || r(s) }
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAnd() (Matcher, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&&" {
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(s *Scenario) bool { return l(s) && r(s) }
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseUnary() (Matcher, error) {
+	switch p.peek() {
+	case "":
+		return nil, fmt.Errorf("scenario: expression ended where a term was expected")
+	case "!":
+		p.pos++
+		m, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(s *Scenario) bool { return !m(s) }, nil
+	case "(":
+		p.pos++
+		m, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("scenario: missing ) in expression")
+		}
+		p.pos++
+		return m, nil
+	case ")", "&&", "||", ",":
+		return nil, fmt.Errorf("scenario: unexpected %q where a term was expected", p.peek())
+	}
+	term := p.toks[p.pos]
+	p.pos++
+	return compileTerm(term)
+}
+
+func compileTerm(term string) (Matcher, error) {
+	switch {
+	case strings.HasPrefix(term, "attr:"):
+		a := strings.TrimPrefix(term, "attr:")
+		if a == "" {
+			return nil, fmt.Errorf("scenario: empty attr: term")
+		}
+		return func(s *Scenario) bool { return s.HasAttr(a) }, nil
+	case strings.HasPrefix(term, "name:"):
+		g := strings.TrimPrefix(term, "name:")
+		if g == "" {
+			return nil, fmt.Errorf("scenario: empty name: term")
+		}
+		if _, err := path.Match(g, "probe"); err != nil {
+			return nil, fmt.Errorf("scenario: bad name glob %q", g)
+		}
+		return func(s *Scenario) bool {
+			ok, _ := path.Match(g, s.Name)
+			return ok
+		}, nil
+	default:
+		// Bare term: attribute equality, or a name glob. A malformed glob
+		// still works as a plain attribute term.
+		globOK := true
+		if _, err := path.Match(term, "probe"); err != nil {
+			globOK = false
+		}
+		return func(s *Scenario) bool {
+			if s.HasAttr(term) {
+				return true
+			}
+			if globOK {
+				ok, _ := path.Match(term, s.Name)
+				return ok
+			}
+			return false
+		}, nil
+	}
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+func mk(name string, attrs ...string) *Scenario {
+	return &Scenario{
+		Name:  name,
+		Attrs: attrs,
+		Run:   func(context.Context, *Env) error { return nil },
+	}
+}
+
+func names(scns []*Scenario) []string {
+	out := make([]string, len(scns))
+	for i, s := range scns {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestSelectExpressions(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(mk("feed-fanout", "smoke", "soak", "chaos", "contention"))
+	r.MustRegister(mk("auction-snipe", "smoke", "soak", "chaos", "contention"))
+	r.MustRegister(mk("figure-6", "bench"))
+	r.MustRegister(mk("chaos-crash", "chaos"))
+	r.MustRegister(mk("obs-view", "smoke", "obs"))
+
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"smoke", []string{"auction-snipe", "feed-fanout", "obs-view"}},
+		{"attr:smoke", []string{"auction-snipe", "feed-fanout", "obs-view"}},
+		{"smoke && chaos", []string{"auction-snipe", "feed-fanout"}},
+		{"smoke && !contention", []string{"obs-view"}},
+		{"bench || obs", []string{"figure-6", "obs-view"}},
+		{"bench, obs", []string{"figure-6", "obs-view"}},
+		{"(smoke || bench) && !chaos", []string{"figure-6", "obs-view"}},
+		{"auction-*", []string{"auction-snipe"}},
+		{"name:figure-?", []string{"figure-6"}},
+		{"name:chaos-* || contention", []string{"auction-snipe", "chaos-crash", "feed-fanout"}},
+		{"nothing-matches", nil},
+	}
+	for _, tc := range cases {
+		got, err := r.Select(tc.expr)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", tc.expr, err)
+		}
+		gotNames := names(got)
+		if len(gotNames) != len(tc.want) {
+			t.Fatalf("Select(%q) = %v, want %v", tc.expr, gotNames, tc.want)
+		}
+		for i := range tc.want {
+			if gotNames[i] != tc.want[i] {
+				t.Fatalf("Select(%q) = %v, want %v", tc.expr, gotNames, tc.want)
+			}
+		}
+	}
+}
+
+func TestSelectBadExpressions(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(mk("x", "smoke"))
+	for _, expr := range []string{"&& smoke", "smoke &&", "(smoke", "smoke)", "smoke & chaos", "!", "attr:", "name:"} {
+		if _, err := r.Select(expr); err == nil {
+			t.Errorf("Select(%q): expected error", expr)
+		}
+	}
+	// An empty expression selects nothing rather than erroring.
+	got, err := r.Select("")
+	if err != nil || len(got) != 0 {
+		t.Errorf("Select(\"\") = %v, %v; want empty, nil", names(got), err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(mk("ok-name", "smoke")); err != nil {
+		t.Fatalf("valid register: %v", err)
+	}
+	if err := r.Register(mk("ok-name", "smoke")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := r.Register(mk("Bad_Name")); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if err := r.Register(mk("other", "Bad Attr")); err == nil {
+		t.Error("invalid attr accepted")
+	}
+	if err := r.Register(&Scenario{Name: "no-body"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if s := r.Find("ok-name"); s == nil {
+		t.Error("Find missed registered scenario")
+	}
+}
