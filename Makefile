@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke migrate-smoke scenarios soak clean
+.PHONY: all build fmt-check vet test race bench bench-net chaos chaos-long figures figures-full examples obs-smoke migrate-smoke scenarios soak trend-gate clean
 
 all: build test
 
@@ -76,8 +76,18 @@ scenarios:
 # (scenario name, seed, log tail) to SCENARIO_ARTIFACT when set.
 SOAK_DURATION ?= 20m
 SCENARIO_ARTIFACT ?=
+SCENARIO_TREND ?=
 soak:
-	$(GO) run ./cmd/aloha-bench -scenarios soak -soak-duration $(SOAK_DURATION) $(if $(SCENARIO_ARTIFACT),-scenario-artifact $(SCENARIO_ARTIFACT))
+	$(GO) run ./cmd/aloha-bench -scenarios soak -soak-duration $(SOAK_DURATION) $(if $(SCENARIO_ARTIFACT),-scenario-artifact $(SCENARIO_ARTIFACT)) $(if $(SCENARIO_TREND),-scenario-trend $(SCENARIO_TREND))
+
+# Nightly trend gate: compare tonight's TREND_*.jsonl summary rows against
+# the previous night's file, failing on throughput / p99 / stall / anomaly
+# regressions beyond a loose tolerance. First night (no previous file)
+# passes and seeds the baseline.
+TREND_PREV ?= TREND_prev.jsonl
+TREND_CUR ?= TREND_soak.jsonl
+trend-gate:
+	./scripts/trend-gate.sh $(TREND_PREV) $(TREND_CUR)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"alohadb/internal/harness"
+	"alohadb/internal/obs/tsdb"
 	"alohadb/internal/trace"
 )
 
@@ -60,7 +61,14 @@ func run() error {
 		scenarioSeed     = flag.Int64("scenario-seed", 1, "deterministic base seed for the scenario matrix (recorded in the replay artifact)")
 		scenarioWindow   = flag.Duration("scenario-window", 0, "per-scenario workload window override (default 800ms)")
 		scenarioArtifact = flag.String("scenario-artifact", "", "replay artifact path for failing scenarios (default $SCENARIO_ARTIFACT)")
+		scenarioTrend    = flag.String("scenario-trend", "", "trend-summary JSONL path for the matrix run (default $SCENARIO_TREND); the nightly soak writes it and `make trend-gate` compares it against the previous night")
 		soakDuration     = flag.Duration("soak-duration", 0, "soak mode: divide this total budget across the selected scenarios and run each as a long-window soak gated on p99 SLOs and zero stalls")
+
+		trendOut  = flag.String("trend-out", "", "also write the figure results as bench-kind trend rows (aloha-trend/v1 JSONL) to this file; the checked-in quick sweep lives in TREND_bench_quick.jsonl")
+		trendGate = flag.Bool("trend-gate", false, "trend-gate mode: compare the -trend-cur file against the -trend-prev baseline and exit non-zero on any sustained regression (no benchmarks run)")
+		trendPrev = flag.String("trend-prev", "", "previous run's trend JSONL for -trend-gate (missing file = no baseline yet, gate passes)")
+		trendCur  = flag.String("trend-cur", "", "current run's trend JSONL for -trend-gate")
+		trendTol  = flag.Float64("trend-tolerance", 0, "trend gate fractional tolerance on throughput drops and p99 rises (0 = default 0.35)")
 
 		obsSim         = flag.Bool("obs-sim", false, "boot a live simulated cluster with the full observability stack (per-server ops listeners, epoch watchdogs, skew profiler) plus a light workload; the target for aloha-top and CI's obs smoke")
 		obsSimServers  = flag.Int("obs-sim-servers", 3, "obs-sim cluster size")
@@ -76,6 +84,13 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *trendGate {
+		if *trendPrev == "" || *trendCur == "" {
+			return fmt.Errorf("aloha-bench: -trend-gate needs -trend-prev and -trend-cur")
+		}
+		return runTrendGate(*trendPrev, *trendCur, *trendTol)
+	}
+
 	if *scenarios != "" || *scenarioList {
 		return runScenarios(scenarioOptions{
 			expr:     *scenarios,
@@ -84,6 +99,7 @@ func run() error {
 			window:   *scenarioWindow,
 			soak:     *soakDuration,
 			artifact: *scenarioArtifact,
+			trend:    *scenarioTrend,
 		})
 	}
 
@@ -154,8 +170,11 @@ func run() error {
 	}
 
 	var collected []harness.Result
-	collect := func(rows []harness.Result, err error) error {
+	var trend []tsdb.TrendRow
+	trendAt := time.Now()
+	collect := func(figName string, rows []harness.Result, err error) error {
 		collected = append(collected, rows...)
+		trend = append(trend, trendRows(figName, rows, trendAt)...)
 		return err
 	}
 	type fig struct {
@@ -163,12 +182,12 @@ func run() error {
 		run  func(harness.Options) error
 	}
 	figs := map[string]func(harness.Options) error{
-		"6":  func(o harness.Options) error { return collect(harness.Figure6(o)) },
-		"7":  func(o harness.Options) error { return collect(harness.Figure7(o)) },
-		"8":  func(o harness.Options) error { return collect(harness.Figure8(o)) },
-		"9":  func(o harness.Options) error { return collect(harness.Figure9(o)) },
+		"6":  func(o harness.Options) error { rows, err := harness.Figure6(o); return collect("6", rows, err) },
+		"7":  func(o harness.Options) error { rows, err := harness.Figure7(o); return collect("7", rows, err) },
+		"8":  func(o harness.Options) error { rows, err := harness.Figure8(o); return collect("8", rows, err) },
+		"9":  func(o harness.Options) error { rows, err := harness.Figure9(o); return collect("9", rows, err) },
 		"10": func(o harness.Options) error { _, err := harness.Figure10(o); return err },
-		"11": func(o harness.Options) error { return collect(harness.Figure11(o)) },
+		"11": func(o harness.Options) error { rows, err := harness.Figure11(o); return collect("11", rows, err) },
 	}
 
 	var order []fig
@@ -201,6 +220,12 @@ func run() error {
 			return fmt.Errorf("write csv: %w", err)
 		}
 		fmt.Printf("# wrote %d rows to %s\n", len(collected), *csvPath)
+	}
+	if *trendOut != "" && len(trend) > 0 {
+		if err := tsdb.WriteTrend(*trendOut, trend); err != nil {
+			return fmt.Errorf("write trend: %w", err)
+		}
+		fmt.Printf("# wrote %d trend rows to %s\n", len(trend), *trendOut)
 	}
 	if *traceSlowest > 0 {
 		slowest := trace.Slowest(tracer.Traces(), *traceSlowest)

@@ -43,6 +43,10 @@ func runObsSim(o obsSimOptions) error {
 		Registry:      functor.NewRegistry(),
 		Skew:          &obs.SkewConfig{SampleEvery: 4, TopK: 16},
 		Ops:           true,
+		// Fast recorder clock: a ~2s workload pause must clear the
+		// detector's baseline window inside a 10s smoke run.
+		Timeseries:         true,
+		TimeseriesInterval: 100 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -69,8 +73,21 @@ func runObsSim(o obsSimOptions) error {
 	rng := rand.New(rand.NewSource(1))
 	zipf := rand.NewZipf(rng, 1.3, 1, 499)
 	deadline := time.Now().Add(o.duration)
+	// Pause the workload mid-run so the flight recorder's level-shift
+	// detector has a real commit-rate drop to annotate — the obs smoke
+	// asserts /debug/timeseries serves at least one annotated window.
+	hiccupAt := time.Now().Add(o.duration / 2)
+	hiccup := o.duration / 5
+	if hiccup > 2*time.Second {
+		hiccup = 2 * time.Second
+	}
 	var submitted, failed int
 	for time.Now().Before(deadline) {
+		if !hiccupAt.IsZero() && time.Now().After(hiccupAt) {
+			fmt.Printf("obs-sim: injecting %s workload hiccup\n", hiccup.Round(time.Millisecond))
+			time.Sleep(hiccup)
+			hiccupAt = time.Time{}
+		}
 		key := kv.Key(fmt.Sprintf("item-%d", zipf.Uint64()))
 		h, err := c.Server(submitted%o.servers).Submit(ctx, core.Txn{Writes: []core.Write{
 			{Key: key, Functor: functor.Add(1)},

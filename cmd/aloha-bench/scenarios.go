@@ -18,6 +18,7 @@ type scenarioOptions struct {
 	window   time.Duration
 	soak     time.Duration
 	artifact string
+	trend    string
 }
 
 // runScenarios selects scenarios from the catalog by attribute expression
@@ -44,6 +45,7 @@ func runScenarios(o scenarioOptions) error {
 		Soak:         o.soak,
 		Out:          os.Stdout,
 		ArtifactPath: o.artifact,
+		TrendPath:    o.trend,
 	})
 	if err != nil {
 		return err

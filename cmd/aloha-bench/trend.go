@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"alohadb/internal/harness"
+	"alohadb/internal/obs/tsdb"
+)
+
+// trendRows converts figure results into bench-kind trend rows, the same
+// aloha-trend/v1 schema the scenario soak emits, so bench and soak
+// trajectories flow through one gate. Scenario keys are
+// "fig<N>/<engine>/<label>"; labels that repeat within a figure (e.g.
+// Figure 6's client sweep reuses the config label) get a deterministic
+// "#<n>" suffix in sweep order.
+func trendRows(fig string, results []harness.Result, at time.Time) []tsdb.TrendRow {
+	seen := make(map[string]int, len(results))
+	rows := make([]tsdb.TrendRow, 0, len(results))
+	for _, r := range results {
+		key := "fig" + fig + "/" + r.Engine + "/" + r.Label
+		if n := seen[key]; n > 0 {
+			key = fmt.Sprintf("%s#%d", key, n+1)
+		}
+		seen["fig"+fig+"/"+r.Engine+"/"+r.Label]++
+		rows = append(rows, tsdb.TrendRow{
+			Kind:       tsdb.TrendKindBench,
+			Scenario:   key,
+			At:         at.UTC().Format(time.RFC3339),
+			WindowS:    r.Duration.Seconds(),
+			Throughput: r.Throughput,
+			P99MS:      float64(r.Latency.P99) / float64(time.Millisecond),
+			MeanMS:     float64(r.Latency.Mean) / float64(time.Millisecond),
+			Commits:    r.Txns,
+			Aborts:     r.Aborts,
+		})
+	}
+	return rows
+}
+
+// runTrendGate is the nightly regression gate: read the previous run's
+// trend file and the current one, compare matched (kind, scenario) rows
+// under the loose tolerances, and exit non-zero listing every sustained
+// regression. A missing previous file is not an error — the first night
+// has no baseline.
+func runTrendGate(prevPath, curPath string, tolerance float64) error {
+	cur, err := tsdb.ReadTrend(curPath)
+	if err != nil {
+		return fmt.Errorf("aloha-bench: trend gate: current %s: %w", curPath, err)
+	}
+	prev, err := tsdb.ReadTrend(prevPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("# trend gate: no previous baseline at %s — %d current rows pass by default\n", prevPath, len(cur))
+			return nil
+		}
+		return fmt.Errorf("aloha-bench: trend gate: previous %s: %w", prevPath, err)
+	}
+	fails := tsdb.GateTrend(prev, cur, tsdb.GateConfig{Tolerance: tolerance})
+	fmt.Printf("# trend gate: %d baseline rows vs %d current rows (tolerance %.0f%%)\n",
+		len(prev), len(cur), 100*gateTolerance(tolerance))
+	if len(fails) == 0 {
+		fmt.Println("# trend gate: no sustained regressions")
+		return nil
+	}
+	for _, f := range fails {
+		fmt.Printf("REGRESSION %s\n", f)
+	}
+	return fmt.Errorf("aloha-bench: trend gate: %d sustained regression(s)", len(fails))
+}
+
+// gateTolerance mirrors GateConfig's default so the banner reports the
+// effective value when the flag is unset.
+func gateTolerance(t float64) float64 {
+	if t <= 0 {
+		return 0.35
+	}
+	return t
+}

@@ -27,6 +27,7 @@ import (
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
 	"alohadb/internal/obs/journal"
+	"alohadb/internal/obs/tsdb"
 	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
@@ -65,6 +66,9 @@ func run() error {
 		skewSample     = flag.Int("skew-sample", 0, "hot-key profiler: sample every Nth key access (0 disables profiling)")
 		skewTopK       = flag.Int("skew-topk", 0, "hot-key profiler: tracked heavy-hitter count (0 = default)")
 		walMaxFsyncAge = flag.Duration("wal-fsync-max-age", 0, "readiness: fail /healthz when the last WAL fsync is older than this (0 disables; needs -wal)")
+
+		tsInterval  = flag.Duration("timeseries-interval", 500*time.Millisecond, "metrics flight recorder sample interval, served at /debug/timeseries (0 disables)")
+		tsRetention = flag.Int("timeseries-retention", 0, "flight recorder ring depth in samples per series (0 = default 240, i.e. 2 minutes at the default interval)")
 	)
 	flag.Parse()
 
@@ -142,6 +146,15 @@ func run() error {
 		wd.Start()
 		defer wd.Stop()
 	}
+	// The recorder samples sources the two setters above fill, so it is
+	// built after them (tsdb.Recorder is nil-safe when disabled).
+	var rec *tsdb.Recorder
+	if *tsInterval > 0 {
+		srv.SetMaxQueueDepthSource(net.MaxSendQueueDepth)
+		rec = srv.NewRecorder(tsdb.Config{Interval: *tsInterval, Retention: *tsRetention})
+		rec.Start()
+		defer rec.Stop()
+	}
 	fmt.Printf("aloha-server %d listening on %s (epoch manager at %s)\n",
 		*id, addrs[transport.NodeID(*id)], *emAddr)
 
@@ -170,6 +183,9 @@ func run() error {
 		}
 		if skew != nil {
 			opts = append(opts, metrics.WithDebug("hotkeys", skew.Handler()))
+		}
+		if rec != nil {
+			opts = append(opts, metrics.WithDebug("timeseries", rec.Handler()))
 		}
 		if walLog != nil && *walMaxFsyncAge > 0 {
 			maxAge := *walMaxFsyncAge

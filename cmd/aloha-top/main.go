@@ -5,7 +5,10 @@
 // roll-up, and each server's share of the epoch critical paths (the
 // "gating" column). -epochs N adds a drill-down of the N slowest epochs
 // with their cluster-wide attribution (which server and stage gated each
-// commit).
+// commit). When servers run the metrics flight recorder
+// (/debug/timeseries), the frame adds a cluster commit-rate sparkline and
+// active-anomaly callouts; -timeseries adds a drill-down of every merged
+// series with its trend strip.
 //
 // Interactive (refreshing) mode:
 //
@@ -51,6 +54,7 @@ func run() error {
 		rateWindow = flag.Duration("rate-window", 500*time.Millisecond, "gap between the two scrapes of a -once run")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-server scrape timeout")
 		epochsN    = flag.Int("epochs", 0, "epoch drill-down: show the N slowest epochs with critical-path attribution below the dashboard")
+		timeseries = flag.Bool("timeseries", false, "timeseries drill-down: sparkline every merged flight-recorder series below the dashboard")
 	)
 	flag.Parse()
 	if *servers == "" {
@@ -68,15 +72,15 @@ func run() error {
 	defer cancel()
 
 	if *once {
-		return oneShot(ctx, sc, *rateWindow, *jsonOut, *epochsN)
+		return oneShot(ctx, sc, *rateWindow, *jsonOut, *epochsN, *timeseries)
 	}
-	return watch(ctx, sc, *interval, *jsonOut, *epochsN)
+	return watch(ctx, sc, *interval, *jsonOut, *epochsN, *timeseries)
 }
 
 // oneShot scrapes twice so rates are measured, then emits a single frame.
 // The JSON carries min_epoch_monotonic — CI's obs smoke asserts it: the
 // cluster's visibility floor must never move backwards.
-func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration, jsonOut bool, epochsN int) error {
+func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration, jsonOut bool, epochsN int, timeseries bool) error {
 	prev := sc.Scrape(ctx)
 	select {
 	case <-time.After(window):
@@ -90,6 +94,10 @@ func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration,
 			fmt.Printf("\nslowest epochs (critical path):\n")
 			clusterview.RenderEpochs(os.Stdout, cur.EpochPaths, epochsN)
 		}
+		if timeseries {
+			fmt.Printf("\nflight recorder (merged series):\n")
+			clusterview.RenderTimeseries(os.Stdout, cur, 48)
+		}
 		return nil
 	}
 	out := struct {
@@ -101,7 +109,7 @@ func oneShot(ctx context.Context, sc *clusterview.Scraper, window time.Duration,
 	return enc.Encode(out)
 }
 
-func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration, jsonOut bool, epochsN int) error {
+func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration, jsonOut bool, epochsN int, timeseries bool) error {
 	var prev clusterview.ClusterSnapshot
 	havePrev := false
 	t := time.NewTicker(interval)
@@ -123,6 +131,10 @@ func watch(ctx context.Context, sc *clusterview.Scraper, interval time.Duration,
 			if epochsN > 0 {
 				fmt.Printf("\nslowest epochs (critical path):\n")
 				clusterview.RenderEpochs(os.Stdout, cur.EpochPaths, epochsN)
+			}
+			if timeseries {
+				fmt.Printf("\nflight recorder (merged series):\n")
+				clusterview.RenderTimeseries(os.Stdout, cur, 48)
 			}
 		}
 		prev, havePrev = cur, true

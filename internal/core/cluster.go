@@ -308,6 +308,31 @@ func (c *Cluster) Stats() Stats {
 	return total
 }
 
+// InstallQuantile merges every server's cumulative install-stage
+// histogram (issue -> all functors installed) and returns the
+// cluster-wide q-quantile. The scenario runner's trend rows report it.
+func (c *Cluster) InstallQuantile(q float64) time.Duration {
+	return c.installSnapshot().QuantileDuration(q)
+}
+
+// InstallMean is the cluster-wide mean install-stage latency.
+func (c *Cluster) InstallMean() time.Duration {
+	return time.Duration(c.installSnapshot().Mean())
+}
+
+func (c *Cluster) installSnapshot() metrics.HistogramSnapshot {
+	var agg metrics.HistogramSnapshot
+	for _, srv := range c.servers {
+		snap := srv.stats.installHist.Snapshot()
+		if agg.Counts == nil {
+			agg = snap.Clone()
+			continue
+		}
+		agg.Merge(snap)
+	}
+	return agg
+}
+
 // Metrics returns the cluster's self-describing metric snapshot: every
 // server's families (one series per server, labeled server="i"), the
 // epoch manager's switch-duration histogram and current-epoch gauge, and

@@ -313,6 +313,14 @@ func (s *Server) SubmitBatch(ctx context.Context, txns []Txn) ([]TxnResult, []*T
 			}
 		}
 	}
+	// Classify aborts after the second round so an unacknowledged rollback
+	// lands in the crash-indeterminate bucket rather than its original
+	// reason.
+	for i := range txns {
+		if results[i].Aborted {
+			s.stats.recordAbortReason(results[i].Reason, results[i].AbortIncomplete)
+		}
+	}
 	s.stats.recordInstall(time.Since(start))
 	return results, handles, nil
 }

@@ -343,6 +343,17 @@ const (
 	FamMigrationInflight     = "aloha_migration_inflight"
 )
 
+// Inflight reports queued moves plus pending retirements without
+// allocating (the flight recorder samples it every tick). Nil-safe.
+func (r *Rebalancer) Inflight() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue) + len(r.retires)
+}
+
 // MetricFamilies returns the rebalancer's migration counters and gauges.
 func (r *Rebalancer) MetricFamilies() []metrics.Family {
 	r.mu.Lock()

@@ -143,6 +143,10 @@ type Server struct {
 	// queueDepths, when set, reports per-peer transport send-queue depths
 	// for stall snapshots (see SetQueueDepthSource).
 	queueDepths func() map[transport.NodeID]int
+	// maxQueueDepth, when set, reports the deepest outbound send queue
+	// without allocating, for the flight recorder's per-tick sample (see
+	// SetMaxQueueDepthSource).
+	maxQueueDepth func() int
 
 	// Second-round abort redelivery budget (see ServerConfig.AbortRetries).
 	abortRetries int

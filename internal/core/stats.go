@@ -2,11 +2,53 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"alohadb/internal/metrics"
 )
+
+// Abort-reason taxonomy indices. Every aborted transaction lands in
+// exactly one bucket, derived from the TxnResult reason string — the
+// classification an operator needs to tell "the workload hit a
+// constraint" from "chaos ate the install call" from "placement churn
+// outran the reroute budget" when the abort rate moves.
+const (
+	abortConstraint    = iota // phase-1 requirement or install rejection
+	abortReroute              // WrongOwner reroute budget exhausted
+	abortChaos                // injected fault (chaos transport)
+	abortIndeterminate        // second-round rollback unacknowledged
+	abortOther                // transport errors, everything else
+	numAbortReasons
+)
+
+// AbortReasons maps taxonomy indices to their exported reason labels.
+var AbortReasons = [numAbortReasons]string{
+	abortConstraint:    "constraint",
+	abortReroute:       "wrong-owner-reroute-exhausted",
+	abortChaos:         "chaos-injected",
+	abortIndeterminate: "crash-indeterminate",
+	abortOther:         "other",
+}
+
+// classifyAbortReason buckets one abort by its TxnResult fields. An
+// indeterminate rollback dominates: whatever caused the abort, the
+// operator's first concern is that the outcome is not clean.
+func classifyAbortReason(reason string, incomplete bool) int {
+	switch {
+	case incomplete:
+		return abortIndeterminate
+	case reason == ErrRerouteExhausted.Error():
+		return abortReroute
+	case strings.Contains(reason, "chaos: injected"):
+		return abortChaos
+	case strings.Contains(reason, "required key"):
+		return abortConstraint
+	default:
+		return abortOther
+	}
+}
 
 // serverStats aggregates per-server instruments: engine counters plus the
 // Figure-10 stage histograms — functor installing (issue → installed),
@@ -18,6 +60,7 @@ import (
 type serverStats struct {
 	txnsCommitted atomic.Uint64
 	txnsAborted   atomic.Uint64
+	abortReasons  [numAbortReasons]atomic.Uint64
 	readsServed   atomic.Uint64
 
 	functorsInstalled atomic.Uint64
@@ -58,6 +101,13 @@ func (s *serverStats) recordWait(d time.Duration)    { s.waitHist.ObserveDuratio
 func (s *serverStats) recordCompute(d time.Duration) { s.computeHist.ObserveDuration(d) }
 func (s *serverStats) recordReadBatch(n int)         { s.readBatchHist.Observe(int64(n)) }
 func (s *serverStats) recordEnsureBatch(n int)       { s.ensureBatchHist.Observe(int64(n)) }
+
+// recordAbortReason buckets one abort into the reason taxonomy
+// (allocation-free: the classification is string compares against the
+// already-built reason).
+func (s *serverStats) recordAbortReason(reason string, incomplete bool) {
+	s.abortReasons[classifyAbortReason(reason, incomplete)].Add(1)
+}
 
 // recordEpoch records one committed epoch: how many transactions this
 // server began in it and how long the revoke→committed window lasted.
@@ -169,6 +219,7 @@ func (s *serverStats) snapshot() Stats {
 const (
 	FamTxnsCommitted     = "aloha_txns_committed_total"
 	FamTxnsAborted       = "aloha_txns_aborted_total"
+	FamTxnAbortReason    = "aloha_txn_abort_total"
 	FamReadsServed       = "aloha_reads_served_total"
 	FamFunctorsInstalled = "aloha_functors_installed_total"
 	FamFunctorsComputed  = "aloha_functors_computed_total"
@@ -204,9 +255,19 @@ func (s *serverStats) families() []metrics.Family {
 			Series: []metrics.Series{metrics.HistSeries(h.Snapshot())},
 		}
 	}
+	abortSeries := make([]metrics.Series, 0, numAbortReasons)
+	for i := 0; i < numAbortReasons; i++ {
+		abortSeries = append(abortSeries, metrics.CounterSeries(
+			s.abortReasons[i].Load(), metrics.Label{Key: "reason", Value: AbortReasons[i]}))
+	}
 	return []metrics.Family{
 		counter(FamTxnsCommitted, "Transactions whose write-only phase succeeded.", s.txnsCommitted.Load()),
 		counter(FamTxnsAborted, "Transactions rolled back by the second round.", s.txnsAborted.Load()),
+		{
+			Name: FamTxnAbortReason, Help: "Aborted transactions by reason taxonomy (constraint, wrong-owner-reroute-exhausted, chaos-injected, crash-indeterminate, other).",
+			Kind:   metrics.KindCounter,
+			Series: abortSeries,
+		},
 		counter(FamReadsServed, "Read requests served by this partition.", s.readsServed.Load()),
 		counter(FamFunctorsInstalled, "Functors installed as in-epoch versions.", s.functorsInstalled.Load()),
 		counter(FamFunctorsComputed, "Functors resolved to final states.", s.functorsComputed.Load()),

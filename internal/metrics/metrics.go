@@ -217,6 +217,23 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// SnapshotInto refills s from the histogram, reusing s.Counts when its
+// capacity suffices. Repeated calls against the same histogram allocate
+// nothing, which is what lets the flight recorder (internal/obs/tsdb)
+// sample windowed quantiles on its steady-state path at zero allocs.
+func (h *Histogram) SnapshotInto(s *HistogramSnapshot) {
+	s.Bounds = h.bounds // immutable after construction; shared, not copied
+	if cap(s.Counts) < len(h.counts) {
+		s.Counts = make([]uint64, len(h.counts))
+	}
+	s.Counts = s.Counts[:len(h.counts)]
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+}
+
 // HistogramSnapshot is an immutable copy of a histogram's state, in the
 // instrument's raw unit (nanoseconds for latency histograms).
 type HistogramSnapshot struct {

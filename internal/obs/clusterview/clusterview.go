@@ -14,6 +14,7 @@ import (
 	"alohadb/internal/metrics"
 	"alohadb/internal/obs"
 	"alohadb/internal/obs/journal"
+	"alohadb/internal/obs/tsdb"
 )
 
 // ServerStatus is one server's slice of a cluster snapshot, distilled from
@@ -53,8 +54,16 @@ type ServerStatus struct {
 	// out of the JSON snapshot (EpochPaths carries the distilled view).
 	Epochs *journal.Doc `json:"-"`
 
+	// Timeseries is the raw flight-recorder document (/debug/timeseries)
+	// for the cross-server merge; like Epochs it stays out of the JSON
+	// snapshot (ClusterSnapshot.Timeseries carries the merged view).
+	Timeseries *tsdb.Doc `json:"-"`
+
 	TxnsCommitted float64 `json:"txns_committed"`
 	TxnsAborted   float64 `json:"txns_aborted"`
+	// AbortReasons breaks TxnsAborted down by the taxonomy labels of
+	// aloha_txn_abort_total{reason=...}; zero-count reasons are omitted.
+	AbortReasons map[string]float64 `json:"abort_reasons,omitempty"`
 	// TxnRate is commits/second between two scrapes; zero on a one-shot
 	// snapshot (see Delta).
 	TxnRate float64 `json:"txn_rate,omitempty"`
@@ -100,6 +109,13 @@ type ClusterSnapshot struct {
 	// every reachable server's /debug/epochs journal (newest last, capped
 	// at maxEpochPaths).
 	EpochPaths []EpochPath `json:"epoch_paths,omitempty"`
+
+	// Timeseries are the flight-recorder rings merged across every
+	// reachable server's /debug/timeseries document, and Anomalies the
+	// union of their level-shift annotations cross-linked to the merged
+	// critical paths.
+	Timeseries []ClusterSeries     `json:"timeseries,omitempty"`
+	Anomalies  []ClusterAnnotation `json:"anomalies,omitempty"`
 }
 
 // maxEpochPaths caps how many merged critical paths a snapshot carries:
@@ -156,6 +172,7 @@ func (s *Scraper) Scrape(ctx context.Context) ClusterSnapshot {
 		first = false
 	}
 	mergeEpochPaths(&snap)
+	mergeTimeseries(&snap)
 	return snap
 }
 
@@ -214,6 +231,15 @@ func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
 	}
 	st.TxnsCommitted, _ = m.Value(core.FamTxnsCommitted)
 	st.TxnsAborted, _ = m.Value(core.FamTxnsAborted)
+	for reason, n := range m.ByLabel(core.FamTxnAbortReason, "reason") {
+		if n <= 0 {
+			continue
+		}
+		if st.AbortReasons == nil {
+			st.AbortReasons = make(map[string]float64)
+		}
+		st.AbortReasons[reason] = n
+	}
 	st.P99Install, _ = m.Quantile(core.FamStageInstall, 0.99)
 	st.P99Wait, _ = m.Quantile(core.FamStageWait, 0.99)
 	st.P99Compute, _ = m.Quantile(core.FamStageCompute, 0.99)
@@ -264,6 +290,15 @@ func (s *Scraper) scrapeOne(ctx context.Context, addr string) ServerStatus {
 		if json.Unmarshal(body, &doc) == nil && (len(doc.Records) > 0 || len(doc.EM) > 0 || doc.Ring > 0) {
 			st.Epochs = &doc
 			st.ServerID = doc.Server
+		}
+	}
+
+	// Flight-recorder rings (optional endpoint): the raw document feeds
+	// the cross-server timeseries merge.
+	if body, code, err := s.get(ctx, addr, "/debug/timeseries"); err == nil && code == http.StatusOK {
+		var doc tsdb.Doc
+		if json.Unmarshal(body, &doc) == nil && len(doc.Series) > 0 {
+			st.Timeseries = &doc
 		}
 	}
 	return st
@@ -322,6 +357,9 @@ func Delta(prev, cur ClusterSnapshot) ClusterSnapshot {
 		}
 	}
 	mergeEpochPaths(&cur)
+	// Re-link the anomaly roll-up against the unioned critical paths: the
+	// carried-over journal may cover epochs the fresh scrape's ring lost.
+	mergeTimeseries(&cur)
 	return cur
 }
 
@@ -336,8 +374,8 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 	if snap.ActiveStalls > 0 {
 		fmt.Fprintf(w, "  STALLS %d", snap.ActiveStalls)
 	}
-	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %-4s %10s %10s %12s %12s %12s %-14s  %s\n",
-		"server", "state", "epoch", "commit", "gen", "txns", "txn/s", "p99-install", "p99-wait", "p99-compute", "gating", "notes")
+	fmt.Fprintf(w, "\n%-22s %-6s %-8s %-8s %-4s %10s %10s %-14s %12s %12s %12s %-14s  %s\n",
+		"server", "state", "epoch", "commit", "gen", "txns", "txn/s", "aborts", "p99-install", "p99-wait", "p99-compute", "gating", "notes")
 	for _, sv := range snap.Servers {
 		state := "up"
 		switch {
@@ -372,10 +410,47 @@ func Render(w io.Writer, snap ClusterSnapshot) {
 		if sv.GatingEpochs > 0 {
 			gating = fmt.Sprintf("%d×%s", sv.GatingEpochs, sv.GatingStage)
 		}
-		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %-4d %10.0f %10.0f %12s %12s %12s %-14s  %s\n",
+		fmt.Fprintf(w, "%-22s %-6s %-8d %-8d %-4d %10.0f %10.0f %-14s %12s %12s %12s %-14s  %s\n",
 			sv.Addr, state, sv.CurrentEpoch, sv.CommittedEpoch, sv.PlacementGen, sv.TxnsCommitted, sv.TxnRate,
-			fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), gating, strings.Join(notes, "; "))
+			fmtAborts(sv), fmtSec(sv.P99Install), fmtSec(sv.P99Wait), fmtSec(sv.P99Compute), gating, strings.Join(notes, "; "))
 	}
+	renderTrendFooter(w, snap)
+}
+
+// fmtAborts renders the aborts column: total count plus the dominant
+// taxonomy reason, e.g. "12 (chaos-inje…)".
+func fmtAborts(sv ServerStatus) string {
+	if sv.TxnsAborted <= 0 {
+		return "-"
+	}
+	out := fmt.Sprintf("%.0f", sv.TxnsAborted)
+	var top string
+	var topN float64
+	for reason, n := range sv.AbortReasons {
+		if n > topN || (n == topN && reason < top) {
+			top, topN = reason, n
+		}
+	}
+	if top != "" {
+		if len(top) > 6 {
+			top = top[:6]
+		}
+		out += " (" + top + ")"
+	}
+	return out
+}
+
+// renderTrendFooter appends the flight-recorder strip under the server
+// table: a cluster commit-rate sparkline and the anomaly callouts.
+func renderTrendFooter(w io.Writer, snap ClusterSnapshot) {
+	for _, s := range snap.Timeseries {
+		if s.Name != "commit_rate" {
+			continue
+		}
+		fmt.Fprintf(w, "commit/s %s %s\n", Sparkline(seriesValues(s), 48), fmtVal(s.Last()))
+		break
+	}
+	RenderAnomalies(w, snap, 4)
 }
 
 func fmtSec(s float64) string {

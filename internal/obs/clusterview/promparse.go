@@ -150,6 +150,21 @@ func (m Metrics) Value(name string) (float64, bool) {
 	return sum, true
 }
 
+// ByLabel sums a family's samples grouped by one label key's value, the
+// roll-up for labeled counters like aloha_txn_abort_total{reason=...}.
+// Samples missing the key land under "". Nil when the family is absent.
+func (m Metrics) ByLabel(name, key string) map[string]float64 {
+	samples, ok := m[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		out[s.Labels[key]] += s.Value
+	}
+	return out
+}
+
 // Quantile reassembles the cumulative `name_bucket` series and returns the
 // q-quantile upper bound in the exposition's unit (seconds for *_seconds
 // families). Bucket counts are summed across label sets, which is exact

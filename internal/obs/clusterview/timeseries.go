@@ -1,0 +1,329 @@
+package clusterview
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"alohadb/internal/obs/tsdb"
+)
+
+// This file merges the per-server flight-recorder rings
+// (/debug/timeseries, internal/obs/tsdb) into cluster-wide series and
+// anomaly callouts. Servers sample on their own clocks, restart at
+// different times, and drop out mid-scrape, so the merge aligns samples
+// onto shared interval buckets and only emits buckets at least one
+// server actually reported — a missing server narrows a point's
+// contributor count, it never fabricates data.
+
+// ClusterPoint is one aligned sample of a merged series.
+type ClusterPoint struct {
+	UnixMS int64   `json:"unix_ms"`
+	Value  float64 `json:"value"`
+	// Servers is how many servers contributed to this bucket; a count
+	// below the reachable-server total marks a partial (ragged) point.
+	Servers int `json:"servers"`
+}
+
+// ClusterSeries is one metric merged across servers: rates sum, gauges
+// and quantiles take the cluster-worst (max).
+type ClusterSeries struct {
+	Name   string         `json:"name"`
+	Kind   string         `json:"kind"`
+	Unit   string         `json:"unit,omitempty"`
+	Points []ClusterPoint `json:"points"`
+}
+
+// Last returns the newest point's value (NaN when empty).
+func (s ClusterSeries) Last() float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// ClusterAnnotation is one server's anomaly window lifted into the
+// cluster view: the local annotation plus the cluster-wide critical-path
+// attribution joined from the merged epoch paths over the window's epoch
+// range.
+type ClusterAnnotation struct {
+	// Server is the annotating server's ID.
+	Server int `json:"server"`
+	tsdb.Annotation
+	// ClusterGatingServer/Stage name who gated the cluster's commits
+	// during the window, per the merged epoch critical paths (-1/empty
+	// when no merged path covers the window).
+	ClusterGatingServer int    `json:"cluster_gating_server"`
+	ClusterGatingStage  string `json:"cluster_gating_stage,omitempty"`
+}
+
+// maxClusterAnnotations caps the anomaly roll-up in a snapshot.
+const maxClusterAnnotations = 64
+
+// MergeTimeseries aligns per-server recorder documents onto shared
+// interval buckets and merges them per series name. Buckets no server
+// reported are absent, so ragged rings (servers with different sample
+// counts, or one unreachable) yield shorter series rather than invented
+// points.
+func MergeTimeseries(docs []tsdb.Doc) []ClusterSeries {
+	var intervalMS int64
+	for _, d := range docs {
+		if d.IntervalMS > intervalMS {
+			intervalMS = d.IntervalMS
+		}
+	}
+	if intervalMS <= 0 {
+		return nil
+	}
+	type agg struct {
+		sum, max float64
+		servers  int
+	}
+	type seriesAgg struct {
+		kind, unit string
+		buckets    map[int64]*agg
+	}
+	var order []string
+	byName := make(map[string]*seriesAgg)
+	for _, d := range docs {
+		for _, sd := range d.Series {
+			sa := byName[sd.Name]
+			if sa == nil {
+				sa = &seriesAgg{kind: sd.Kind, unit: sd.Unit, buckets: make(map[int64]*agg)}
+				byName[sd.Name] = sa
+				order = append(order, sd.Name)
+			}
+			for i, v := range sd.Samples {
+				if i >= len(d.Ticks) || math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				b := d.Ticks[i] / intervalMS
+				a := sa.buckets[b]
+				if a == nil {
+					a = &agg{max: math.Inf(-1)}
+					sa.buckets[b] = a
+				}
+				a.sum += v
+				if v > a.max {
+					a.max = v
+				}
+				a.servers++
+			}
+		}
+	}
+	out := make([]ClusterSeries, 0, len(order))
+	for _, name := range order {
+		sa := byName[name]
+		cs := ClusterSeries{Name: name, Kind: sa.kind, Unit: sa.unit}
+		keys := make([]int64, 0, len(sa.buckets))
+		for b := range sa.buckets {
+			keys = append(keys, b)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			a := sa.buckets[b]
+			v := a.max
+			if sa.kind == "rate" {
+				// Rates are per-server contributions to cluster throughput;
+				// gauges and quantiles report the cluster-worst server.
+				v = a.sum
+			}
+			cs.Points = append(cs.Points, ClusterPoint{UnixMS: b * intervalMS, Value: v, Servers: a.servers})
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// mergeTimeseries rebuilds the snapshot's merged series and anomaly
+// roll-up from the scraped recorder documents (idempotent: Delta re-runs
+// it after re-merging epoch paths).
+func mergeTimeseries(snap *ClusterSnapshot) {
+	snap.Timeseries = nil
+	snap.Anomalies = nil
+	var docs []tsdb.Doc
+	for _, sv := range snap.Servers {
+		if sv.Timeseries != nil {
+			docs = append(docs, *sv.Timeseries)
+		}
+	}
+	if len(docs) == 0 {
+		return
+	}
+	snap.Timeseries = MergeTimeseries(docs)
+	for _, d := range docs {
+		for _, a := range d.Annotations {
+			ca := ClusterAnnotation{Server: d.Server, Annotation: a}
+			ca.ClusterGatingServer, ca.ClusterGatingStage = gatingForWindow(snap.EpochPaths, a.FromEpoch, a.ToEpoch)
+			snap.Anomalies = append(snap.Anomalies, ca)
+		}
+	}
+	sort.SliceStable(snap.Anomalies, func(i, j int) bool {
+		return snap.Anomalies[i].StartMS < snap.Anomalies[j].StartMS
+	})
+	if len(snap.Anomalies) > maxClusterAnnotations {
+		snap.Anomalies = snap.Anomalies[len(snap.Anomalies)-maxClusterAnnotations:]
+	}
+}
+
+// gatingForWindow names the dominant (server, stage) pair among the
+// merged epoch critical paths inside [from, to]. (-1, "") when no merged
+// path covers the window.
+func gatingForWindow(paths []EpochPath, from, to uint64) (int, string) {
+	if from == 0 || len(paths) == 0 {
+		return -1, ""
+	}
+	type key struct {
+		server int
+		stage  string
+	}
+	counts := make(map[key]int)
+	for _, p := range paths {
+		if p.Epoch < from || (to >= from && p.Epoch > to) || p.GatingStage == "" {
+			continue
+		}
+		counts[key{p.GatingServer, p.GatingStage}]++
+	}
+	best, bestN := key{server: -1}, 0
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k.server < best.server) {
+			best, bestN = k, n
+		}
+	}
+	if bestN == 0 {
+		return -1, ""
+	}
+	return best.server, best.stage
+}
+
+// sparkRunes are the eighth-block ramp used for inline sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width unicode strip, downsampling
+// by bucket means; gaps (NaN) render as spaces. Empty input yields an
+// empty string.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	cells := make([]float64, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for c := 0; c < width; c++ {
+		start := c * len(values) / width
+		end := (c + 1) * len(values) / width
+		sum, n := 0.0, 0
+		for _, v := range values[start:end] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			cells[c] = math.NaN()
+			continue
+		}
+		cells[c] = sum / float64(n)
+		if cells[c] < lo {
+			lo = cells[c]
+		}
+		if cells[c] > hi {
+			hi = cells[c]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range cells {
+		if math.IsNaN(v) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// seriesValues extracts a merged series' values for sparkline rendering.
+func seriesValues(s ClusterSeries) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// RenderAnomalies writes the active-anomaly callouts (and the most
+// recent closed windows up to n) under a dashboard frame.
+func RenderAnomalies(w io.Writer, snap ClusterSnapshot, n int) {
+	if len(snap.Anomalies) == 0 {
+		return
+	}
+	shown := 0
+	for i := len(snap.Anomalies) - 1; i >= 0 && shown < n; i-- {
+		a := snap.Anomalies[i]
+		if !a.Active && shown > 0 {
+			continue // always show actives; at most one recent closed window
+		}
+		state := "cleared"
+		if a.Active {
+			state = "ACTIVE"
+		}
+		fmt.Fprintf(w, "anomaly [%s] server %d %s %s: baseline %s -> %s", state, a.Server, a.Series, a.Kind,
+			fmtVal(a.Baseline), fmtVal(a.Observed))
+		if a.FromEpoch > 0 {
+			fmt.Fprintf(w, " (epochs %d-%d", a.FromEpoch, a.ToEpoch)
+			switch {
+			case a.ClusterGatingStage != "":
+				fmt.Fprintf(w, ", gating server %d %s)", a.ClusterGatingServer, a.ClusterGatingStage)
+			case a.GatingStage != "":
+				fmt.Fprintf(w, ", local gating %s)", a.GatingStage)
+			default:
+				fmt.Fprint(w, ")")
+			}
+		}
+		fmt.Fprintln(w)
+		shown++
+	}
+}
+
+// RenderTimeseries writes the -timeseries drill-down: every merged
+// series as a sparkline row with its latest value, then every anomaly
+// window.
+func RenderTimeseries(w io.Writer, snap ClusterSnapshot, width int) {
+	if width <= 0 {
+		width = 48
+	}
+	if len(snap.Timeseries) == 0 {
+		fmt.Fprintln(w, "no timeseries: servers expose no /debug/timeseries (recorder disabled?)")
+		return
+	}
+	fmt.Fprintf(w, "%-28s %-*s %12s %8s\n", "series", width, "trend (oldest -> newest)", "last", "unit")
+	for _, s := range snap.Timeseries {
+		fmt.Fprintf(w, "%-28s %-*s %12s %8s\n", s.Name, width, Sparkline(seriesValues(s), width), fmtVal(s.Last()), s.Unit)
+	}
+	if len(snap.Anomalies) > 0 {
+		fmt.Fprintln(w)
+		RenderAnomalies(w, snap, len(snap.Anomalies))
+	}
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -330,6 +330,51 @@ func stageSpan(from, to int64) int64 {
 	return to - from
 }
 
+// StageHist returns the cumulative close-out histogram for one stage (an
+// index into StageNames), letting the flight recorder (internal/obs/tsdb)
+// sample windowed per-stage quantiles. Nil-safe.
+func (j *Journal) StageHist(stage int) *metrics.Histogram {
+	if j == nil || stage < 0 || stage >= numStages {
+		return nil
+	}
+	return j.stageHists[stage]
+}
+
+// GatingBetween names the dominant local gating stage across the complete
+// records whose epoch falls in [from, to] — the attribution the flight
+// recorder stamps on an anomaly window ("throughput dropped across epochs
+// 410-460, gated on ack-wait"). Empty when no complete record in the
+// range survives in the ring. Nil-safe.
+func (j *Journal) GatingBetween(from, to uint64) string {
+	if j == nil || from == 0 || to < from {
+		return ""
+	}
+	var counts [numStages]int
+	found := false
+	for i := range j.ring {
+		s := &j.ring[i]
+		s.mu.Lock()
+		e, g := s.r.epoch, s.r.gating
+		complete := s.r.committedNS > 0 && s.r.visibleNS > 0
+		s.mu.Unlock()
+		if e < from || e > to || !complete || g < 0 {
+			continue
+		}
+		counts[g]++
+		found = true
+	}
+	if !found {
+		return ""
+	}
+	best := 0
+	for i := 1; i < numStages; i++ {
+		if counts[i] > counts[best] {
+			best = i
+		}
+	}
+	return StageNames[best]
+}
+
 // Stale reports how many late events were dropped because their epoch had
 // already been overwritten in the ring. Nil-safe.
 func (j *Journal) Stale() uint64 {

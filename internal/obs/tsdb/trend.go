@@ -1,0 +1,198 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TrendSchema versions the TREND_*.jsonl row format shared by the
+// scenario soak and the bench figures. Rows from other schemas are
+// skipped on read, so the format can evolve without poisoning old
+// baselines.
+const TrendSchema = "aloha-trend/v1"
+
+// Trend row kinds.
+const (
+	TrendKindSoak  = "soak"
+	TrendKindBench = "bench"
+)
+
+// TrendRow is one run's end-of-run summary for one scenario or bench
+// point: the numbers the nightly gate compares against the previous
+// night. One schema for both soak and bench keeps the two regression
+// trajectories comparable in the same tooling.
+type TrendRow struct {
+	Schema   string `json:"schema"`
+	Kind     string `json:"kind"` // soak | bench
+	Scenario string `json:"scenario"`
+	At       string `json:"at,omitempty"` // RFC3339, stamped by the writer
+	Seed     int64  `json:"seed,omitempty"`
+	// WindowS is the measured wall-clock window in seconds.
+	WindowS float64 `json:"window_s,omitempty"`
+	// Throughput is committed transactions per second over the window.
+	Throughput float64 `json:"throughput_txn_s"`
+	// P99MS is the p99 transaction latency in milliseconds.
+	P99MS   float64 `json:"p99_ms"`
+	MeanMS  float64 `json:"mean_ms,omitempty"`
+	Commits uint64  `json:"commits,omitempty"`
+	Aborts  uint64  `json:"aborts,omitempty"`
+	// StallS is the cumulative watchdog stall time in seconds.
+	StallS float64 `json:"stall_seconds"`
+	// Anomalies counts the recorder's anomaly windows over the run.
+	Anomalies int `json:"anomalies"`
+}
+
+// key matches rows across runs.
+func (t TrendRow) key() string { return t.Kind + "/" + t.Scenario }
+
+// WriteTrend writes rows as JSONL, replacing path.
+func WriteTrend(path string, rows []TrendRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range rows {
+		rows[i].Schema = TrendSchema
+		if err := enc.Encode(rows[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrend parses a JSONL trend file, skipping blank lines and rows
+// from other schemas. Duplicate (kind, scenario) keys keep the last row.
+func ReadTrend(path string) ([]TrendRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []TrendRow
+	byKey := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var row TrendRow
+		if err := json.Unmarshal(b, &row); err != nil {
+			return nil, fmt.Errorf("tsdb: %s line %d: %w", path, line, err)
+		}
+		if row.Schema != TrendSchema {
+			continue
+		}
+		if i, ok := byKey[row.key()]; ok {
+			rows[i] = row
+			continue
+		}
+		byKey[row.key()] = len(rows)
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// GateConfig tunes the trend gate. Tolerances default loose: the gate
+// runs on shared CI runners and hunts sustained regressions, not
+// run-to-run noise.
+type GateConfig struct {
+	// Tolerance is the fractional slack on a throughput drop and a p99
+	// rise (default 0.35).
+	Tolerance float64
+	// P99FloorMS ignores p99 movement while the current value stays
+	// under this absolute ceiling (default 10ms) — doubling a 300µs p99
+	// is not a regression worth a red nightly.
+	P99FloorMS float64
+	// StallSlackS allows this many additional stall seconds (default 1).
+	StallSlackS float64
+	// AnomalySlack allows this many additional anomaly windows
+	// (default 5).
+	AnomalySlack int
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.35
+	}
+	if c.P99FloorMS <= 0 {
+		c.P99FloorMS = 10
+	}
+	if c.StallSlackS <= 0 {
+		c.StallSlackS = 1
+	}
+	if c.AnomalySlack <= 0 {
+		c.AnomalySlack = 5
+	}
+	return c
+}
+
+// GateTrend compares the current run's rows against the previous run's,
+// matched by (kind, scenario), and returns one failure string per
+// sustained regression: a throughput drop or p99 rise beyond the
+// tolerance, stall time beyond the slack, an anomaly-count jump, or a
+// scenario that vanished from the run. New scenarios (in cur, not prev)
+// pass — they have no baseline yet.
+func GateTrend(prev, cur []TrendRow, cfg GateConfig) []string {
+	cfg = cfg.withDefaults()
+	curBy := make(map[string]TrendRow, len(cur))
+	for _, row := range cur {
+		curBy[row.key()] = row
+	}
+	var fails []string
+	keys := make([]string, 0, len(prev))
+	prevBy := make(map[string]TrendRow, len(prev))
+	for _, row := range prev {
+		keys = append(keys, row.key())
+		prevBy[row.key()] = row
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := prevBy[k]
+		c, ok := curBy[k]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from current run (was %.0f txn/s)", k, p.Throughput))
+			continue
+		}
+		if p.Throughput > 0 && c.Throughput < p.Throughput*(1-cfg.Tolerance) {
+			fails = append(fails, fmt.Sprintf("%s: throughput %.0f -> %.0f txn/s (-%.0f%%, tolerance %.0f%%)",
+				k, p.Throughput, c.Throughput, 100*(1-c.Throughput/p.Throughput), 100*cfg.Tolerance))
+		}
+		if effP99 := maxf(p.P99MS, cfg.P99FloorMS); c.P99MS > effP99*(1+cfg.Tolerance) {
+			fails = append(fails, fmt.Sprintf("%s: p99 %.1fms -> %.1fms (baseline floor %.1fms, tolerance %.0f%%)",
+				k, p.P99MS, c.P99MS, cfg.P99FloorMS, 100*cfg.Tolerance))
+		}
+		if c.StallS > p.StallS+cfg.StallSlackS {
+			fails = append(fails, fmt.Sprintf("%s: stall time %.1fs -> %.1fs (slack %.1fs)",
+				k, p.StallS, c.StallS, cfg.StallSlackS))
+		}
+		if c.Anomalies > p.Anomalies+cfg.AnomalySlack {
+			fails = append(fails, fmt.Sprintf("%s: anomaly windows %d -> %d (slack %d)",
+				k, p.Anomalies, c.Anomalies, cfg.AnomalySlack))
+		}
+	}
+	return fails
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package tsdb
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(kind, scenario string, tput, p99, stall float64, anomalies int) TrendRow {
+	return TrendRow{
+		Kind: kind, Scenario: scenario,
+		Throughput: tput, P99MS: p99, StallS: stall, Anomalies: anomalies,
+	}
+}
+
+func TestTrendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TREND_soak.jsonl")
+	in := []TrendRow{
+		row(TrendKindSoak, "payment-ledger", 1200, 8, 0, 1),
+		row(TrendKindBench, "fig6/ALOHA/c8", 90000, 2.5, 0, 0),
+	}
+	if err := WriteTrend(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Scenario != "payment-ledger" || out[0].Schema != TrendSchema {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if out[1].Throughput != 90000 {
+		t.Fatalf("bench row = %+v", out[1])
+	}
+}
+
+func TestGateTrendCatchesRegressions(t *testing.T) {
+	prev := []TrendRow{
+		row(TrendKindSoak, "ledger", 1000, 20, 0, 1),
+		row(TrendKindSoak, "feed", 500, 15, 0, 0),
+		row(TrendKindSoak, "gone", 100, 5, 0, 0),
+	}
+	cur := []TrendRow{
+		row(TrendKindSoak, "ledger", 400, 80, 5, 20), // collapsed on every axis
+		row(TrendKindSoak, "feed", 480, 16, 0.2, 1),  // within tolerance
+		row(TrendKindSoak, "new-scenario", 50, 5, 0, 0),
+	}
+	fails := GateTrend(prev, cur, GateConfig{})
+	joined := strings.Join(fails, "\n")
+	for _, want := range []string{
+		"soak/ledger: throughput",
+		"soak/ledger: p99",
+		"soak/ledger: stall time",
+		"soak/ledger: anomaly windows",
+		"soak/gone: missing",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("gate missed %q in:\n%s", want, joined)
+		}
+	}
+	for _, never := range []string{"feed", "new-scenario"} {
+		if strings.Contains(joined, never) {
+			t.Fatalf("gate flagged healthy row %q:\n%s", never, joined)
+		}
+	}
+}
+
+func TestGateTrendTolerances(t *testing.T) {
+	prev := []TrendRow{row(TrendKindSoak, "s", 1000, 2, 0, 0)}
+	// 20% throughput drop is inside the default 35% tolerance; p99 grew
+	// x3 but stays under the 10ms absolute floor.
+	cur := []TrendRow{row(TrendKindSoak, "s", 800, 6, 0.5, 3)}
+	if fails := GateTrend(prev, cur, GateConfig{}); len(fails) != 0 {
+		t.Fatalf("loose tolerances still failed: %v", fails)
+	}
+	// Beyond tolerance fails even from a small-p99 baseline.
+	cur = []TrendRow{row(TrendKindSoak, "s", 800, 40, 0.5, 3)}
+	if fails := GateTrend(prev, cur, GateConfig{}); len(fails) != 1 {
+		t.Fatalf("p99 blow-up not caught: %v", fails)
+	}
+}

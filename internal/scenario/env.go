@@ -17,6 +17,7 @@ import (
 	"alohadb/internal/obs"
 	"alohadb/internal/obs/clusterview"
 	"alohadb/internal/obs/journal"
+	"alohadb/internal/obs/tsdb"
 	"alohadb/internal/placement"
 	"alohadb/internal/trace"
 	"alohadb/internal/transport"
@@ -95,6 +96,15 @@ type EnvConfig struct {
 	// Watchdog.
 	Ops bool
 
+	// Timeseries attaches one metrics flight recorder per server (served
+	// at /debug/timeseries when Ops is also set). Implies Watchdog — the
+	// recorder's stall source reads it. Soak runs force this on.
+	Timeseries bool
+	// TimeseriesInterval overrides the recorder sample interval (default
+	// 500ms; fault-injection scenarios use a faster clock so short
+	// degraded windows clear the detector's baseline).
+	TimeseriesInterval time.Duration
+
 	// Load runs between construction and Start, while bulk Load is still
 	// legal; scenario preloads (TPC-C tables, account balances) go here.
 	Load func(c *core.Cluster) error
@@ -122,6 +132,9 @@ type Env struct {
 	// OpsAddrs lists the per-server ops listener addresses (empty unless
 	// Ops was set).
 	OpsAddrs []string
+	// Recorders holds one started flight recorder per server (empty
+	// unless Timeseries was configured).
+	Recorders []*tsdb.Recorder
 	// Oracle is a fresh history oracle; bodies that run tag-append
 	// workloads record into it and the runner reports its verdict.
 	Oracle *oracle.History
@@ -156,9 +169,34 @@ func (e *Env) StallsTotal() uint64 {
 	return n
 }
 
-// Close tears the env down: watchdogs, ops listeners, cluster, and (when
-// the env built it) the network. Safe to call more than once.
+// StallSeconds sums cumulative stalled wall-clock across every watchdog —
+// the trend rows report it so a soak that limped (stalled but recovered)
+// looks different from one that cruised.
+func (e *Env) StallSeconds() float64 {
+	var d time.Duration
+	for _, wd := range e.Watchdogs {
+		d += wd.StallTime()
+	}
+	return d.Seconds()
+}
+
+// AnomaliesTotal sums every recorder's lifetime annotation count.
+func (e *Env) AnomaliesTotal() int {
+	var n int
+	for _, rec := range e.Recorders {
+		n += rec.AnomalyCount()
+	}
+	return n
+}
+
+// Close tears the env down: recorders, watchdogs, ops listeners,
+// cluster, and (when the env built it) the network. Safe to call more
+// than once.
 func (e *Env) Close() {
+	for _, rec := range e.Recorders {
+		rec.Stop()
+	}
+	e.Recorders = nil
 	for _, wd := range e.Watchdogs {
 		wd.Stop()
 	}
@@ -270,7 +308,7 @@ func BuildEnv(cfg EnvConfig) (*Env, error) {
 		}
 	}
 
-	if cfg.Watchdog || cfg.Ops {
+	if cfg.Watchdog || cfg.Ops || cfg.Timeseries {
 		threshold := cfg.WatchdogThreshold
 		if threshold <= 0 {
 			threshold = 2 * time.Second
@@ -279,6 +317,20 @@ func BuildEnv(cfg EnvConfig) (*Env, error) {
 			wd := c.Server(i).NewWatchdog(obs.WatchdogConfig{Threshold: threshold})
 			wd.Start()
 			env.Watchdogs = append(env.Watchdogs, wd)
+		}
+	}
+	if cfg.Timeseries {
+		// Recorders after watchdogs: the stall source reads the watchdog
+		// the setter above installed. The migration gauge is a cluster
+		// singleton, attached to server 0 so merged rings don't multiply it.
+		for i := 0; i < cfg.Servers; i++ {
+			var extra []tsdb.Source
+			if i == 0 {
+				extra = append(extra, c.MigrationSource())
+			}
+			rec := c.Server(i).NewRecorder(tsdb.Config{Interval: cfg.TimeseriesInterval}, extra...)
+			rec.Start()
+			env.Recorders = append(env.Recorders, rec)
 		}
 	}
 	if cfg.Ops {
@@ -331,6 +383,9 @@ func (e *Env) startOps(c *core.Cluster) error {
 		}
 		if e.Skew != nil {
 			opts = append(opts, metrics.WithDebug("hotkeys", e.Skew.Handler()))
+		}
+		if i < len(e.Recorders) {
+			opts = append(opts, metrics.WithDebug("timeseries", e.Recorders[i].Handler()))
 		}
 		hs := &http.Server{Handler: metrics.OpsHandler(gather, opts...)}
 		e.httpSrvs = append(e.httpSrvs, hs)

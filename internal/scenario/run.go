@@ -8,6 +8,8 @@ import (
 	"os"
 	"runtime/debug"
 	"time"
+
+	"alohadb/internal/obs/tsdb"
 )
 
 // RunOptions tunes one matrix run.
@@ -28,6 +30,10 @@ type RunOptions struct {
 	// ArtifactPath, or $SCENARIO_ARTIFACT when empty, names the replay
 	// artifact written when any scenario fails.
 	ArtifactPath string
+	// TrendPath, or $SCENARIO_TREND when empty, names the trend-summary
+	// JSONL (tsdb.TrendRow per scenario) written at the end of the run —
+	// the file `make trend-gate` compares against the previous night.
+	TrendPath string
 }
 
 // Artifact is the replayable record of one failing scenario run: the
@@ -81,14 +87,19 @@ func Run(ctx context.Context, scns []*Scenario, opts RunOptions) ([]Outcome, err
 	var (
 		outcomes  []Outcome
 		artifacts []Artifact
+		trend     []tsdb.TrendRow
 	)
 	for _, s := range scns {
 		p := Params{Seed: opts.Seed, Window: window, Soak: opts.Soak > 0}
 		fmt.Fprintf(out, "=== scenario %s (seed %d, window %s)\n", s.Name, p.Seed, window.Round(time.Millisecond))
 		start := time.Now()
-		stalls, err := runOne(ctx, s, p, out)
+		stalls, row, err := runOne(ctx, s, p, out)
 		oc := Outcome{Name: s.Name, Elapsed: time.Since(start), Stalls: stalls, Err: err}
 		outcomes = append(outcomes, oc)
+		if row != nil && err == nil {
+			row.At = start.UTC().Format(time.RFC3339)
+			trend = append(trend, *row)
+		}
 		if err != nil {
 			fmt.Fprintf(out, "--- FAIL %s (%s): %v\n", s.Name, oc.Elapsed.Round(time.Millisecond), err)
 			artifacts = append(artifacts, Artifact{
@@ -103,6 +114,14 @@ func Run(ctx context.Context, scns []*Scenario, opts RunOptions) ([]Outcome, err
 			})
 		} else {
 			fmt.Fprintf(out, "--- ok %s (%s)\n", s.Name, oc.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	if path := trendPath(opts); path != "" && len(trend) > 0 {
+		if werr := tsdb.WriteTrend(path, trend); werr != nil {
+			fmt.Fprintf(out, "scenario: write trend %s: %v\n", path, werr)
+		} else {
+			fmt.Fprintf(out, "scenario: trend summary (%d rows) written to %s\n", len(trend), path)
 		}
 	}
 
@@ -123,14 +142,21 @@ func Run(ctx context.Context, scns []*Scenario, opts RunOptions) ([]Outcome, err
 }
 
 // runOne builds the env, runs the body under its deadline, and applies
-// the runner-level gates (zero stall episodes, oracle verdict).
-func runOne(ctx context.Context, s *Scenario, p Params, out io.Writer) (stalls uint64, err error) {
+// the runner-level gates (zero stall episodes, oracle verdict). The
+// returned trend row summarizes the run for the nightly gate (nil for
+// scenarios that build their own clusters per phase).
+func runOne(ctx context.Context, s *Scenario, p Params, out io.Writer) (stalls uint64, row *tsdb.TrendRow, err error) {
 	var env *Env
 	if s.Shape != nil {
 		cfg := s.Shape(p)
+		if p.Soak {
+			// Soak runs always fly the recorder: the trend row's anomaly
+			// count and the /debug/timeseries forensics depend on it.
+			cfg.Timeseries = true
+		}
 		env, err = BuildEnv(cfg)
 		if err != nil {
-			return 0, fmt.Errorf("build env: %w", err)
+			return 0, nil, fmt.Errorf("build env: %w", err)
 		}
 	} else {
 		env = &Env{}
@@ -152,6 +178,17 @@ func runOne(ctx context.Context, s *Scenario, p Params, out io.Writer) (stalls u
 	rctx, cancel := context.WithTimeout(ctx, p.Window+slack)
 	defer cancel()
 
+	// Baseline counters before the body: scenario preloads (cfg.Load)
+	// already committed transactions the throughput row must not claim.
+	var base struct {
+		commits, aborts uint64
+	}
+	if env.Cluster != nil {
+		st := env.Cluster.Stats()
+		base.commits, base.aborts = st.TxnsCommitted, st.TxnsAborted
+	}
+	bodyStart := time.Now()
+
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -162,6 +199,25 @@ func runOne(ctx context.Context, s *Scenario, p Params, out io.Writer) (stalls u
 	}()
 
 	stalls = env.StallsTotal()
+	if env.Cluster != nil {
+		elapsed := time.Since(bodyStart).Seconds()
+		st := env.Cluster.Stats()
+		row = &tsdb.TrendRow{
+			Kind:      tsdb.TrendKindSoak,
+			Scenario:  s.Name,
+			Seed:      p.Seed,
+			WindowS:   elapsed,
+			Commits:   st.TxnsCommitted - base.commits,
+			Aborts:    st.TxnsAborted - base.aborts,
+			P99MS:     env.Cluster.InstallQuantile(0.99).Seconds() * 1e3,
+			MeanMS:    env.Cluster.InstallMean().Seconds() * 1e3,
+			StallS:    env.StallSeconds(),
+			Anomalies: env.AnomaliesTotal(),
+		}
+		if elapsed > 0 {
+			row.Throughput = float64(row.Commits) / elapsed
+		}
+	}
 	if err == nil && stalls > 0 {
 		err = fmt.Errorf("watchdog recorded %d stall episode(s)", stalls)
 	}
@@ -173,7 +229,7 @@ func runOne(ctx context.Context, s *Scenario, p Params, out io.Writer) (stalls u
 			err = fmt.Errorf("oracle found %d violation(s)", len(vs))
 		}
 	}
-	return stalls, err
+	return stalls, row, err
 }
 
 func artifactPath(opts RunOptions) string {
@@ -181,6 +237,13 @@ func artifactPath(opts RunOptions) string {
 		return opts.ArtifactPath
 	}
 	return os.Getenv("SCENARIO_ARTIFACT")
+}
+
+func trendPath(opts RunOptions) string {
+	if opts.TrendPath != "" {
+		return opts.TrendPath
+	}
+	return os.Getenv("SCENARIO_TREND")
 }
 
 func writeArtifact(path string, arts []Artifact) error {

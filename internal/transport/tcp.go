@@ -178,6 +178,27 @@ func (n *TCPNetwork) SendQueueDepths() map[NodeID]int {
 	return depths
 }
 
+// MaxSendQueueDepth reports the deepest outbound queue across every peer
+// of every node attached in this process. Unlike SendQueueDepths it
+// allocates nothing: the flight recorder samples it on every tick, where
+// a per-call map would be steady-state garbage.
+func (n *TCPNetwork) MaxSendQueueDepth() int {
+	n.mu.Lock()
+	nodes := n.nodes // header copy; the backing array is append-only
+	n.mu.Unlock()
+	max := 0
+	for _, c := range nodes {
+		c.peersMu.Lock()
+		for _, p := range c.peers {
+			if d := len(p.sendq); d > max {
+				max = d
+			}
+		}
+		c.peersMu.Unlock()
+	}
+	return max
+}
+
 // countingWriter tallies bytes and Write calls issued to a peer socket.
 type countingWriter struct {
 	w io.Writer

@@ -1,10 +1,13 @@
 #!/bin/sh
 # Observability smoke test, shared by `make obs-smoke` and CI: boot a
 # 3-server simulated cluster with the full obs stack (ops listeners, epoch
-# watchdogs, skew profiler), aggregate it once with aloha-top, and assert
-# the merged cluster view — all three servers reachable, the minimum
-# committed epoch monotonic between the two rate scrapes, and no active
-# stalls on a healthy cluster.
+# watchdogs, skew profiler, metrics flight recorder), aggregate it with
+# aloha-top, and assert the merged cluster view — all three servers
+# reachable, the minimum committed epoch monotonic between the two rate
+# scrapes, no active stalls on a healthy cluster, and the flight-recorder
+# surface live: /debug/timeseries serves per-server rings, the cluster
+# JSON carries the merged series block, and the sim's injected mid-run
+# workload hiccup shows up as at least one anomaly annotation.
 set -eu
 
 workdir="$(mktemp -d)"
@@ -13,7 +16,8 @@ trap 'rm -rf "$workdir"' EXIT
 go build -o "$workdir/aloha-bench" ./cmd/aloha-bench
 go build -o "$workdir/aloha-top" ./cmd/aloha-top
 
-"$workdir/aloha-bench" -obs-sim -duration 10s -obs-sim-addr-file "$workdir/addrs" &
+"$workdir/aloha-bench" -obs-sim -duration 10s -obs-sim-addr-file "$workdir/addrs" \
+    > "$workdir/sim.log" 2>&1 &
 sim=$!
 
 i=0
@@ -40,6 +44,41 @@ grep -q '"active_stalls": 0' "$workdir/top.json" || fail "healthy cluster report
 # epoch in the merged view names a gating server and stage.
 grep -q '"epoch_paths"' "$workdir/top.json" || fail "no merged epoch critical paths in the cluster view"
 grep -q '"gating_stage":' "$workdir/top.json" || fail "epoch critical paths carry no gating-stage attribution"
+# The cluster JSON must carry the merged flight-recorder series block.
+grep -q '"timeseries"' "$workdir/top.json" || fail "no merged timeseries block in the cluster view"
+grep -q '"name": "commit_rate"' "$workdir/top.json" || fail "merged timeseries carries no commit_rate series"
 
-wait "$sim"
+# /debug/timeseries itself must serve the per-server rings (curl and wget
+# are both common on CI runners; skip the direct probe if neither exists).
+addr1="$(cut -d, -f1 "$workdir/addrs")"
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://$addr1/debug/timeseries" > "$workdir/ts.json" || fail "/debug/timeseries not served"
+elif command -v wget >/dev/null 2>&1; then
+    wget -qO "$workdir/ts.json" "http://$addr1/debug/timeseries" || fail "/debug/timeseries not served"
+fi
+if [ -s "$workdir/ts.json" ]; then
+    grep -q '"series"' "$workdir/ts.json" || fail "/debug/timeseries serves no series"
+fi
+
+# Wait for the sim's injected workload hiccup, give the level-shift
+# detector a few ticks to open a window, then re-scrape: the anomaly must
+# appear in the merged view, annotated with its epoch range.
+i=0
+while ! grep -q 'workload hiccup' "$workdir/sim.log"; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        cat "$workdir/sim.log"
+        fail "obs-sim never injected its workload hiccup"
+    fi
+    sleep 0.1
+done
+sleep 1.5
+"$workdir/aloha-top" -servers "$(cat "$workdir/addrs")" -cluster-json -once > "$workdir/top-hiccup.json"
+grep -q '"anomalies"' "$workdir/top-hiccup.json" || fail "injected hiccup produced no anomaly annotation"
+grep -q '"series": "commit_rate"' "$workdir/top-hiccup.json" || fail "anomaly annotations name no commit_rate series"
+
+rc=0
+wait "$sim" || rc=$?
+cat "$workdir/sim.log"
+[ "$rc" -eq 0 ] || fail "obs-sim exited non-zero ($rc)"
 echo "obs-smoke: ok"

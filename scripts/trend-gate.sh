@@ -1,0 +1,23 @@
+#!/bin/sh
+# Nightly trend gate, shared by `make trend-gate` and CI: compare tonight's
+# TREND_*.jsonl summary rows (written by `-scenarios soak -scenario-trend`
+# or `-figure ... -trend-out`) against the previous night's file, failing
+# on any throughput / p99 / stall / anomaly regression beyond the
+# tolerance. Nightly soak numbers on shared runners are noisy, so the
+# default tolerance is deliberately loose; tighten locally with
+# TOLERANCE=0.15. A missing previous file passes with a banner — the
+# first night seeds the baseline.
+#
+# Usage: scripts/trend-gate.sh <previous.jsonl> <current.jsonl>
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: scripts/trend-gate.sh <previous.jsonl> <current.jsonl>" >&2
+    exit 2
+fi
+
+exec go run ./cmd/aloha-bench \
+	-trend-gate \
+	-trend-prev "$1" \
+	-trend-cur "$2" \
+	-trend-tolerance "${TOLERANCE:-0}"
